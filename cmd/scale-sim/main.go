@@ -1,0 +1,104 @@
+// Command scale-sim runs the SCALE-Sim-style baseline: a 16x16 output-
+// stationary systolic array with separate, double-buffered ifmap/filter
+// scratchpads. It reports per-layer zero-stall cycles and DRAM traffic for
+// one of the paper's fixed buffer splits, and can cross-check the
+// analytical model against the element-exact trace simulator on small
+// layers.
+//
+// Usage:
+//
+//	scale-sim -model ResNet18 -glb 64 -split 25
+//	scale-sim -model topology.csv -glb 256 -split 75 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	scratchmem "scratchmem"
+	"scratchmem/internal/layer"
+	"scratchmem/internal/report"
+	"scratchmem/internal/scalesim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scale-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scale-sim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		modelFlag = fs.String("model", "ResNet18", "built-in model name or path to a .json/.csv model description")
+		glbKB     = fs.Int("glb", 64, "total on-chip budget in kB (4 kB goes to the ofmap buffer)")
+		split     = fs.Int("split", 50, "percent of the remaining budget assigned to the ifmap buffer (25, 50 or 75)")
+		width     = fs.Int("width", 8, "data width in bits")
+		traceFlag = fs.Bool("trace", false, "cross-check small dense layers with the element-exact trace simulator")
+		flow      = fs.String("dataflow", "os", "dataflow: os, ws or is")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := loadModel(*modelFlag)
+	if err != nil {
+		return err
+	}
+	cfg := scalesim.Split(fmt.Sprintf("sa_%d_%d", *split, 100-*split), *glbKB, *split, *width)
+	df, err := scalesim.ParseDataflow(*flow)
+	if err != nil {
+		return err
+	}
+	cfg.Flow = df
+	res, err := scalesim.SimulateNetwork(net, cfg)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("%s on baseline %s (GLB %d kB, %d-bit, %s dataflow)", net.Name, cfg.Name, *glbKB, *width, cfg.Flow),
+		"layer", "cycles", "ifmap", "filter", "ofmap", "total", "util %")
+	for _, lr := range res.Layers {
+		t.Row(lr.Layer, lr.Cycles, lr.DRAMIfmap, lr.DRAMFilter, lr.DRAMOfmap,
+			lr.DRAMTotal(), 100*lr.Utilization)
+	}
+	if err := t.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ntotals: %.3f Mcycles (zero-stall), %.2f MB DRAM traffic\n",
+		float64(res.Cycles())/1e6, float64(res.DRAMBytes())/(1024*1024))
+
+	if *traceFlag && cfg.Flow != scalesim.OutputStationary {
+		return fmt.Errorf("trace cross-check only supports the os dataflow")
+	}
+	if *traceFlag {
+		fmt.Fprintln(out, "\ntrace cross-check (dense layers with <= 4k output pixels):")
+		for i := range net.Layers {
+			l := &net.Layers[i]
+			if l.Kind == layer.DepthwiseConv || int64(l.OH())*int64(l.OW()) > 1<<12 {
+				continue
+			}
+			tr, err := scalesim.Trace(l, cfg)
+			if err != nil {
+				return err
+			}
+			a := res.Layers[i]
+			fmt.Fprintf(out, "  %-16s analytic %10d elems, trace %10d elems (%.2fx)\n",
+				l.Name, a.DRAMTotal(), tr.DRAMTotal(),
+				float64(a.DRAMTotal())/float64(tr.DRAMTotal()))
+		}
+	}
+	return nil
+}
+
+func loadModel(s string) (*scratchmem.Network, error) {
+	if _, err := os.Stat(s); err == nil {
+		return scratchmem.LoadModel(s)
+	}
+	return scratchmem.BuiltinModel(s)
+}

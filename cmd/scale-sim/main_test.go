@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBaseline(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "MobileNet", "-glb", "64", "-split", "25"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"sa_25_75", "conv1", "dw1", "totals:", "Mcycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWithTraceCrossCheck(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "TinyCNN", "-glb", "64", "-trace"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "trace cross-check") {
+		t.Error("missing trace section")
+	}
+	if !strings.Contains(sb.String(), "analytic") {
+		t.Error("no cross-check rows emitted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "nope"}, &sb); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-glb", "notanumber"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunDataflows(t *testing.T) {
+	for _, flow := range []string{"ws", "is"} {
+		var sb strings.Builder
+		if err := run([]string{"-model", "TinyCNN", "-glb", "64", "-dataflow", flow}, &sb); err != nil {
+			t.Fatalf("%s: %v", flow, err)
+		}
+		if !strings.Contains(sb.String(), flow+" dataflow") {
+			t.Errorf("%s: dataflow not reflected in header", flow)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-dataflow", "rs"}, &sb); err == nil {
+		t.Error("unknown dataflow accepted")
+	}
+	if err := run([]string{"-model", "TinyCNN", "-dataflow", "ws", "-trace"}, &sb); err == nil {
+		t.Error("trace with ws dataflow accepted")
+	}
+}

@@ -1,0 +1,190 @@
+// Command smm-experiments regenerates the paper's tables and figures (and
+// this repository's extensions).
+//
+// Usage:
+//
+//	smm-experiments                   # run everything, print ASCII tables
+//	smm-experiments -exp fig5,fig8    # a subset
+//	smm-experiments -out results      # additionally write CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scratchmem/internal/experiments"
+	"scratchmem/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smm-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smm-experiments", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		exp     = fs.String("exp", "all", "comma-separated experiments: table2,table3,table4,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,headline,energy,batch,ablation,tenancy or all")
+		out     = fs.String("out", "", "directory for CSV/markdown output (optional)")
+		format  = fs.String("format", "csv", "on-disk format for -out: csv or md")
+		workers = fs.Int("workers", 0, "fan-out goroutines (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *format != "csv" && *format != "md" {
+		return fmt.Errorf("unknown format %q (want csv or md)", *format)
+	}
+	s := experiments.DefaultSetup()
+	s.Workers = *workers
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	shouldRun := func(name string) bool { return all || want[name] }
+
+	var emitErr error
+	emit := func(name string, t *report.Table) {
+		if emitErr != nil {
+			return
+		}
+		if err := t.Render(stdout); err != nil {
+			emitErr = err
+			return
+		}
+		fmt.Fprintln(stdout)
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				emitErr = err
+				return
+			}
+			f, err := os.Create(filepath.Join(*out, name+"."+*format))
+			if err != nil {
+				emitErr = err
+				return
+			}
+			var werr error
+			if *format == "md" {
+				werr = t.RenderMarkdown(f)
+			} else {
+				werr = t.WriteCSV(f)
+			}
+			if werr != nil {
+				emitErr = werr
+				f.Close()
+				return
+			}
+			emitErr = f.Close()
+		}
+	}
+
+	var f5 []experiments.Fig5Cell
+	var f8 []experiments.Fig8Cell
+
+	if shouldRun("table2") {
+		emit("table2", experiments.Table2())
+	}
+	if shouldRun("table3") {
+		_, t := experiments.Table3()
+		emit("table3", t)
+	}
+	if shouldRun("table4") {
+		emit("table4", experiments.Table4(64))
+	}
+	if shouldRun("fig3") {
+		emit("fig3", experiments.Fig3())
+	}
+	if shouldRun("fig5") || shouldRun("headline") {
+		var t *report.Table
+		f5, t = experiments.Fig5(s)
+		if shouldRun("fig5") {
+			emit("fig5", t)
+		}
+	}
+	if shouldRun("fig6") {
+		emit("fig6", experiments.Fig6(64))
+	}
+	if shouldRun("fig7") {
+		_, t := experiments.Fig7(s)
+		emit("fig7", t)
+	}
+	if shouldRun("fig8") || shouldRun("headline") {
+		var t *report.Table
+		f8, t = experiments.Fig8(s)
+		if shouldRun("fig8") {
+			emit("fig8", t)
+		}
+	}
+	if shouldRun("fig9") {
+		_, t := experiments.Fig9(s, 64)
+		emit("fig9", t)
+	}
+	if shouldRun("fig10") {
+		_, t := experiments.Fig10(s, "MobileNet")
+		emit("fig10", t)
+	}
+	if shouldRun("fig11") {
+		_, t, g := experiments.Fig11(s, "MnasNet")
+		emit("fig11", t)
+		emit("fig11_geomean", g)
+	}
+	if shouldRun("energy") {
+		_, t := experiments.ExtEnergy(s)
+		emit("energy", t)
+	}
+	if shouldRun("batch") {
+		_, t := experiments.ExtBatch(s, "GoogLeNet", 256)
+		emit("batch", t)
+	}
+	if shouldRun("ablation") {
+		_, t := experiments.ExtInterLayerAblation(s)
+		emit("ablation", t)
+	}
+	if shouldRun("dataflow") {
+		_, t := experiments.ExtDataflow(s, 64)
+		emit("dataflow", t)
+	}
+	if shouldRun("classics") {
+		_, t := experiments.ExtClassics(s)
+		emit("classics", t)
+	}
+	if shouldRun("sizing") {
+		_, t := experiments.ExtSizing(s)
+		emit("sizing", t)
+	}
+	if shouldRun("dse") {
+		_, t := experiments.ExtDSE(s, 64)
+		emit("dse", t)
+	}
+	if shouldRun("sensitivity") {
+		_, t := experiments.ExtSensitivity(s, "MobileNetV2", 64)
+		emit("sensitivity", t)
+	}
+	if shouldRun("tenancy") {
+		for _, kb := range []int{128, 256, 512} {
+			_, t := experiments.ExtTenancy(s, "ResNet18", "MobileNet", kb)
+			emit(fmt.Sprintf("tenancy_%dkB", kb), t)
+		}
+	}
+	if shouldRun("headline") || all {
+		if f5 == nil {
+			f5, _ = experiments.Fig5(s)
+		}
+		if f8 == nil {
+			f8, _ = experiments.Fig8(s)
+		}
+		_, t := experiments.Headlines(f5, f8)
+		emit("headline", t)
+	}
+	return emitErr
+}

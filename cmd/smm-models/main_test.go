@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunInventory(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, m := range []string{"ResNet18", "EfficientNetB0", "VGG16", "AlexNet", "TinyCNN"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("inventory missing %s", m)
+		}
+	}
+}
+
+func TestRunSingleModel(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "VGG16"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"conv1_1", "fc1", "138.", "total:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExport(t *testing.T) {
+	dir := t.TempDir()
+	for _, ext := range []string{"json", "csv"} {
+		path := filepath.Join(dir, "m."+ext)
+		var sb strings.Builder
+		if err := run([]string{"-model", "TinyCNN", "-export", path}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil || len(data) == 0 {
+			t.Errorf("%s: export failed (%v)", ext, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "nope"}, &sb); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-model", "TinyCNN", "-export", "/proc/nope/x.json"}, &sb); err == nil {
+		t.Error("unwritable export accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Command smm-plan runs the paper's memory-management technique on a model
+// and prints the per-layer execution plan with its estimated off-chip
+// traffic, latency and scratchpad footprint.
+//
+// Usage:
+//
+//	smm-plan -model ResNet18 -glb 64 -objective accesses
+//	smm-plan -model my_net.json -glb 256 -objective latency -interlayer
+//	smm-plan -model topology.csv -glb 128 -width 16 -hom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	scratchmem "scratchmem"
+	"scratchmem/internal/core"
+	"scratchmem/internal/program"
+	"scratchmem/internal/report"
+	"scratchmem/internal/simulate"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smm-plan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("smm-plan", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		modelFlag  = fs.String("model", "ResNet18", "built-in model name or path to a .json/.csv model description")
+		glbKB      = fs.Int("glb", 64, "global buffer size in kB")
+		objective  = fs.String("objective", "accesses", "optimisation objective: accesses or latency")
+		width      = fs.Int("width", 8, "data width in bits (8, 16, 32)")
+		batch      = fs.Int("batch", 1, "batch size (filter-resident policies amortise weights)")
+		hom        = fs.Bool("hom", false, "use the best homogeneous scheme instead of the heterogeneous one")
+		interlayer = fs.Bool("interlayer", false, "enable inter-layer reuse")
+		noPrefetch = fs.Bool("no-prefetch", false, "disable the prefetching policy variants")
+		showLayers = fs.Bool("layers", true, "print the per-layer policy table")
+		export     = fs.String("export", "", "compile the plan to a command-stream JSON at this path")
+		sim        = fs.Bool("simulate", false, "time the plan end-to-end on the ideal and banked-DRAM backends")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := loadModel(*modelFlag)
+	if err != nil {
+		return err
+	}
+	obj := core.MinAccesses
+	switch *objective {
+	case "accesses":
+	case "latency":
+		obj = core.MinLatency
+	default:
+		return fmt.Errorf("unknown objective %q (want accesses or latency)", *objective)
+	}
+	cfg := scratchmem.DefaultConfig(*glbKB)
+	cfg.DataWidthBits = *width
+	cfg.Batch = *batch
+	plan, err := scratchmem.PlanModel(net, scratchmem.PlanOptions{
+		Config:          cfg,
+		Objective:       obj,
+		Homogeneous:     *hom,
+		DisablePrefetch: *noPrefetch,
+		InterLayerReuse: *interlayer,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%s: %s scheme, objective %s, GLB %d kB, %d-bit\n",
+		net.Name, plan.Scheme, plan.Objective, *glbKB, *width)
+	if *showLayers {
+		t := report.NewTable("", "L", "layer", "policy", "n", "mem kB", "accesses", "latency", "inter")
+		for i := range plan.Layers {
+			lp := &plan.Layers[i]
+			label := lp.Est.Policy.Short()
+			if lp.Est.Opts.Prefetch {
+				label += "+p"
+			}
+			inter := ""
+			if lp.ConsumesResident {
+				inter += "<"
+			}
+			if lp.KeepsResident {
+				inter += ">"
+			}
+			t.Row(i+1, lp.Layer.Name, label, lp.Est.N,
+				float64(lp.Est.MemoryBytes)/1024, lp.Est.AccessElems, lp.Est.LatencyCycles, inter)
+		}
+		if err := t.Render(out); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "\ntotals: accesses %.2f MB, latency %.3f Mcycles, peak memory %.1f kB, policies %v\n",
+		float64(plan.AccessBytes())/(1024*1024),
+		float64(plan.LatencyCycles())/1e6,
+		float64(plan.MaxMemoryBytes())/1024,
+		plan.PolicyMix())
+	if *interlayer {
+		fmt.Fprintf(out, "inter-layer reuse coverage: %.0f%% of %d chainable transitions\n",
+			100*plan.InterLayerCoverage(), plan.ChainableTransitions)
+	}
+	if plan.PrefetchCoverage() > 0 {
+		fmt.Fprintf(out, "prefetching coverage: %.0f%% of layers\n", 100*plan.PrefetchCoverage())
+	}
+	if *sim {
+		ideal, err := simulate.Run(plan, simulate.Options{})
+		if err != nil {
+			return err
+		}
+		banked, err := simulate.Run(plan, simulate.Options{Backend: simulate.BankedDRAM})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "end-to-end simulation: ideal-BW %.3f Mcycles (estimate %.3f), banked DRAM %.3f Mcycles (%d row hits, %d misses)\n",
+			float64(ideal.Cycles)/1e6, float64(ideal.EstimateCycles)/1e6,
+			float64(banked.Cycles)/1e6, banked.DRAMHits, banked.DRAMMisses)
+	}
+	if *export != "" {
+		prog, err := program.Compile(plan)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*export)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := prog.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "exported %d ops (%d encoded) to %s\n",
+			prog.Ops(), encodedOps(prog), *export)
+	}
+	return nil
+}
+
+func encodedOps(p *program.Program) int {
+	n := 0
+	for i := range p.Layers {
+		n += len(p.Layers[i].Ops)
+	}
+	return n
+}
+
+func loadModel(s string) (*scratchmem.Network, error) {
+	if _, err := os.Stat(s); err == nil {
+		return scratchmem.LoadModel(s)
+	}
+	return scratchmem.BuiltinModel(s)
+}

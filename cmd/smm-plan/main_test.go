@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	scratchmem "scratchmem"
+	"scratchmem/internal/program"
+)
+
+func TestRunBuiltinModel(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "ResNet18", "-glb", "64"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ResNet18", "het", "conv1", "totals:", "policies"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunLatencyInterlayer(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-model", "TinyCNN", "-glb", "32", "-objective", "latency", "-interlayer"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "inter-layer reuse coverage") {
+		t.Error("missing inter-layer coverage line")
+	}
+}
+
+func TestRunHomNoPrefetch(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "MobileNet", "-glb", "128", "-hom", "-no-prefetch", "-layers=false"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hom ") {
+		t.Error("missing hom scheme label")
+	}
+	if strings.Contains(sb.String(), "prefetching coverage") {
+		t.Error("prefetching reported despite -no-prefetch")
+	}
+}
+
+func TestRunModelFromFile(t *testing.T) {
+	dir := t.TempDir()
+	net, _ := scratchmem.BuiltinModel("TinyCNN")
+	path := filepath.Join(dir, "tiny.json")
+	if err := scratchmem.SaveModel(net, path); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-model", path, "-glb", "32"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TinyCNN") {
+		t.Error("file model not loaded")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "nope"}, &sb); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-objective", "speed"}, &sb); err == nil {
+		t.Error("unknown objective accepted")
+	}
+	if err := run([]string{"-glb", "x"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+	// A corrupt model file must fail cleanly.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", bad}, &sb); err == nil {
+		t.Error("corrupt model accepted")
+	}
+}
+
+func TestRunExportProgram(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	var sb strings.Builder
+	if err := run([]string{"-model", "TinyCNN", "-glb", "32", "-export", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "exported") {
+		t.Error("missing export confirmation")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	prog, err := program.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Model != "TinyCNN" || len(prog.Layers) == 0 {
+		t.Errorf("bad program: %+v", prog)
+	}
+}
+
+func TestRunSimulate(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "TinyCNN", "-glb", "32", "-simulate", "-layers=false"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "end-to-end simulation") {
+		t.Error("missing simulation line")
+	}
+}

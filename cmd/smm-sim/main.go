@@ -1,0 +1,154 @@
+// Command smm-sim executes a planned model on the functional engine: every
+// layer's tile schedule moves data through a capacity-checked scratchpad
+// and performs the real arithmetic, then the measured traffic is checked
+// against the plan's analytical estimates. Use small models (the default
+// TinyCNN) unless you are patient — the engine computes every MAC.
+//
+// Usage:
+//
+//	smm-sim -model TinyCNN -glb 64 -objective latency
+//	smm-sim -model TinyCNN -glb 32 -trace dma.csv -dram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	scratchmem "scratchmem"
+	"scratchmem/internal/core"
+	"scratchmem/internal/dram"
+	"scratchmem/internal/engine"
+	"scratchmem/internal/layer"
+	"scratchmem/internal/report"
+	"scratchmem/internal/tensor"
+	"scratchmem/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smm-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("smm-sim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		modelFlag = fs.String("model", "TinyCNN", "built-in model name or path to a .json/.csv model description")
+		glbKB     = fs.Int("glb", 64, "global buffer size in kB")
+		objective = fs.String("objective", "accesses", "optimisation objective: accesses or latency")
+		seed      = fs.Int64("seed", 1, "seed for the synthetic activations and weights")
+		traceOut  = fs.String("trace", "", "write a CSV DMA/compute trace to this path")
+		useDRAM   = fs.Bool("dram", false, "also replay the DMA trace through the banked DRAM model")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := loadModel(*modelFlag)
+	if err != nil {
+		return err
+	}
+	obj := core.MinAccesses
+	if *objective == "latency" {
+		obj = core.MinLatency
+	}
+	plan, err := scratchmem.PlanModel(net, scratchmem.PlanOptions{GLBKiloBytes: *glbKB, Objective: obj})
+	if err != nil {
+		return err
+	}
+
+	var log *trace.Log
+	if *traceOut != "" || *useDRAM {
+		log = &trace.Log{}
+	}
+	r := rand.New(rand.NewSource(*seed))
+	t := report.NewTable(
+		fmt.Sprintf("%s executed on the functional engine (GLB %d kB, objective %s)", net.Name, *glbKB, obj),
+		"layer", "policy", "est accesses", "run accesses", "match", "peak/est mem", "serial cyc", "pipelined cyc")
+	var estTotal, runTotal int64
+	for i := range plan.Layers {
+		lp := &plan.Layers[i]
+		l := &lp.Layer
+		in := tensor.New(l.IH, l.IW, l.CI).Random(r)
+		var w *tensor.Filters
+		if l.Kind == layer.DepthwiseConv {
+			w = tensor.NewFilters(l.FH, l.FW, 1, l.CI).Random(r)
+		} else {
+			w = tensor.NewFilters(l.FH, l.FW, l.CI, l.F).Random(r)
+		}
+		res, err := engine.RunTraced(l, &lp.Est, plan.Cfg, in, w, log)
+		if err != nil {
+			return fmt.Errorf("layer %s: %w", l.Name, err)
+		}
+		// Verify numerics against the reference kernels.
+		var want *tensor.Tensor
+		if l.Kind == layer.DepthwiseConv {
+			want = tensor.DepthwiseConv2D(in, w, l.S, l.P)
+		} else {
+			want = tensor.Conv2D(in, w, l.S, l.P)
+		}
+		match := "OK"
+		if !res.Output.Equal(want) {
+			match = "NUMERIC MISMATCH"
+		}
+		if res.AccessElems() != lp.Est.AccessElems {
+			match = "TRAFFIC MISMATCH"
+		}
+		estTotal += lp.Est.AccessElems
+		runTotal += res.AccessElems()
+		label := lp.Est.Policy.Short()
+		if lp.Est.Opts.Prefetch {
+			label += "+p"
+		}
+		t.Row(l.Name, label, lp.Est.AccessElems, res.AccessElems(), match,
+			fmt.Sprintf("%d/%d", res.PeakElems, lp.Est.MemoryElems),
+			engine.SerialCycles(res.Phases, plan.Cfg),
+			engine.PipelinedCycles(res.Phases, plan.Cfg))
+	}
+	if err := t.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ntotal: estimated %d elems, executed %d elems (%s)\n",
+		estTotal, runTotal, verdict(estTotal == runTotal))
+	if *useDRAM {
+		cycles, ch, err := dram.Replay(log, plan.Cfg.DataWidthBits, dram.Default())
+		if err != nil {
+			return err
+		}
+		hits, misses, _ := ch.Stats()
+		ideal := (plan.AccessBytes() + int64(plan.Cfg.DRAMBytesPerCycle) - 1) / int64(plan.Cfg.DRAMBytesPerCycle)
+		fmt.Fprintf(out, "banked DRAM replay: %d cycles (ideal-BW %d), %d row hits, %d misses\n",
+			cycles, ideal, hits, misses)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := log.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d trace events to %s\n", log.Len(), *traceOut)
+	}
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "estimator validated"
+	}
+	return "MISMATCH"
+}
+
+func loadModel(s string) (*scratchmem.Network, error) {
+	if _, err := os.Stat(s); err == nil {
+		return scratchmem.LoadModel(s)
+	}
+	return scratchmem.BuiltinModel(s)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyCNN(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "TinyCNN", "-glb", "32"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "estimator validated") {
+		t.Errorf("engine did not validate the estimator:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("mismatch reported:\n%s", out)
+	}
+	for _, l := range []string{"conv1", "dw1", "pw1", "fc2"} {
+		if !strings.Contains(out, l) {
+			t.Errorf("missing layer %s", l)
+		}
+	}
+}
+
+func TestRunWithTraceAndDRAM(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	var sb strings.Builder
+	if err := run([]string{"-model", "TinyCNN", "-glb", "32", "-trace", path, "-dram"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "banked DRAM replay") {
+		t.Error("missing DRAM replay line")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "layer,step,kind,elems") {
+		t.Errorf("trace CSV header wrong: %q", string(data[:40]))
+	}
+	if !strings.Contains(string(data), "load_ifmap") {
+		t.Error("trace has no ifmap loads")
+	}
+}
+
+func TestRunLatencyObjective(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "TinyCNN", "-glb", "64", "-objective", "latency"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "objective latency") {
+		t.Error("objective not reflected")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "nope"}, &sb); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-trace", "/nonexistent-dir/x.csv", "-model", "TinyCNN", "-glb", "32"}, &sb); err == nil {
+		t.Error("unwritable trace path accepted")
+	}
+}

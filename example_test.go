@@ -1,0 +1,56 @@
+package scratchmem_test
+
+import (
+	"fmt"
+
+	scratchmem "scratchmem"
+)
+
+// ExamplePlanModel plans ResNet18 on the paper's 64 kB unified scratchpad
+// and prints the headline quantities.
+func ExamplePlanModel() {
+	net, err := scratchmem.BuiltinModel("ResNet18")
+	if err != nil {
+		panic(err)
+	}
+	plan, err := scratchmem.PlanModel(net, scratchmem.PlanOptions{
+		GLBKiloBytes: 64,
+		Objective:    scratchmem.MinAccesses,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("layers planned: %d\n", len(plan.Layers))
+	fmt.Printf("feasible: %v\n", plan.Feasible())
+	fmt.Printf("traffic: %.1f MB\n", float64(plan.AccessBytes())/(1<<20))
+	// Output:
+	// layers planned: 21
+	// feasible: true
+	// traffic: 16.4 MB
+}
+
+// ExampleBuiltinModel shows the model inventory helpers.
+func ExampleBuiltinModel() {
+	net, err := scratchmem.BuiltinModel("MobileNet")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d layers, %.1fM params\n",
+		net.Name, len(net.Layers), float64(net.Params())/1e6)
+	// Output:
+	// MobileNet: 28 layers, 4.2M params
+}
+
+// ExampleSimulateBaseline runs the separate-buffer baseline the paper
+// compares against.
+func ExampleSimulateBaseline() {
+	net, _ := scratchmem.BuiltinModel("ResNet18")
+	splits := scratchmem.BaselineSplits(64, 8)
+	res, err := scratchmem.SimulateBaseline(net, splits[0])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %.0f MB DRAM traffic\n", splits[0].Name, float64(res.DRAMBytes())/(1<<20))
+	// Output:
+	// sa_25_75: 82 MB DRAM traffic
+}

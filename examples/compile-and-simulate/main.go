@@ -1,0 +1,78 @@
+// Compile-and-simulate: the full toolchain pass a compiler backend would
+// take — plan a model, lower the plan to a command-stream program, verify
+// the program against the plan, and time it end-to-end on the simulator,
+// including a comparison against the exhaustive tiling DSE.
+//
+// Run with: go run ./examples/compile-and-simulate
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	scratchmem "scratchmem"
+)
+
+func main() {
+	net, err := scratchmem.BuiltinModel("MobileNet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := scratchmem.DefaultConfig(128)
+	plan, err := scratchmem.PlanModel(net, scratchmem.PlanOptions{Config: cfg, Objective: scratchmem.MinLatency})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned %s @128kB for latency: %.2f MB traffic, %.2f Mcycles estimated\n",
+		net.Name, float64(plan.AccessBytes())/(1<<20), float64(plan.LatencyCycles())/1e6)
+
+	// Lower to a command stream and persist it.
+	prog, err := scratchmem.CompileProgram(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "smm-program")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "mobilenet.program.json")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prog.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	info, _ := os.Stat(path)
+	fmt.Printf("compiled %d ops (%d layers) -> %s (%.1f kB)\n",
+		prog.Ops(), len(prog.Layers), filepath.Base(path), float64(info.Size())/1024)
+	if prog.AccessElems() != plan.AccessElems() {
+		log.Fatalf("program/plan traffic mismatch: %d != %d", prog.AccessElems(), plan.AccessElems())
+	}
+
+	// Time the plan end-to-end and compare against the analytical estimate.
+	measured, estimated, err := scratchmem.SimulatePlan(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %.2f Mcycles vs %.2f estimated (%.1f%% apart)\n",
+		float64(measured)/1e6, float64(estimated)/1e6,
+		100*(float64(measured)/float64(estimated)-1))
+
+	// How close is the plan to the exhaustive tiling optimum?
+	accPlan, err := scratchmem.PlanModel(net, scratchmem.PlanOptions{Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, ok := scratchmem.DSEAccessElems(net, cfg)
+	if !ok {
+		log.Fatal("DSE found no feasible tiling")
+	}
+	fmt.Printf("access-optimised plan: %d elems vs DSE optimum %d (gap %.2f%%)\n",
+		accPlan.AccessElems(), opt,
+		100*(float64(accPlan.AccessElems())/float64(opt)-1))
+}

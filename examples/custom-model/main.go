@@ -1,0 +1,83 @@
+// Custom-model: define a network in code, save it in both supported on-disk
+// formats (JSON and SCALE-Sim topology CSV), load it back, and plan it for
+// two objectives — the workflow a user with their own model goes through.
+//
+// Run with: go run ./examples/custom-model
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	scratchmem "scratchmem"
+	"scratchmem/internal/layer"
+	"scratchmem/internal/model"
+)
+
+func main() {
+	// A small keyword-spotting style CNN on 64x64 spectrogram patches.
+	net := &model.Network{
+		Name: "KWSNet",
+		Layers: []layer.Layer{
+			layer.MustNew("stem", layer.Conv, 64, 64, 1, 5, 5, 16, 2, 2),
+			layer.MustNew("dw1", layer.DepthwiseConv, 32, 32, 16, 3, 3, 1, 1, 1),
+			layer.MustNew("pw1", layer.PointwiseConv, 32, 32, 16, 1, 1, 32, 1, 0),
+			layer.MustNew("dw2", layer.DepthwiseConv, 32, 32, 32, 3, 3, 1, 2, 1),
+			layer.MustNew("pw2", layer.PointwiseConv, 16, 16, 32, 1, 1, 64, 1, 0),
+			layer.MustNew("conv3", layer.Conv, 16, 16, 64, 3, 3, 64, 1, 1),
+			layer.FC("fc", 64, 12),
+		},
+	}
+	if err := net.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "smm-custom-model")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Round-trip through both formats.
+	jsonPath := filepath.Join(dir, "kws.json")
+	csvPath := filepath.Join(dir, "kws.csv")
+	if err := scratchmem.SaveModel(net, jsonPath); err != nil {
+		log.Fatal(err)
+	}
+	if err := scratchmem.SaveModel(net, csvPath); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := scratchmem.LoadModel(jsonPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d layers, %.1fk parameters, %.1fM MACs (saved to %s and %s)\n",
+		loaded.Name, len(loaded.Layers),
+		float64(loaded.Params())/1e3, float64(loaded.MACs())/1e6,
+		filepath.Base(jsonPath), filepath.Base(csvPath))
+
+	// Plan the loaded model for both objectives on a tight 16 kB buffer.
+	for _, obj := range []scratchmem.Objective{scratchmem.MinAccesses, scratchmem.MinLatency} {
+		plan, err := scratchmem.PlanModel(loaded, scratchmem.PlanOptions{
+			GLBKiloBytes: 16,
+			Objective:    obj,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nobjective %s @16kB: %.1f kB traffic, %.1f kcycles\n",
+			obj, float64(plan.AccessBytes())/1024, float64(plan.LatencyCycles())/1e3)
+		for i := range plan.Layers {
+			lp := &plan.Layers[i]
+			label := lp.Est.Policy.Short()
+			if lp.Est.Opts.Prefetch {
+				label += "+p"
+			}
+			fmt.Printf("  %-6s -> %-8s mem %5.1f kB, %7d elems, %6d cycles\n",
+				lp.Layer.Name, label,
+				float64(lp.Est.MemoryBytes)/1024, lp.Est.AccessElems, lp.Est.LatencyCycles)
+		}
+	}
+}

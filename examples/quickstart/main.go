@@ -1,0 +1,51 @@
+// Quickstart: plan ResNet18 on a 64 kB unified scratchpad and compare the
+// resulting off-chip traffic against the paper's fixed-partition baselines.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	scratchmem "scratchmem"
+)
+
+func main() {
+	net, err := scratchmem.BuiltinModel("ResNet18")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's accelerator: 16x16 PEs, 8-bit data, 16 B/cycle DRAM
+	// bandwidth, and here a 64 kB global buffer.
+	plan, err := scratchmem.PlanModel(net, scratchmem.PlanOptions{
+		GLBKiloBytes: 64,
+		Objective:    scratchmem.MinAccesses,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on a 64 kB unified scratchpad\n", net.Name)
+	fmt.Printf("  heterogeneous plan: %.2f MB off-chip traffic, %.2f Mcycles, policies %v\n",
+		mb(plan.AccessBytes()), float64(plan.LatencyCycles())/1e6, plan.PolicyMix())
+
+	// The same budget split into fixed separate buffers (the baseline).
+	fmt.Println("  fixed-partition baselines:")
+	best := int64(0)
+	for _, cfg := range scratchmem.BaselineSplits(64, 8) {
+		res, err := scratchmem.SimulateBaseline(net, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    %-9s %.2f MB\n", cfg.Name, mb(res.DRAMBytes()))
+		if b := res.DRAMBytes(); best == 0 || b < best {
+			best = b
+		}
+	}
+	fmt.Printf("  reduction vs best baseline: %.0f%% (paper reports ~80%% here)\n",
+		100*(1-float64(plan.AccessBytes())/float64(best)))
+}
+
+func mb(b int64) float64 { return float64(b) / (1024 * 1024) }

@@ -1,0 +1,3 @@
+module scratchmem
+
+go 1.22

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"scratchmem/internal/model"
+)
+
+// TestGreedyNeverBeatsDP: the retention DP is optimal over the same search
+// space, so the greedy ablation can never produce a better plan.
+func TestGreedyNeverBeatsDP(t *testing.T) {
+	for _, n := range model.Builtins() {
+		for _, kb := range []int{128, 512, 1024} {
+			dpPl := NewPlanner(kb, MinAccesses)
+			dpPl.InterLayer = true
+			grPl := NewPlanner(kb, MinAccesses)
+			grPl.InterLayer = true
+			grPl.InterLayerGreedy = true
+
+			dp, err := dpPl.Heterogeneous(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gr, err := grPl.Heterogeneous(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dp.AccessElems() > gr.AccessElems() {
+				t.Errorf("%s @%dkB: DP accesses %d > greedy %d",
+					n.Name, kb, dp.AccessElems(), gr.AccessElems())
+			}
+		}
+	}
+}
+
+// TestGreedyStructurallyConsistent: greedy plans obey the same
+// producer/consumer pairing rules as DP plans.
+func TestGreedyStructurallyConsistent(t *testing.T) {
+	pl := NewPlanner(1024, MinAccesses)
+	pl.InterLayer = true
+	pl.InterLayerGreedy = true
+	for _, n := range model.Builtins() {
+		p, err := pl.Heterogeneous(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Feasible() {
+			t.Errorf("%s: infeasible greedy plan", n.Name)
+		}
+		for i := range p.Layers {
+			lp := &p.Layers[i]
+			if lp.KeepsResident {
+				if i+1 >= len(p.Layers) || !p.Layers[i+1].ConsumesResident {
+					t.Errorf("%s layer %d: dangling retention", n.Name, i)
+				}
+			}
+			if lp.ConsumesResident && (i == 0 || !p.Layers[i-1].KeepsResident) {
+				t.Errorf("%s layer %d: consumes without producer", n.Name, i)
+			}
+		}
+		// Greedy still beats no reuse at a comfortable buffer size.
+		base, err := NewPlanner(1024, MinAccesses).Heterogeneous(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.AccessElems() > base.AccessElems() {
+			t.Errorf("%s: greedy inter-layer worse than no reuse", n.Name)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package core implements the paper's memory-management technique (§3.3):
+// the analyser that matches every layer of a network with the policy that
+// best serves the optimisation objective under the GLB size constraint
+// (paper Algorithm 1 and its latency-objective counterpart), producing
+// homogeneous or heterogeneous execution plans, optionally extended with
+// inter-layer reuse (§5.4).
+package core
+
+import (
+	"fmt"
+
+	"scratchmem/internal/layer"
+	"scratchmem/internal/model"
+	"scratchmem/internal/policy"
+)
+
+// Objective selects what the analyser minimises.
+type Objective int
+
+const (
+	// MinAccesses minimises off-chip traffic, breaking ties on latency
+	// (paper Algorithm 1).
+	MinAccesses Objective = iota
+	// MinLatency minimises estimated latency, breaking ties on traffic.
+	MinLatency
+)
+
+// String names the objective the way the paper's figure legends do.
+func (o Objective) String() string {
+	if o == MinLatency {
+		return "latency"
+	}
+	return "accesses"
+}
+
+// LayerPlan is the analyser's decision for one layer.
+type LayerPlan struct {
+	Layer layer.Layer
+	Est   policy.Result
+	// ConsumesResident is true when the layer reads its ifmap from the GLB
+	// (previous layer's retained ofmap) instead of off-chip memory.
+	ConsumesResident bool
+	// KeepsResident is true when the layer's whole ofmap stays in the GLB
+	// for the next layer (inter-layer reuse producer).
+	KeepsResident bool
+}
+
+// Plan is a per-layer execution plan for a whole network — the paper's
+// "management scheme".
+type Plan struct {
+	Model     string
+	Cfg       policy.Config
+	Objective Objective
+	// Scheme describes how the plan was built ("het", "hom <policy>").
+	Scheme string
+	Layers []LayerPlan
+	// ChainableTransitions counts layer transitions whose shapes chain
+	// (the denominator of the paper's inter-layer-reuse coverage).
+	ChainableTransitions int
+}
+
+// AccessElems returns the plan's total off-chip traffic in elements.
+func (p *Plan) AccessElems() int64 {
+	var t int64
+	for i := range p.Layers {
+		t += p.Layers[i].Est.AccessElems
+	}
+	return t
+}
+
+// AccessBytes returns the plan's total off-chip traffic in bytes.
+func (p *Plan) AccessBytes() int64 {
+	var t int64
+	for i := range p.Layers {
+		t += p.Layers[i].Est.AccessBytes
+	}
+	return t
+}
+
+// LatencyCycles returns the plan's total estimated latency.
+func (p *Plan) LatencyCycles() int64 {
+	var t int64
+	for i := range p.Layers {
+		t += p.Layers[i].Est.LatencyCycles
+	}
+	return t
+}
+
+// MaxMemoryBytes returns the largest per-layer GLB footprint of the plan.
+func (p *Plan) MaxMemoryBytes() int64 {
+	var m int64
+	for i := range p.Layers {
+		if b := p.Layers[i].Est.MemoryBytes; b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Feasible reports whether every layer fits the GLB.
+func (p *Plan) Feasible() bool {
+	for i := range p.Layers {
+		if !p.Layers[i].Est.Feasible {
+			return false
+		}
+	}
+	return true
+}
+
+// PolicyMix returns the distinct policy variants the plan uses, in first-use
+// order — the contents of the paper's Table 4 rows.
+func (p *Plan) PolicyMix() []string {
+	seen := make(map[string]bool)
+	var mix []string
+	for i := range p.Layers {
+		v := policy.Variant(p.Layers[i].Est.Policy, p.Layers[i].Est.Opts.Prefetch)
+		if !seen[v] {
+			seen[v] = true
+			mix = append(mix, v)
+		}
+	}
+	return mix
+}
+
+// PrefetchCoverage returns the fraction of layers whose chosen variant
+// prefetches (paper Figure 10 parentheses).
+func (p *Plan) PrefetchCoverage() float64 {
+	if len(p.Layers) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range p.Layers {
+		if p.Layers[i].Est.Opts.Prefetch {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.Layers))
+}
+
+// InterLayerCoverage returns the fraction of chainable transitions where
+// the producer keeps its ofmap resident (paper Figure 11 parentheses).
+func (p *Plan) InterLayerCoverage() float64 {
+	if p.ChainableTransitions == 0 {
+		return 0
+	}
+	n := 0
+	for i := range p.Layers {
+		if p.Layers[i].KeepsResident {
+			n++
+		}
+	}
+	return float64(n) / float64(p.ChainableTransitions)
+}
+
+// objectiveKey orders estimates lexicographically by (primary, secondary)
+// according to the plan objective: Algorithm 1 minimises accesses and
+// breaks ties on latency; the latency variant swaps the two.
+func objectiveKey(o Objective, e *policy.Result) (int64, int64) {
+	if o == MinLatency {
+		return e.LatencyCycles, e.AccessElems
+	}
+	return e.AccessElems, e.LatencyCycles
+}
+
+// better reports whether a beats b under the objective.
+func better(o Objective, a, b *policy.Result) bool {
+	ap, as := objectiveKey(o, a)
+	bp, bs := objectiveKey(o, b)
+	if ap != bp {
+		return ap < bp
+	}
+	return as < bs
+}
+
+// chainable reports whether layer b can consume layer a's ofmap directly
+// from the GLB: the tensor shapes must line up exactly.
+func chainable(a, b *layer.Layer) bool {
+	return a.OH() == b.IH && a.OW() == b.IW && a.CO() == b.CI
+}
+
+// countChainable returns the number of chainable transitions in a network.
+func countChainable(n *model.Network) int {
+	c := 0
+	for i := 0; i+1 < len(n.Layers); i++ {
+		if chainable(&n.Layers[i], &n.Layers[i+1]) {
+			c++
+		}
+	}
+	return c
+}
+
+// InfeasibleError reports that a layer cannot be scheduled within the GLB
+// even with fallback tiling.
+type InfeasibleError struct {
+	Model string
+	Layer string
+	Need  int64 // bytes required by the smallest tiling
+	Have  int64 // GLB bytes
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("core: %s layer %s needs %d bytes even with fallback tiling, GLB has %d",
+		e.Model, e.Layer, e.Need, e.Have)
+}

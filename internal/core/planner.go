@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+
+	"scratchmem/internal/model"
+	"scratchmem/internal/policy"
+)
+
+// Planner is the analyser of the paper's operational flow (Figure 4): it
+// takes a model description and accelerator specification and emits an
+// execution plan per the configured objective.
+type Planner struct {
+	// Cfg is the accelerator specification (GLB size, data width, compute
+	// rate, off-chip bandwidth, padding rule).
+	Cfg policy.Config
+	// Objective selects between paper Algorithm 1 (MinAccesses) and its
+	// latency counterpart.
+	Objective Objective
+	// DisablePrefetch removes the "+p" variants from the policy set
+	// (the paper's Figure 10 ablation).
+	DisablePrefetch bool
+	// InterLayer enables inter-layer reuse (§5.4): a layer's ofmap may stay
+	// resident in the GLB and feed the next layer's ifmap.
+	InterLayer bool
+	// InterLayerGreedy replaces the dynamic program over retention states
+	// with a one-pass greedy rule (enable retention whenever the local pair
+	// improves); an ablation knob — the DP is never worse.
+	InterLayerGreedy bool
+}
+
+// NewPlanner returns a Planner with the paper's default accelerator
+// specification for the given GLB size in kB and the given objective.
+func NewPlanner(glbKB int, obj Objective) *Planner {
+	return &Planner{Cfg: policy.Default(glbKB), Objective: obj}
+}
+
+// prefetchChoices returns the prefetch settings the planner may use.
+func (pl *Planner) prefetchChoices() []bool {
+	if pl.DisablePrefetch {
+		return []bool{false}
+	}
+	return []bool{false, true}
+}
+
+// bestForLayer runs Algorithm 1's inner loop (lines 6-19) for one layer
+// under the given inter-layer options, returning the winning estimate or an
+// infeasible fallback estimate if nothing fits.
+func (pl *Planner) bestForLayer(lp *model.Network, idx int, resident, keep bool) policy.Result {
+	l := &lp.Layers[idx]
+	var best policy.Result
+	found := false
+	for _, id := range policy.IDs() {
+		for _, pf := range pl.prefetchChoices() {
+			o := policy.Options{Prefetch: pf, ResidentIfmap: resident, KeepOfmap: keep}
+			e := policy.Estimate(l, id, o, pl.Cfg)
+			if !e.Feasible {
+				continue
+			}
+			if !found || better(pl.Objective, &e, &best) {
+				best, found = e, true
+			}
+		}
+	}
+	// Algorithm 1's escape hatch — fallback tiling — is evaluated as a
+	// first-class candidate: for some layers (e.g. tiny filter banks under
+	// the latency objective) it beats every feasible standard policy, and
+	// including it keeps Het dominant over every homogeneous scheme.
+	for _, pf := range pl.prefetchChoices() {
+		o := policy.Options{Prefetch: pf, ResidentIfmap: resident, KeepOfmap: keep}
+		e := policy.FallbackEstimate(l, o, pl.Cfg)
+		if !e.Feasible {
+			continue
+		}
+		if !found || better(pl.Objective, &e, &best) {
+			best, found = e, true
+		}
+	}
+	if found {
+		return best
+	}
+	// Even fallback tiling does not fit; report the (infeasible) fallback
+	// so callers can surface a precise error.
+	return policy.FallbackEstimate(l, policy.Options{ResidentIfmap: resident, KeepOfmap: keep}, pl.Cfg)
+}
+
+// Heterogeneous produces the paper's Het scheme: the best feasible policy
+// per layer. With InterLayer enabled it additionally decides, via dynamic
+// programming over the resident/non-resident state, which transitions keep
+// the producer's ofmap on-chip.
+func (pl *Planner) Heterogeneous(n *model.Network) (*Plan, error) {
+	if err := pl.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &Plan{
+		Model: n.Name, Cfg: pl.Cfg, Objective: pl.Objective,
+		Scheme:               "het",
+		ChainableTransitions: countChainable(n),
+	}
+	var err error
+	switch {
+	case pl.InterLayer && pl.InterLayerGreedy:
+		plan.Layers, err = pl.interLayerGreedy(n)
+	case pl.InterLayer:
+		plan.Layers, err = pl.interLayerDP(n)
+	default:
+		plan.Layers, err = pl.independentLayers(n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+func (pl *Planner) independentLayers(n *model.Network) ([]LayerPlan, error) {
+	out := make([]LayerPlan, len(n.Layers))
+	for i := range n.Layers {
+		e := pl.bestForLayer(n, i, false, false)
+		if !e.Feasible {
+			return nil, &InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes}
+		}
+		out[i] = LayerPlan{Layer: n.Layers[i], Est: e}
+	}
+	return out, nil
+}
+
+// interLayerDP chooses per-layer policies and inter-layer retention jointly:
+// state s indicates whether layer i's ifmap is resident in the GLB. The
+// transition cost is the layer's objective key; retention (KeepOfmap) is
+// only permitted on transitions whose shapes chain.
+func (pl *Planner) interLayerDP(n *model.Network) ([]LayerPlan, error) {
+	const inf = int64(1) << 62
+	type cell struct {
+		prim, sec int64
+		est       policy.Result
+		keep      bool
+		prev      int // predecessor state
+		ok        bool
+	}
+	L := len(n.Layers)
+	// dp[i][s]: best cumulative cost entering layer i with resident state s.
+	dp := make([][2]cell, L+1)
+	dp[0][0] = cell{ok: true}
+	dp[0][1] = cell{prim: inf, sec: inf}
+
+	for i := 0; i < L; i++ {
+		next := [2]cell{{prim: inf, sec: inf}, {prim: inf, sec: inf}}
+		canKeep := i+1 < L && chainable(&n.Layers[i], &n.Layers[i+1])
+		for s := 0; s < 2; s++ {
+			if !dp[i][s].ok {
+				continue
+			}
+			keeps := []bool{false}
+			if canKeep {
+				keeps = append(keeps, true)
+			}
+			for _, keep := range keeps {
+				e := pl.bestForLayer(n, i, s == 1, keep)
+				if !e.Feasible {
+					continue
+				}
+				p, sc := objectiveKey(pl.Objective, &e)
+				cand := cell{
+					prim: dp[i][s].prim + p, sec: dp[i][s].sec + sc,
+					est: e, keep: keep, prev: s, ok: true,
+				}
+				ns := 0
+				if keep {
+					ns = 1
+				}
+				cur := &next[ns]
+				if !cur.ok || cand.prim < cur.prim || (cand.prim == cur.prim && cand.sec < cur.sec) {
+					*cur = cand
+				}
+			}
+		}
+		dp[i+1] = next
+	}
+
+	// Pick the best terminal state and walk back.
+	end := 0
+	if dp[L][1].ok && (!dp[L][0].ok || dp[L][1].prim < dp[L][0].prim ||
+		(dp[L][1].prim == dp[L][0].prim && dp[L][1].sec < dp[L][0].sec)) {
+		end = 1
+	}
+	if !dp[L][end].ok {
+		// Find the first layer that cannot be scheduled to report precisely.
+		for i := range n.Layers {
+			e := pl.bestForLayer(n, i, false, false)
+			if !e.Feasible {
+				return nil, &InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes}
+			}
+		}
+		return nil, fmt.Errorf("core: %s: no feasible inter-layer plan", n.Name)
+	}
+	out := make([]LayerPlan, L)
+	s := end
+	for i := L - 1; i >= 0; i-- {
+		c := dp[i+1][s]
+		out[i] = LayerPlan{
+			Layer:            n.Layers[i],
+			Est:              c.est,
+			ConsumesResident: c.prev == 1,
+			KeepsResident:    c.keep,
+		}
+		s = c.prev
+	}
+	return out, nil
+}
+
+// Homogeneous produces a plan that applies one (policy, ±prefetch) variant
+// to every layer, falling back to fallback tiling on layers where the
+// variant does not fit (the paper's Hom schemes must still execute every
+// layer).
+func (pl *Planner) Homogeneous(n *model.Network, id policy.ID, prefetch bool) (*Plan, error) {
+	if err := pl.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &Plan{
+		Model: n.Name, Cfg: pl.Cfg, Objective: pl.Objective,
+		Scheme:               "hom " + policy.Variant(id, prefetch),
+		ChainableTransitions: countChainable(n),
+	}
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		e := policy.Estimate(l, id, policy.Options{Prefetch: prefetch}, pl.Cfg)
+		if !e.Feasible {
+			e = pl.bestFallback(n, i)
+			if !e.Feasible {
+				return nil, &InfeasibleError{Model: n.Name, Layer: l.Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes}
+			}
+		}
+		plan.Layers = append(plan.Layers, LayerPlan{Layer: *l, Est: e})
+	}
+	return plan, nil
+}
+
+func (pl *Planner) bestFallback(n *model.Network, idx int) policy.Result {
+	var best policy.Result
+	found := false
+	for _, pf := range pl.prefetchChoices() {
+		e := policy.FallbackEstimate(&n.Layers[idx], policy.Options{Prefetch: pf}, pl.Cfg)
+		if !e.Feasible {
+			continue
+		}
+		if !found || better(pl.Objective, &e, &best) {
+			best, found = e, true
+		}
+	}
+	if found {
+		return best
+	}
+	return policy.FallbackEstimate(&n.Layers[idx], policy.Options{}, pl.Cfg)
+}
+
+// BestHomogeneous evaluates every homogeneous scheme (each policy, with and
+// without prefetching) and returns the one minimising the objective — the
+// paper's Hom bars.
+func (pl *Planner) BestHomogeneous(n *model.Network) (*Plan, error) {
+	var best *Plan
+	var firstErr error
+	for _, id := range policy.IDs() {
+		for _, pf := range pl.prefetchChoices() {
+			p, err := pl.Homogeneous(n, id, pf)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if best == nil || planBetter(pl.Objective, p, best) {
+				best = p
+			}
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+func planBetter(o Objective, a, b *Plan) bool {
+	var ap, as, bp, bs int64
+	if o == MinLatency {
+		ap, as = a.LatencyCycles(), a.AccessElems()
+		bp, bs = b.LatencyCycles(), b.AccessElems()
+	} else {
+		ap, as = a.AccessElems(), a.LatencyCycles()
+		bp, bs = b.AccessElems(), b.LatencyCycles()
+	}
+	if ap != bp {
+		return ap < bp
+	}
+	return as < bs
+}
+
+// interLayerGreedy makes retention decisions in one forward pass: at each
+// chainable transition it compares the local cost of (keep producer ofmap +
+// consumer reads resident ifmap) against both layers running plainly, and
+// retains when the pair improves. Unlike the DP it cannot see that an early
+// retention forecloses a better one later, so it serves as the ablation
+// baseline for interLayerDP.
+func (pl *Planner) interLayerGreedy(n *model.Network) ([]LayerPlan, error) {
+	L := len(n.Layers)
+	out := make([]LayerPlan, L)
+	resident := false
+	for i := 0; i < L; i++ {
+		plain := pl.bestForLayer(n, i, resident, false)
+		keep := false
+		best := plain
+		if i+1 < L && chainable(&n.Layers[i], &n.Layers[i+1]) {
+			withKeep := pl.bestForLayer(n, i, resident, true)
+			if withKeep.Feasible {
+				nextPlain := pl.bestForLayer(n, i+1, false, false)
+				nextResident := pl.bestForLayer(n, i+1, true, false)
+				if nextResident.Feasible {
+					kp, ks := objectiveKey(pl.Objective, &withKeep)
+					np, ns := objectiveKey(pl.Objective, &nextResident)
+					pp, psec := objectiveKey(pl.Objective, &plain)
+					qp, qs := objectiveKey(pl.Objective, &nextPlain)
+					pairKeep, pairKeepSec := kp+np, ks+ns
+					pairPlain, pairPlainSec := pp+qp, psec+qs
+					if pairKeep < pairPlain || (pairKeep == pairPlain && pairKeepSec < pairPlainSec) {
+						keep, best = true, withKeep
+					}
+				}
+			}
+		}
+		if !best.Feasible {
+			return nil, &InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: best.MemoryBytes, Have: pl.Cfg.GLBBytes}
+		}
+		out[i] = LayerPlan{Layer: n.Layers[i], Est: best, ConsumesResident: resident, KeepsResident: keep}
+		resident = keep
+	}
+	return out, nil
+}

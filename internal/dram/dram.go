@@ -1,0 +1,170 @@
+// Package dram refines the flat bytes-per-cycle off-chip model the paper
+// assumes with a banked DRAM channel: open-row tracking per bank, a cheap
+// latency for row-buffer hits and an expensive one for misses, and burst-
+// granular transfers. Replaying an engine trace through it shows how much
+// the interleaving of ifmap/filter/ofmap streams (which the unified-buffer
+// policies control) costs beyond the ideal-bandwidth estimate.
+package dram
+
+import (
+	"fmt"
+
+	"scratchmem/internal/trace"
+)
+
+// Config describes the channel.
+type Config struct {
+	// Banks is the number of independent banks.
+	Banks int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes int64
+	// BurstBytes is the transfer granularity.
+	BurstBytes int64
+	// BusBytesPerCycle is the data-bus bandwidth.
+	BusBytesPerCycle int
+	// RowHitCycles is the access latency when the row is open.
+	RowHitCycles int64
+	// RowMissCycles is the precharge+activate+access latency on a miss.
+	RowMissCycles int64
+}
+
+// Default returns a DDR-flavoured configuration scaled to the paper's
+// 16 B/cycle bus: 8 banks, 2 kB rows, 64 B bursts, 4-cycle hits, 30-cycle
+// misses.
+func Default() Config {
+	return Config{
+		Banks:            8,
+		RowBytes:         2048,
+		BurstBytes:       64,
+		BusBytesPerCycle: 16,
+		RowHitCycles:     4,
+		RowMissCycles:    30,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Banks <= 0:
+		return fmt.Errorf("dram: banks must be positive")
+	case c.RowBytes <= 0 || c.BurstBytes <= 0:
+		return fmt.Errorf("dram: row/burst sizes must be positive")
+	case c.BurstBytes > c.RowBytes:
+		return fmt.Errorf("dram: burst %d larger than row %d", c.BurstBytes, c.RowBytes)
+	case c.BusBytesPerCycle <= 0:
+		return fmt.Errorf("dram: bus bandwidth must be positive")
+	case c.RowHitCycles < 0 || c.RowMissCycles < c.RowHitCycles:
+		return fmt.Errorf("dram: latencies must satisfy 0 <= hit <= miss")
+	}
+	return nil
+}
+
+// Channel is a stateful open-row DRAM channel.
+type Channel struct {
+	cfg      Config
+	openRow  []int64 // per bank, -1 = closed
+	hits     int64
+	misses   int64
+	cycles   int64
+	transfer int64 // pure data-bus cycles included in cycles
+}
+
+// NewChannel returns a channel with all rows closed.
+func NewChannel(cfg Config) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	open := make([]int64, cfg.Banks)
+	for i := range open {
+		open[i] = -1
+	}
+	return &Channel{cfg: cfg, openRow: open}, nil
+}
+
+// Access services a sequential transfer of `bytes` starting at `addr`,
+// returning the cycles it took. Each burst's row must be open (hit) or is
+// activated (miss); activation latency is charged once per row switch, the
+// data itself streams at the bus rate.
+func (ch *Channel) Access(addr, bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	var cycles int64
+	end := addr + bytes
+	first := true
+	for cur := addr; cur < end; {
+		row := cur / ch.cfg.RowBytes
+		bank := int(row % int64(ch.cfg.Banks))
+		if ch.openRow[bank] == row {
+			ch.hits++
+			if first {
+				// Command-issue latency once per transfer; subsequent
+				// same-row bursts pipeline behind the data.
+				cycles += ch.cfg.RowHitCycles
+			}
+		} else {
+			ch.misses++
+			cycles += ch.cfg.RowMissCycles
+			ch.openRow[bank] = row
+		}
+		first = false
+		// Stream to the end of the burst or the row, whichever is nearer.
+		burstEnd := (cur/ch.cfg.BurstBytes + 1) * ch.cfg.BurstBytes
+		rowEnd := (row + 1) * ch.cfg.RowBytes
+		next := burstEnd
+		if rowEnd < next {
+			next = rowEnd
+		}
+		if end < next {
+			next = end
+		}
+		data := (next - cur + int64(ch.cfg.BusBytesPerCycle) - 1) / int64(ch.cfg.BusBytesPerCycle)
+		cycles += data
+		ch.transfer += data
+		cur = next
+	}
+	ch.cycles += cycles
+	return cycles
+}
+
+// Stats returns the hit/miss counts and total cycles so far.
+func (ch *Channel) Stats() (hits, misses, cycles int64) {
+	return ch.hits, ch.misses, ch.cycles
+}
+
+// TransferCycles returns the pure data-movement cycles (no latency).
+func (ch *Channel) TransferCycles() int64 { return ch.transfer }
+
+// Replay drives every DMA event of a trace log through the channel. Each
+// data type lives in its own address region with a sequential cursor, so
+// interleaved ifmap/filter/ofmap streams contend for rows the way real
+// tiled schedules do. It returns the total DMA cycles; compute events are
+// ignored (they do not touch DRAM).
+func Replay(log *trace.Log, widthBits int, cfg Config) (int64, *Channel, error) {
+	if widthBits <= 0 {
+		return 0, nil, fmt.Errorf("dram: data width must be positive")
+	}
+	ch, err := NewChannel(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Disjoint regions per data type, far apart so they never share rows,
+	// and offset by one row each so the three streams start in different
+	// banks (as a linker laying out the tensors would arrange).
+	const region = int64(1) << 40
+	cursors := map[trace.Kind]int64{
+		trace.LoadIfmap:  0,
+		trace.LoadFilter: region + cfg.RowBytes,
+		trace.StoreOfmap: 2 * (region + cfg.RowBytes),
+	}
+	var total int64
+	for _, e := range log.Events {
+		if e.Kind == trace.Compute {
+			continue
+		}
+		bytes := (e.Elems*int64(widthBits) + 7) / 8
+		total += ch.Access(cursors[e.Kind], bytes)
+		cursors[e.Kind] += bytes
+	}
+	return total, ch, nil
+}

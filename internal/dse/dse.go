@@ -1,0 +1,183 @@
+// Package dse implements the exhaustive tile-size design-space exploration
+// that the paper's related work uses ([22, 33, 35] search tile shapes and
+// loop orders to minimise off-chip traffic) and that the paper's lightweight
+// policies replace. The search space generalises the six policies: the
+// ifmap tile varies in height (sliding window or full) and channel depth,
+// filters stream in blocks of n, and the ofmap either keeps whole blocks
+// resident or spills row tiles with partial-sum traffic. Comparing the DSE
+// optimum against the heterogeneous plan quantifies how near-optimal the
+// paper's policy set is — at a small fraction of the planning cost (the
+// paper's minutes-vs-hours argument, replayed against DSE instead of
+// simulation).
+package dse
+
+import (
+	"sort"
+
+	"scratchmem/internal/layer"
+	"scratchmem/internal/model"
+	"scratchmem/internal/policy"
+)
+
+// Tiling is one point of the search space.
+type Tiling struct {
+	// N is the filter-block size (filters processed together).
+	N int
+	// TC is the channel-block depth of the ifmap/filter tiles.
+	TC int
+	// FullHeight keeps the whole (padded) ifmap height on-chip instead of
+	// an FH-row sliding window.
+	FullHeight bool
+	// FullOfmap keeps the OH*OW*N output block resident (no partial-sum
+	// spills); otherwise a single OW*N row is buffered and partial sums
+	// spill once per extra channel block.
+	FullOfmap bool
+}
+
+// Result is the cost of a tiling for one layer.
+type Result struct {
+	Tiling      Tiling
+	MemoryElems int64
+	AccessElems int64
+	Feasible    bool
+}
+
+// Evaluate costs one tiling point under the loop order the policies use
+// (filter blocks, then channel blocks, then the height sweep).
+func Evaluate(l *layer.Layer, t Tiling, cfg policy.Config) Result {
+	ihe, iwe := int64(l.IH), int64(l.IW)
+	if cfg.IncludePadding {
+		ihe, iwe = int64(l.PaddedIH()), int64(l.PaddedIW())
+	}
+	fh, fw := int64(l.FH), int64(l.FW)
+	ci, f := int64(l.CI), int64(l.F)
+	oh, ow, co := int64(l.OH()), int64(l.OW()), int64(l.CO())
+	n, tc := int64(t.N), int64(t.TC)
+
+	ifmapAll := ihe * iwe * ci
+	filterAll := l.FilterElems()
+	ofmapAll := oh * ow * co
+
+	tileH := fh
+	if t.FullHeight {
+		tileH = ihe
+	}
+	iTile := tileH * iwe * tc
+	fTile := fh * fw * tc * n
+	oTile := ow * n
+	if t.FullOfmap {
+		oTile = oh * ow * n
+	}
+	mem := iTile + fTile + oTile
+
+	xf := ceilDiv(f, n)
+	xc := ceilDiv(ci, tc)
+
+	// Ifmap: resident across filter blocks only when the tile holds the
+	// whole tensor; otherwise it re-streams once per filter block.
+	accI := xf * ifmapAll
+	if (t.FullHeight || fh >= ihe) && tc == ci {
+		accI = ifmapAll
+	}
+	accF := filterAll
+	accO := ofmapAll
+	if !t.FullOfmap && xc > 1 {
+		// Partial sums spill and reload once per extra channel block.
+		accO = ofmapAll * (2*xc - 1)
+	}
+
+	b := cfg.BatchSize()
+	accI *= b
+	accO *= b
+	if !(t.FullHeight && tc == ci && n == f) { // filters resident only for whole-layer tiles
+		// Filter residency across the batch mirrors the policy rule: blocks
+		// held for a full sweep amortise; channel-sliced streams do not.
+		if tc != ci {
+			accF *= b
+		}
+	}
+
+	return Result{
+		Tiling:      t,
+		MemoryElems: mem,
+		AccessElems: accI + accF + accO,
+		Feasible:    cfg.Bytes(mem) <= cfg.GLBBytes,
+	}
+}
+
+// Best searches the tiling grid for the minimum-traffic feasible point.
+// Depth-wise layers are channel-independent and already minimal under a
+// one-channel sweep, so they return that point directly.
+func Best(l *layer.Layer, cfg policy.Config) Result {
+	if l.Kind == layer.DepthwiseConv {
+		e := policy.Estimate(l, policy.P5PartialPerChannel, policy.Options{}, cfg)
+		return Result{
+			Tiling:      Tiling{N: 1, TC: 1, FullOfmap: false},
+			MemoryElems: e.MemoryElems,
+			AccessElems: e.AccessElems,
+			Feasible:    e.Feasible,
+		}
+	}
+	var best Result
+	for _, n := range gridValues(l.F) {
+		for _, tc := range gridValues(l.CI) {
+			for _, fullH := range []bool{false, true} {
+				for _, fullO := range []bool{false, true} {
+					r := Evaluate(l, Tiling{N: n, TC: tc, FullHeight: fullH, FullOfmap: fullO}, cfg)
+					if !r.Feasible {
+						continue
+					}
+					if !best.Feasible ||
+						r.AccessElems < best.AccessElems ||
+						(r.AccessElems == best.AccessElems && r.MemoryElems < best.MemoryElems) {
+						best = r
+					}
+				}
+			}
+		}
+	}
+	if !best.Feasible {
+		// Return the smallest-footprint point so callers can report why.
+		return Evaluate(l, Tiling{N: 1, TC: 1}, cfg)
+	}
+	return best
+}
+
+// gridValues samples a dimension: every power of two up to max, the exact
+// max, and a coarse linear sweep, deduplicated and sorted.
+func gridValues(max int) []int {
+	set := map[int]bool{1: true, max: true}
+	for v := 2; v < max; v *= 2 {
+		set[v] = true
+	}
+	step := max / 16
+	if step < 1 {
+		step = 1
+	}
+	for v := step; v < max; v += step {
+		set[v] = true
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		if v >= 1 && v <= max {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NetworkAccessElems sums the DSE optimum across a network's layers,
+// reporting whether every layer was feasible.
+func NetworkAccessElems(n *model.Network, cfg policy.Config) (int64, bool) {
+	var total int64
+	ok := true
+	for i := range n.Layers {
+		r := Best(&n.Layers[i], cfg)
+		total += r.AccessElems
+		ok = ok && r.Feasible
+	}
+	return total, ok
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

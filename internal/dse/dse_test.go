@@ -1,0 +1,140 @@
+package dse
+
+import (
+	"testing"
+
+	"scratchmem/internal/core"
+	"scratchmem/internal/layer"
+	"scratchmem/internal/model"
+	"scratchmem/internal/policy"
+)
+
+// TestDSESubsumesPolicies: the tiling grid contains every policy's shape,
+// so the DSE optimum is never worse than any feasible policy estimate.
+func TestDSESubsumesPolicies(t *testing.T) {
+	layers := []layer.Layer{
+		layer.MustNew("early", layer.Conv, 56, 56, 64, 3, 3, 64, 1, 1),
+		layer.MustNew("late", layer.Conv, 7, 7, 512, 3, 3, 512, 1, 1),
+		layer.MustNew("pw", layer.PointwiseConv, 14, 14, 512, 1, 1, 512, 1, 0),
+		layer.FC("fc", 512, 1000),
+	}
+	for _, kb := range []int{64, 256, 1024} {
+		cfg := policy.Default(kb)
+		for _, l := range layers {
+			l := l
+			best := Best(&l, cfg)
+			if !best.Feasible {
+				t.Fatalf("%s @%dkB: DSE found nothing feasible", l.Name, kb)
+			}
+			for _, id := range policy.IDs() {
+				e := policy.Estimate(&l, id, policy.Options{}, cfg)
+				if e.Feasible && best.AccessElems > e.AccessElems {
+					t.Errorf("%s @%dkB: DSE %d worse than %s %d",
+						l.Name, kb, best.AccessElems, id, e.AccessElems)
+				}
+			}
+			if best.AccessElems < policy.MinAccessElems(&l, cfg) {
+				t.Errorf("%s @%dkB: DSE %d below the theoretical minimum", l.Name, kb, best.AccessElems)
+			}
+			if cfg.Bytes(best.MemoryElems) > cfg.GLBBytes {
+				t.Errorf("%s @%dkB: DSE optimum violates the memory constraint", l.Name, kb)
+			}
+		}
+	}
+}
+
+// TestDSEReachesMinimumWhenRoomy: with a huge buffer the optimum is the
+// once-per-element minimum.
+func TestDSEReachesMinimumWhenRoomy(t *testing.T) {
+	cfg := policy.Default(8192)
+	l := layer.MustNew("c", layer.Conv, 28, 28, 64, 3, 3, 128, 1, 1)
+	best := Best(&l, cfg)
+	if best.AccessElems != policy.MinAccessElems(&l, cfg) {
+		t.Errorf("DSE = %d, want minimum %d", best.AccessElems, policy.MinAccessElems(&l, cfg))
+	}
+}
+
+// TestHetNearDSE is the headline validation of the paper's design: across
+// all six models at the smallest buffer, the heterogeneous policy plan
+// stays within a small factor of the exhaustive DSE optimum — the
+// lightweight policies cover the tiling frontier.
+func TestHetNearDSE(t *testing.T) {
+	for _, name := range model.BuiltinNames() {
+		n, _ := model.Builtin(name)
+		cfg := policy.Default(64)
+		dseTotal, ok := NetworkAccessElems(n, cfg)
+		if !ok {
+			t.Fatalf("%s: DSE infeasible at 64kB", name)
+		}
+		het, err := core.NewPlanner(64, core.MinAccesses).Heterogeneous(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(het.AccessElems()) / float64(dseTotal)
+		if ratio < 0.999 {
+			t.Errorf("%s: Het %d below DSE optimum %d — cost model inconsistency",
+				name, het.AccessElems(), dseTotal)
+		}
+		if ratio > 1.15 {
+			t.Errorf("%s: Het %d is %.2fx the DSE optimum %d, want near-optimal",
+				name, het.AccessElems(), ratio, dseTotal)
+		}
+	}
+}
+
+// TestEvaluatePolicyEquivalence pins the grid points corresponding to the
+// named policies to the policy estimators' numbers.
+func TestEvaluatePolicyEquivalence(t *testing.T) {
+	cfg := policy.Default(1024)
+	l := layer.MustNew("c", layer.Conv, 14, 14, 32, 3, 3, 64, 1, 1)
+	cases := []struct {
+		tiling Tiling
+		id     policy.ID
+	}{
+		{Tiling{N: l.F, TC: l.CI, FullHeight: true, FullOfmap: true}, policy.IntraLayer},
+		{Tiling{N: l.F, TC: l.CI, FullHeight: false, FullOfmap: false}, policy.P1IfmapReuse},
+		{Tiling{N: l.F, TC: 1, FullHeight: false, FullOfmap: true}, policy.P3PerChannel},
+	}
+	for _, c := range cases {
+		got := Evaluate(&l, c.tiling, cfg)
+		want := policy.Estimate(&l, c.id, policy.Options{}, cfg)
+		if got.AccessElems != want.AccessElems {
+			t.Errorf("%+v: accesses %d != %s %d", c.tiling, got.AccessElems, c.id, want.AccessElems)
+		}
+	}
+}
+
+func TestDepthwiseShortcut(t *testing.T) {
+	cfg := policy.Default(64)
+	l := layer.MustNew("dw", layer.DepthwiseConv, 56, 56, 128, 3, 3, 1, 1, 1)
+	best := Best(&l, cfg)
+	if best.AccessElems != policy.MinAccessElems(&l, cfg) {
+		t.Errorf("DW DSE = %d, want minimum %d", best.AccessElems, policy.MinAccessElems(&l, cfg))
+	}
+}
+
+func TestGridValues(t *testing.T) {
+	for _, max := range []int{1, 2, 7, 64, 1000} {
+		vals := gridValues(max)
+		if vals[0] != 1 || vals[len(vals)-1] != max {
+			t.Errorf("grid(%d) missing endpoints: %v", max, vals)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] <= vals[i-1] {
+				t.Errorf("grid(%d) not strictly sorted: %v", max, vals)
+			}
+		}
+	}
+}
+
+// TestInfeasibleReporting: an absurd buffer returns an infeasible point
+// rather than panicking.
+func TestInfeasibleReporting(t *testing.T) {
+	cfg := policy.Default(0)
+	cfg.GLBBytes = 64
+	l := layer.MustNew("c", layer.Conv, 56, 56, 64, 3, 3, 64, 1, 1)
+	best := Best(&l, cfg)
+	if best.Feasible {
+		t.Error("64-byte GLB reported feasible")
+	}
+}

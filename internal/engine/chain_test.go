@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"scratchmem/internal/glb"
+	"scratchmem/internal/layer"
+	"scratchmem/internal/policy"
+	"scratchmem/internal/tensor"
+)
+
+// TestInterLayerChainExecution runs a producer/consumer layer pair the way
+// the planner's inter-layer reuse schedules them: the producer keeps its
+// ofmap on-chip (no store), the consumer reads it as a resident ifmap (no
+// load), and the end-to-end numerics must equal running the two layers
+// independently through the references. The combined residency must also
+// fit the GLB: the producer's retained ofmap plus the consumer's working
+// tiles, which is exactly what the consumer's memory estimate covers.
+func TestInterLayerChainExecution(t *testing.T) {
+	cfg := policy.Default(64)
+	r := rand.New(rand.NewSource(21))
+
+	// Producer: 12x12x4 conv -> 12x12x6; consumer: 3x3 conv on 12x12x6.
+	l1 := layer.MustNew("prod", layer.Conv, 12, 12, 4, 3, 3, 6, 1, 1)
+	l2 := layer.MustNew("cons", layer.Conv, 12, 12, 6, 3, 3, 8, 1, 1)
+
+	in := tensor.New(l1.IH, l1.IW, l1.CI).Random(r)
+	w1 := tensor.NewFilters(l1.FH, l1.FW, l1.CI, l1.F).Random(r)
+	w2 := tensor.NewFilters(l2.FH, l2.FW, l2.CI, l2.F).Random(r)
+
+	// Reference: plain chained convolutions.
+	mid := tensor.Conv2D(in, w1, l1.S, l1.P)
+	want := tensor.Conv2D(mid, w2, l2.S, l2.P)
+
+	// Producer executes with KeepOfmap under a policy that retains the
+	// whole ofmap.
+	est1 := policy.Estimate(&l1, policy.P3PerChannel, policy.Options{KeepOfmap: true}, cfg)
+	if !est1.Feasible {
+		t.Fatalf("producer infeasible: %d bytes", est1.MemoryBytes)
+	}
+	res1, err := Run(&l1, &est1, cfg, in, w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.AccessOfmap != 0 {
+		t.Fatalf("producer stored %d ofmap elems despite retention", res1.AccessOfmap)
+	}
+	if !res1.Output.Equal(mid) {
+		t.Fatal("producer output wrong")
+	}
+
+	// Consumer executes with ResidentIfmap, feeding on the retained tensor.
+	est2 := policy.Estimate(&l2, policy.P1IfmapReuse, policy.Options{ResidentIfmap: true}, cfg)
+	if !est2.Feasible {
+		t.Fatalf("consumer infeasible: %d bytes", est2.MemoryBytes)
+	}
+	res2, err := Run(&l2, &est2, cfg, res1.Output, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.AccessIfmap != 0 {
+		t.Fatalf("consumer fetched %d ifmap elems despite residency", res2.AccessIfmap)
+	}
+	if !res2.Output.Equal(want) {
+		t.Fatal("chained output wrong")
+	}
+
+	// The handoff must fit: the retained tensor plus the consumer's tiles
+	// is the consumer's memory estimate, which must be within the GLB.
+	handoff := glb.New(cfg.CapacityElems())
+	if err := handoff.Alloc("resident", l1.OfmapElems()); err != nil {
+		t.Fatalf("retained ofmap does not fit: %v", err)
+	}
+	if err := handoff.Alloc("consumer-tiles", est2.MemoryElems-l1.OfmapElems()); err != nil {
+		t.Fatalf("consumer tiles do not fit beside the resident tensor: %v", err)
+	}
+	// Traffic saved by the transition = producer ofmap + consumer ifmap.
+	plain1 := policy.Estimate(&l1, policy.P3PerChannel, policy.Options{}, cfg)
+	plain2 := policy.Estimate(&l2, policy.P1IfmapReuse, policy.Options{}, cfg)
+	saved := (plain1.AccessElems + plain2.AccessElems) - (res1.AccessElems() + res2.AccessElems())
+	if want := l1.OfmapElems() + l2.IfmapElems(cfg.IncludePadding); saved != want {
+		t.Errorf("transition saved %d elems, want %d", saved, want)
+	}
+}

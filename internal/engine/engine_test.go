@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"scratchmem/internal/layer"
+	"scratchmem/internal/policy"
+	"scratchmem/internal/tensor"
+)
+
+// testLayers covers every layer type and the padding/stride corners.
+func testLayers() []layer.Layer {
+	return []layer.Layer{
+		layer.MustNew("cv", layer.Conv, 10, 9, 3, 3, 3, 6, 1, 1),
+		layer.MustNew("cv-s2", layer.Conv, 11, 11, 2, 5, 5, 4, 2, 2),
+		layer.MustNew("cv-nopad", layer.Conv, 8, 8, 4, 3, 3, 5, 1, 0),
+		layer.MustNew("pw", layer.PointwiseConv, 7, 7, 8, 1, 1, 10, 1, 0),
+		layer.MustNew("pl", layer.Projection, 8, 8, 4, 1, 1, 6, 2, 0),
+		layer.MustNew("dw", layer.DepthwiseConv, 9, 9, 5, 3, 3, 1, 1, 1),
+		layer.MustNew("dw-s2", layer.DepthwiseConv, 10, 10, 3, 3, 3, 1, 2, 1),
+		layer.FC("fc", 12, 9),
+	}
+}
+
+// operands builds deterministic random activations and weights for a layer.
+func operands(l *layer.Layer, seed int64) (*tensor.Tensor, *tensor.Filters) {
+	r := rand.New(rand.NewSource(seed))
+	in := tensor.New(l.IH, l.IW, l.CI).Random(r)
+	var w *tensor.Filters
+	if l.Kind == layer.DepthwiseConv {
+		w = tensor.NewFilters(l.FH, l.FW, 1, l.CI).Random(r)
+	} else {
+		w = tensor.NewFilters(l.FH, l.FW, l.CI, l.F).Random(r)
+	}
+	return in, w
+}
+
+// reference computes the layer with the tensor-package oracle.
+func reference(l *layer.Layer, in *tensor.Tensor, w *tensor.Filters) *tensor.Tensor {
+	if l.Kind == layer.DepthwiseConv {
+		return tensor.DepthwiseConv2D(in, w, l.S, l.P)
+	}
+	return tensor.Conv2D(in, w, l.S, l.P)
+}
+
+// TestAllPoliciesMatchReferenceAndEstimates is the central integration test:
+// every policy, executed for real, must produce the reference output
+// bit-for-bit, move exactly the estimated number of elements, and stay
+// within the estimated scratchpad footprint.
+func TestAllPoliciesMatchReferenceAndEstimates(t *testing.T) {
+	cfg := policy.Default(1024)
+	for _, l := range testLayers() {
+		l := l
+		in, w := operands(&l, 42)
+		want := reference(&l, in, w)
+		for _, id := range policy.IDs() {
+			for _, pf := range []bool{false, true} {
+				est := policy.Estimate(&l, id, policy.Options{Prefetch: pf}, cfg)
+				if !est.Feasible {
+					t.Fatalf("%s/%s pf=%v: infeasible at 1MB", l.Name, id, pf)
+				}
+				got, err := Run(&l, &est, cfg, in, w)
+				if err != nil {
+					t.Fatalf("%s/%s pf=%v: %v", l.Name, id, pf, err)
+				}
+				if !got.Output.Equal(want) {
+					t.Errorf("%s/%s pf=%v: wrong output", l.Name, id, pf)
+				}
+				if got.AccessIfmap != est.AccessIfmap ||
+					got.AccessFilter != est.AccessFilter ||
+					got.AccessOfmap != est.AccessOfmap {
+					t.Errorf("%s/%s pf=%v: executed accesses (%d,%d,%d) != estimated (%d,%d,%d)",
+						l.Name, id, pf,
+						got.AccessIfmap, got.AccessFilter, got.AccessOfmap,
+						est.AccessIfmap, est.AccessFilter, est.AccessOfmap)
+				}
+				if got.PeakElems > est.MemoryElems {
+					t.Errorf("%s/%s pf=%v: peak %d exceeds estimated memory %d",
+						l.Name, id, pf, got.PeakElems, est.MemoryElems)
+				}
+			}
+		}
+	}
+}
+
+// TestSmallBlockP4P5 forces small filter blocks (many ifmap re-streams) and
+// checks outputs and traffic still match.
+func TestSmallBlockP4P5(t *testing.T) {
+	l := layer.MustNew("c", layer.Conv, 12, 12, 4, 3, 3, 16, 1, 1)
+	in, w := operands(&l, 7)
+	want := reference(&l, in, w)
+	// A GLB sized so that only a few filters fit per block.
+	cfg := policy.Default(0)
+	cfg.GLBBytes = 900
+	for _, id := range []policy.ID{policy.P4PartialIfmap, policy.P5PartialPerChannel} {
+		est := policy.Estimate(&l, id, policy.Options{}, cfg)
+		if !est.Feasible {
+			t.Fatalf("%s infeasible: needs %d bytes", id, est.MemoryBytes)
+		}
+		if est.N >= l.F {
+			t.Fatalf("%s: n = %d, expected a small block", id, est.N)
+		}
+		if est.IfmapLoads < 2 {
+			t.Fatalf("%s: expected multiple ifmap loads, got %d", id, est.IfmapLoads)
+		}
+		got, err := Run(&l, &est, cfg, in, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Output.Equal(want) {
+			t.Errorf("%s: wrong output with n=%d", id, est.N)
+		}
+		if got.AccessElems() != est.AccessElems {
+			t.Errorf("%s: executed %d accesses, estimated %d", id, got.AccessElems(), est.AccessElems)
+		}
+		if got.PeakElems > est.MemoryElems {
+			t.Errorf("%s: peak %d > estimate %d", id, got.PeakElems, est.MemoryElems)
+		}
+	}
+}
+
+// TestFallbackBothOrientations checks the last-resort tiling in both loop
+// orders.
+func TestFallbackBothOrientations(t *testing.T) {
+	cfg := policy.Default(1024)
+	// Row-outer wins when OH*filters < F#*ifmap; filter-outer otherwise.
+	rowOuter := layer.MustNew("ro", layer.Conv, 24, 24, 2, 3, 3, 3, 1, 1)   // tiny filters
+	filterOuter := layer.MustNew("fo", layer.Conv, 5, 5, 2, 5, 5, 16, 1, 2) // tall filters, tiny ifmap
+	for _, l := range []layer.Layer{rowOuter, filterOuter} {
+		l := l
+		in, w := operands(&l, 3)
+		want := reference(&l, in, w)
+		est := policy.FallbackEstimate(&l, policy.Options{}, cfg)
+		got, err := Run(&l, &est, cfg, in, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Output.Equal(want) {
+			t.Errorf("%s: wrong output", l.Name)
+		}
+		if got.AccessElems() != est.AccessElems {
+			t.Errorf("%s: executed %d != estimated %d", l.Name, got.AccessElems(), est.AccessElems)
+		}
+	}
+	// Check the two layers actually exercised different orientations.
+	eRO := policy.FallbackEstimate(&rowOuter, policy.Options{}, cfg)
+	eFO := policy.FallbackEstimate(&filterOuter, policy.Options{}, cfg)
+	if eRO.FilterLoads <= 1 {
+		t.Errorf("row-outer case chose filter loads = %d", eRO.FilterLoads)
+	}
+	if eFO.IfmapLoads <= 1 {
+		t.Errorf("filter-outer case chose ifmap loads = %d", eFO.IfmapLoads)
+	}
+}
+
+// TestInterLayerVariants: resident ifmap and kept ofmap change traffic, not
+// numerics.
+func TestInterLayerVariants(t *testing.T) {
+	cfg := policy.Default(1024)
+	l := layer.MustNew("c", layer.Conv, 10, 10, 4, 3, 3, 8, 1, 1)
+	in, w := operands(&l, 11)
+	want := reference(&l, in, w)
+	for _, id := range policy.IDs() {
+		for _, o := range []policy.Options{
+			{ResidentIfmap: true},
+			{KeepOfmap: true},
+			{ResidentIfmap: true, KeepOfmap: true, Prefetch: true},
+		} {
+			est := policy.Estimate(&l, id, o, cfg)
+			got, err := Run(&l, &est, cfg, in, w)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", id, o, err)
+			}
+			if !got.Output.Equal(want) {
+				t.Errorf("%s %+v: wrong output", id, o)
+			}
+			if o.ResidentIfmap && got.AccessIfmap != 0 {
+				t.Errorf("%s %+v: resident ifmap fetched %d elems", id, o, got.AccessIfmap)
+			}
+			if o.KeepOfmap && got.AccessOfmap != 0 {
+				t.Errorf("%s %+v: kept ofmap stored %d elems", id, o, got.AccessOfmap)
+			}
+			if got.AccessElems() != est.AccessElems {
+				t.Errorf("%s %+v: executed %d != estimated %d", id, o, got.AccessElems(), est.AccessElems)
+			}
+			if got.PeakElems > est.MemoryElems {
+				t.Errorf("%s %+v: peak %d > estimate %d", id, o, got.PeakElems, est.MemoryElems)
+			}
+		}
+	}
+}
+
+// TestSerialTimingMatchesEstimator: the executed phase list, timed serially,
+// reproduces the estimator's no-prefetch latency exactly (they share the
+// traffic totals and rate arithmetic).
+func TestSerialTimingMatchesEstimator(t *testing.T) {
+	cfg := policy.Default(1024)
+	for _, l := range testLayers() {
+		l := l
+		in, w := operands(&l, 5)
+		for _, id := range policy.IDs() {
+			est := policy.Estimate(&l, id, policy.Options{}, cfg)
+			got, err := Run(&l, &est, cfg, in, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s := SerialCycles(got.Phases, cfg); s != est.LatencyCycles {
+				t.Errorf("%s/%s: serial cycles %d != estimated %d", l.Name, id, s, est.LatencyCycles)
+			}
+		}
+	}
+}
+
+// TestPipelinedTiming: overlap never hurts, never beats the compute bound,
+// and lands near the estimator's prefetch latency.
+func TestPipelinedTiming(t *testing.T) {
+	cfg := policy.Default(1024)
+	for _, l := range testLayers() {
+		l := l
+		in, w := operands(&l, 5)
+		for _, id := range policy.IDs() {
+			est := policy.Estimate(&l, id, policy.Options{Prefetch: true}, cfg)
+			got, err := Run(&l, &est, cfg, in, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipe := PipelinedCycles(got.Phases, cfg)
+			serial := SerialCycles(got.Phases, cfg)
+			if pipe > serial+1 {
+				t.Errorf("%s/%s: pipelined %d > serial %d", l.Name, id, pipe, serial)
+			}
+			if pipe < est.ComputeCycles {
+				t.Errorf("%s/%s: pipelined %d beats compute bound %d", l.Name, id, pipe, est.ComputeCycles)
+			}
+			// The phase-level pipeline should land in the neighbourhood of
+			// the estimator's fill+overlap+drain model. Allow slack for
+			// per-phase rounding and scheduling detail on tiny layers.
+			lo, hi := est.LatencyCycles*7/10, est.LatencyCycles*13/10+64
+			if pipe < lo || pipe > hi {
+				t.Errorf("%s/%s: pipelined %d outside [%d, %d] around estimate %d",
+					l.Name, id, pipe, lo, hi, est.LatencyCycles)
+			}
+		}
+	}
+}
+
+// TestQuickRandomLayers is the property test: on random small layers, a
+// random policy variant executes to the reference result with exactly the
+// estimated traffic.
+func TestQuickRandomLayers(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		fh := 1 + rr.Intn(3)
+		fw := 1 + rr.Intn(3)
+		kind := layer.Conv
+		ci := 1 + rr.Intn(6)
+		ff := 1 + rr.Intn(8)
+		if rr.Intn(4) == 0 {
+			kind = layer.DepthwiseConv
+			ff = 1
+		}
+		l, err := layer.New("q", kind,
+			fh+rr.Intn(8), fw+rr.Intn(8), ci, fh, fw, ff, 1+rr.Intn(2), rr.Intn(2))
+		if err != nil {
+			return true // skip invalid random combos
+		}
+		in, w := operands(&l, seed)
+		want := reference(&l, in, w)
+		cfg := policy.Default(1024)
+		id := policy.IDs()[rr.Intn(6)]
+		o := policy.Options{Prefetch: rr.Intn(2) == 0}
+		est := policy.Estimate(&l, id, o, cfg)
+		got, err := Run(&l, &est, cfg, in, w)
+		if err != nil {
+			t.Logf("layer %s policy %s: %v", l, id, err)
+			return false
+		}
+		if !got.Output.Equal(want) {
+			t.Logf("layer %s policy %s: wrong output", l, id)
+			return false
+		}
+		if got.AccessElems() != est.AccessElems || got.PeakElems > est.MemoryElems {
+			t.Logf("layer %s policy %s: traffic %d vs %d, peak %d vs %d",
+				l, id, got.AccessElems(), est.AccessElems, got.PeakElems, est.MemoryElems)
+			return false
+		}
+		return true
+	}
+	cfgq := &quick.Config{
+		MaxCount: 120,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfgq); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunErrors: mismatched operands and invalid configs are rejected.
+func TestRunErrors(t *testing.T) {
+	cfg := policy.Default(64)
+	l := layer.MustNew("c", layer.Conv, 8, 8, 4, 3, 3, 5, 1, 0)
+	in, w := operands(&l, 1)
+	est := policy.Estimate(&l, policy.P1IfmapReuse, policy.Options{}, cfg)
+
+	wrongIn := tensor.New(8, 8, 3)
+	if _, err := Run(&l, &est, cfg, wrongIn, w); err == nil {
+		t.Error("mismatched input accepted")
+	}
+	wrongW := tensor.NewFilters(3, 3, 4, 4)
+	if _, err := Run(&l, &est, cfg, in, wrongW); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+	badCfg := cfg
+	badCfg.DataWidthBits = 0
+	if _, err := Run(&l, &est, badCfg, in, w); err == nil {
+		t.Error("invalid config accepted")
+	}
+	dw := layer.MustNew("dw", layer.DepthwiseConv, 8, 8, 4, 3, 3, 1, 1, 1)
+	dwIn, _ := operands(&dw, 2)
+	badDWW := tensor.NewFilters(3, 3, 2, 4)
+	estDW := policy.Estimate(&dw, policy.P1IfmapReuse, policy.Options{}, cfg)
+	if _, err := Run(&dw, &estDW, cfg, dwIn, badDWW); err == nil {
+		t.Error("mismatched depth-wise weights accepted")
+	}
+}
+
+// TestGLBOverflowDetected: running an estimate against a GLB it does not fit
+// must fail loudly, not silently overrun.
+func TestGLBOverflowDetected(t *testing.T) {
+	big := policy.Default(1024)
+	small := policy.Default(1)
+	l := layer.MustNew("c", layer.Conv, 32, 32, 8, 3, 3, 16, 1, 1)
+	in, w := operands(&l, 9)
+	est := policy.Estimate(&l, policy.IntraLayer, policy.Options{}, big)
+	if _, err := Run(&l, &est, small, in, w); err == nil {
+		t.Error("intra-layer execution fit a 1kB GLB")
+	}
+}

@@ -1,0 +1,302 @@
+package engine
+
+import "scratchmem/internal/layer"
+
+// dw reports whether the layer is depth-wise.
+func (e *executor) dw() bool { return e.l.Kind == layer.DepthwiseConv }
+
+// ifmapAll is the effective (possibly padded) ifmap footprint in elements.
+func (e *executor) ifmapAll() int64 { return e.ihe * e.iwe * int64(e.l.CI) }
+
+// execIntra loads everything, computes the whole layer, stores the ofmap.
+func (e *executor) execIntra() error {
+	if err := e.allocIfmapRegion(e.ifmapAll()); err != nil {
+		return err
+	}
+	if err := e.buf.Resize("filter", e.l.FilterElems()); err != nil {
+		return err
+	}
+	if err := e.allocOfmapRegion(e.l.OfmapElems()); err != nil {
+		return err
+	}
+	load := e.loadIfmap(e.ifmapAll()) + e.loadFilter(e.l.FilterElems())
+	for oh := 0; oh < e.l.OH(); oh++ {
+		if e.dw() {
+			e.computeRowDW(oh, 0, e.l.CI)
+		} else {
+			e.computeRow(oh, 0, e.l.F, 0, e.l.CI, false)
+		}
+	}
+	store := e.storeOfmap(e.l.OfmapElems())
+	e.phase(load, e.l.MACs(), store)
+	return nil
+}
+
+// execP1 (ifmap reuse): all filters resident, sliding window streams
+// height-wise, one ofmap row buffered. For depth-wise layers the single
+// per-channel filter bank plays the role of "all filters".
+func (e *executor) execP1() error {
+	rowElems := e.iwe * int64(e.l.CI)
+	if err := e.allocIfmapRegion(int64(e.l.FH) * rowElems); err != nil {
+		return err
+	}
+	if err := e.buf.Resize("filter", e.l.FilterElems()); err != nil {
+		return err
+	}
+	if err := e.allocOfmapRegion(int64(e.l.OW()) * int64(e.l.CO())); err != nil {
+		return err
+	}
+	e.loadFilter(e.l.FilterElems())
+	e.phase(e.l.FilterElems(), 0, 0)
+	var s sweep
+	for oh := 0; oh < e.l.OH(); oh++ {
+		load := e.loadIfmap(s.windowRows(e, oh, oh == e.l.OH()-1) * rowElems)
+		var macs int64
+		if e.dw() {
+			e.computeRowDW(oh, 0, e.l.CI)
+			macs = int64(e.l.OW()) * int64(e.l.CI) * int64(e.l.FH) * int64(e.l.FW)
+		} else {
+			e.computeRow(oh, 0, e.l.F, 0, e.l.CI, false)
+			macs = e.macsRow(0, e.l.F, 0, e.l.CI)
+		}
+		store := e.storeOfmap(int64(e.l.OW()) * int64(e.l.CO()))
+		e.phase(load, macs, store)
+	}
+	return nil
+}
+
+// execP2 (filter reuse): whole ifmap resident, filters stream one by one,
+// one ofmap channel buffered.
+func (e *executor) execP2() error {
+	if err := e.allocIfmapRegion(e.ifmapAll()); err != nil {
+		return err
+	}
+	oneFilter := int64(e.l.FH) * int64(e.l.FW) * int64(e.l.CI)
+	if e.dw() {
+		oneFilter = int64(e.l.FH) * int64(e.l.FW)
+	}
+	if err := e.buf.Resize("filter", oneFilter); err != nil {
+		return err
+	}
+	chElems := int64(e.l.OH()) * int64(e.l.OW())
+	if err := e.allocOfmapRegion(chElems); err != nil {
+		return err
+	}
+	load := e.loadIfmap(e.ifmapAll())
+	e.phase(load, 0, 0)
+	for f := 0; f < e.l.CO(); f++ {
+		fl := e.loadFilter(oneFilter)
+		var macs int64
+		for oh := 0; oh < e.l.OH(); oh++ {
+			if e.dw() {
+				e.computeRowDW(oh, f, f+1)
+			} else {
+				e.computeRow(oh, f, f+1, 0, e.l.CI, false)
+			}
+		}
+		if e.dw() {
+			macs = chElems * int64(e.l.FH) * int64(e.l.FW)
+		} else {
+			macs = chElems * int64(e.l.FH) * int64(e.l.FW) * int64(e.l.CI)
+		}
+		store := e.storeOfmap(chElems)
+		e.phase(fl, macs, store)
+	}
+	return nil
+}
+
+// execP3 (per-channel reuse): one ifmap channel streams height-wise against
+// one channel of every filter; the whole ofmap accumulates on-chip (dense).
+// Depth-wise layers process channels independently with a one-channel ofmap.
+func (e *executor) execP3() error {
+	if e.dw() {
+		return e.perChannelDW()
+	}
+	if err := e.allocIfmapRegion(int64(e.l.FH) * e.iwe); err != nil {
+		return err
+	}
+	chFilterElems := int64(e.l.FH) * int64(e.l.FW) * int64(e.l.F)
+	if err := e.buf.Resize("filter", chFilterElems); err != nil {
+		return err
+	}
+	if err := e.allocOfmapRegion(e.l.OfmapElems()); err != nil {
+		return err
+	}
+	for c := 0; c < e.l.CI; c++ {
+		fl := e.loadFilter(chFilterElems)
+		e.phase(fl, 0, 0)
+		var s sweep
+		for oh := 0; oh < e.l.OH(); oh++ {
+			load := e.loadIfmap(s.windowRows(e, oh, oh == e.l.OH()-1) * e.iwe)
+			e.computeRow(oh, 0, e.l.F, c, c+1, true)
+			e.phase(load, e.macsRow(0, e.l.F, c, c+1), 0)
+		}
+	}
+	store := e.storeOfmap(e.l.OfmapElems())
+	e.phase(0, 0, store)
+	return nil
+}
+
+// perChannelDW executes a depth-wise layer channel by channel with minimal
+// buffering (the shared shape of P3/P5/fallback on DW layers).
+func (e *executor) perChannelDW() error {
+	if err := e.allocIfmapRegion(int64(e.l.FH) * e.iwe); err != nil {
+		return err
+	}
+	perFilter := int64(e.l.FH) * int64(e.l.FW)
+	if err := e.buf.Resize("filter", perFilter); err != nil {
+		return err
+	}
+	chElems := int64(e.l.OH()) * int64(e.l.OW())
+	if err := e.allocOfmapRegion(chElems); err != nil {
+		return err
+	}
+	for c := 0; c < e.l.CI; c++ {
+		fl := e.loadFilter(perFilter)
+		e.phase(fl, 0, 0)
+		var s sweep
+		for oh := 0; oh < e.l.OH(); oh++ {
+			load := e.loadIfmap(s.windowRows(e, oh, oh == e.l.OH()-1) * e.iwe)
+			e.computeRowDW(oh, c, c+1)
+			macs := int64(e.l.OW()) * int64(e.l.FH) * int64(e.l.FW)
+			e.phase(load, macs, 0)
+		}
+		store := e.storeOfmap(chElems)
+		e.phase(0, 0, store)
+	}
+	return nil
+}
+
+// execP4 (partial ifmap reuse): filters stream in blocks of n; the sliding
+// window re-streams the whole ifmap for every block (unless the window
+// already spans it). Depth-wise layers degenerate to P1.
+func (e *executor) execP4() error {
+	if e.dw() {
+		return e.execP1()
+	}
+	n := e.est.N
+	rowElems := e.iwe * int64(e.l.CI)
+	if err := e.allocIfmapRegion(int64(e.l.FH) * rowElems); err != nil {
+		return err
+	}
+	perFilter := int64(e.l.FH) * int64(e.l.FW) * int64(e.l.CI)
+	if err := e.buf.Resize("filter", perFilter*int64(n)); err != nil {
+		return err
+	}
+	if err := e.allocOfmapRegion(int64(e.l.OW()) * int64(n)); err != nil {
+		return err
+	}
+	spansAll := int64(e.l.FH) >= e.ihe
+	ifmapDone := false
+	for f0 := 0; f0 < e.l.F; f0 += n {
+		f1 := min(f0+n, e.l.F)
+		fl := e.loadFilter(perFilter * int64(f1-f0))
+		e.phase(fl, 0, 0)
+		var s sweep
+		if spansAll && ifmapDone {
+			s.loadedTo = e.ihe // window still resident from the first block
+		}
+		for oh := 0; oh < e.l.OH(); oh++ {
+			load := e.loadIfmap(s.windowRows(e, oh, oh == e.l.OH()-1) * rowElems)
+			e.computeRow(oh, f0, f1, 0, e.l.CI, false)
+			store := e.storeOfmap(int64(e.l.OW()) * int64(f1-f0))
+			e.phase(load, e.macsRow(f0, f1, 0, e.l.CI), store)
+		}
+		ifmapDone = true
+	}
+	return nil
+}
+
+// execP5 (partial per-channel reuse): filters stream in blocks of n, one
+// channel at a time; an OH*OW*n ofmap block accumulates on-chip; the ifmap
+// re-streams per block. Depth-wise layers degenerate to per-channel
+// execution.
+func (e *executor) execP5() error {
+	if e.dw() {
+		return e.perChannelDW()
+	}
+	n := e.est.N
+	if err := e.allocIfmapRegion(int64(e.l.FH) * e.iwe); err != nil {
+		return err
+	}
+	perChFilter := int64(e.l.FH) * int64(e.l.FW)
+	if err := e.buf.Resize("filter", perChFilter*int64(n)); err != nil {
+		return err
+	}
+	chElems := int64(e.l.OH()) * int64(e.l.OW())
+	if err := e.allocOfmapRegion(chElems * int64(n)); err != nil {
+		return err
+	}
+	spansAll := int64(e.l.FH) >= e.ihe && e.l.CI == 1
+	ifmapDone := false
+	for f0 := 0; f0 < e.l.F; f0 += n {
+		f1 := min(f0+n, e.l.F)
+		for c := 0; c < e.l.CI; c++ {
+			fl := e.loadFilter(perChFilter * int64(f1-f0))
+			e.phase(fl, 0, 0)
+			var s sweep
+			if spansAll && ifmapDone {
+				s.loadedTo = e.ihe
+			}
+			for oh := 0; oh < e.l.OH(); oh++ {
+				load := e.loadIfmap(s.windowRows(e, oh, oh == e.l.OH()-1) * e.iwe)
+				e.computeRow(oh, f0, f1, c, c+1, true)
+				e.phase(load, e.macsRow(f0, f1, c, c+1), 0)
+			}
+		}
+		ifmapDone = true
+		store := e.storeOfmap(chElems * int64(f1-f0))
+		e.phase(0, 0, store)
+	}
+	return nil
+}
+
+// execFallback runs the last-resort tiling: one output row against one
+// filter at a time, in the orientation the estimator chose (row-outer
+// re-loads filters per row; filter-outer re-streams the ifmap per filter).
+// Depth-wise layers take the minimal per-channel path.
+func (e *executor) execFallback() error {
+	if e.dw() {
+		return e.perChannelDW()
+	}
+	rowElems := e.iwe * int64(e.l.CI)
+	if err := e.allocIfmapRegion(int64(e.l.FH) * rowElems); err != nil {
+		return err
+	}
+	perFilter := int64(e.l.FH) * int64(e.l.FW) * int64(e.l.CI)
+	if err := e.buf.Resize("filter", perFilter); err != nil {
+		return err
+	}
+	if err := e.allocOfmapRegion(int64(e.l.OW())); err != nil {
+		return err
+	}
+	if e.est.FilterLoads > 1 {
+		// Row-outer: the ifmap streams once; every output row re-loads all
+		// filters one by one.
+		var s sweep
+		for oh := 0; oh < e.l.OH(); oh++ {
+			load := e.loadIfmap(s.windowRows(e, oh, oh == e.l.OH()-1) * rowElems)
+			e.phase(load, 0, 0)
+			for f := 0; f < e.l.F; f++ {
+				fl := e.loadFilter(perFilter)
+				e.computeRow(oh, f, f+1, 0, e.l.CI, false)
+				store := e.storeOfmap(int64(e.l.OW()))
+				e.phase(fl, e.macsRow(f, f+1, 0, e.l.CI), store)
+			}
+		}
+		return nil
+	}
+	// Filter-outer: filters load once each; the ifmap re-streams per filter.
+	for f := 0; f < e.l.F; f++ {
+		fl := e.loadFilter(perFilter)
+		e.phase(fl, 0, 0)
+		var s sweep
+		for oh := 0; oh < e.l.OH(); oh++ {
+			load := e.loadIfmap(s.windowRows(e, oh, oh == e.l.OH()-1) * rowElems)
+			e.computeRow(oh, f, f+1, 0, e.l.CI, false)
+			store := e.storeOfmap(int64(e.l.OW()))
+			e.phase(load, e.macsRow(f, f+1, 0, e.l.CI), store)
+		}
+	}
+	return nil
+}

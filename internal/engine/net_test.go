@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"scratchmem/internal/core"
+	"scratchmem/internal/layer"
+	"scratchmem/internal/model"
+	"scratchmem/internal/tensor"
+)
+
+// sumPool collapses a tensor's spatial dims by summation — the
+// deterministic integer stand-in for the global average pooling that sits
+// between TinyCNN's last convolution and its classifier (pooling carries no
+// weights, so the planner never schedules it; the runtime glue does it).
+func sumPool(in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(1, 1, in.C)
+	for h := 0; h < in.H; h++ {
+		for w := 0; w < in.W; w++ {
+			for c := 0; c < in.C; c++ {
+				out.Add(0, 0, c, in.At(h, w, c))
+			}
+		}
+	}
+	return out
+}
+
+// TestWholeNetworkInference pushes one input through every layer of TinyCNN
+// under a real heterogeneous plan: each layer executes its planned policy
+// on the functional engine, outputs feed forward (with pooling glue where
+// the architecture needs it), and every stage must match the reference
+// kernels bit for bit while moving exactly the estimated bytes. This is an
+// actual inference run through the memory manager.
+func TestWholeNetworkInference(t *testing.T) {
+	for _, kb := range []int{16, 32, 128} {
+		n, _ := model.Builtin("TinyCNN")
+		plan, err := core.NewPlanner(kb, core.MinAccesses).Heterogeneous(n)
+		if err != nil {
+			t.Fatalf("@%dkB: %v", kb, err)
+		}
+		r := rand.New(rand.NewSource(2024))
+		act := tensor.New(n.Layers[0].IH, n.Layers[0].IW, n.Layers[0].CI).Random(r)
+		var totalRun, totalEst int64
+		for i := range plan.Layers {
+			lp := &plan.Layers[i]
+			l := &lp.Layer
+			// Pooling glue: if the activation's spatial dims do not match
+			// the next layer's input, the architecture pooled in between.
+			if act.H != l.IH || act.W != l.IW {
+				if l.IH == 1 && l.IW == 1 && act.C == l.CI {
+					act = sumPool(act)
+				} else {
+					t.Fatalf("@%dkB: shape break before %s: have %dx%dx%d, want %dx%dx%d",
+						kb, l.Name, act.H, act.W, act.C, l.IH, l.IW, l.CI)
+				}
+			}
+			var w *tensor.Filters
+			if l.Kind == layer.DepthwiseConv {
+				w = tensor.NewFilters(l.FH, l.FW, 1, l.CI).Random(r)
+			} else {
+				w = tensor.NewFilters(l.FH, l.FW, l.CI, l.F).Random(r)
+			}
+			res, err := Run(l, &lp.Est, plan.Cfg, act, w)
+			if err != nil {
+				t.Fatalf("@%dkB %s: %v", kb, l.Name, err)
+			}
+			var want *tensor.Tensor
+			if l.Kind == layer.DepthwiseConv {
+				want = tensor.DepthwiseConv2D(act, w, l.S, l.P)
+			} else {
+				want = tensor.Conv2D(act, w, l.S, l.P)
+			}
+			if !res.Output.Equal(want) {
+				t.Fatalf("@%dkB %s: wrong output under %s", kb, l.Name, lp.Est.Policy)
+			}
+			if res.AccessElems() != lp.Est.AccessElems {
+				t.Fatalf("@%dkB %s: traffic %d != estimate %d",
+					kb, l.Name, res.AccessElems(), lp.Est.AccessElems)
+			}
+			totalRun += res.AccessElems()
+			totalEst += lp.Est.AccessElems
+			act = res.Output
+		}
+		if totalRun != plan.AccessElems() || totalEst != plan.AccessElems() {
+			t.Errorf("@%dkB: network totals diverge: run %d, est %d, plan %d",
+				kb, totalRun, totalEst, plan.AccessElems())
+		}
+		if act.H != 1 || act.W != 1 || act.C != 10 {
+			t.Errorf("@%dkB: final logits shape %dx%dx%d, want 1x1x10", kb, act.H, act.W, act.C)
+		}
+	}
+}
+
+// TestEngineAt32Bit: element accounting is width-independent, but the GLB
+// capacity in elements shrinks, so a 32-bit run must still verify exactly
+// against its own (tighter) plan.
+func TestEngineAt32Bit(t *testing.T) {
+	n, _ := model.Builtin("TinyCNN")
+	pl := core.NewPlanner(64, core.MinAccesses)
+	pl.Cfg.DataWidthBits = 32
+	plan, err := pl.Heterogeneous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	for i := range plan.Layers {
+		lp := &plan.Layers[i]
+		l := &lp.Layer
+		in := tensor.New(l.IH, l.IW, l.CI).Random(r)
+		var w *tensor.Filters
+		if l.Kind == layer.DepthwiseConv {
+			w = tensor.NewFilters(l.FH, l.FW, 1, l.CI).Random(r)
+		} else {
+			w = tensor.NewFilters(l.FH, l.FW, l.CI, l.F).Random(r)
+		}
+		res, err := Run(l, &lp.Est, pl.Cfg, in, w)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if res.AccessElems() != lp.Est.AccessElems {
+			t.Errorf("%s: traffic %d != estimate %d", l.Name, res.AccessElems(), lp.Est.AccessElems)
+		}
+		if got := pl.Cfg.Bytes(res.PeakElems); got > pl.Cfg.GLBBytes {
+			t.Errorf("%s: peak %d bytes exceeds 32-bit GLB", l.Name, got)
+		}
+	}
+}

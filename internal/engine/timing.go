@@ -1,0 +1,52 @@
+package engine
+
+import "scratchmem/internal/policy"
+
+// SerialCycles models the no-prefetch execution of a phase list: every DMA
+// byte and every MAC strictly serialise. It reproduces the estimator's
+// no-prefetch latency (compute + transfer) when traffic totals agree.
+func SerialCycles(phases []Phase, cfg policy.Config) int64 {
+	var loadE, storeE, macs int64
+	for _, p := range phases {
+		loadE += p.LoadElems
+		storeE += p.StoreElems
+		macs += p.MACs
+	}
+	bw := int64(cfg.DRAMBytesPerCycle)
+	transfer := (cfg.Bytes(loadE+storeE) + bw - 1) / bw
+	compute := (macs + cfg.MACsPerCycle() - 1) / cfg.MACsPerCycle()
+	return transfer + compute
+}
+
+// PipelinedCycles models double-buffered execution: each phase's compute
+// starts once its load has landed and the previous compute finished; stores
+// are deferred and drained opportunistically (a real DMA engine reorders
+// them into load gaps), so they bound the schedule only through the shared
+// port's total capacity and the final store that must trail the last
+// compute. This is the executable counterpart of the estimator's
+// fill + max(compute, transfer) + drain approximation. The timelines
+// advance at continuous rates (DMA is byte-granular, the PE array retires
+// MACs every cycle), so per-phase quantisation does not inflate tiny
+// schedules.
+func PipelinedCycles(phases []Phase, cfg policy.Config) int64 {
+	bw := float64(cfg.DRAMBytesPerCycle)
+	mac := float64(cfg.MACsPerCycle())
+	var loads, comp, totalDMA, lastStore float64
+	for _, p := range phases {
+		loads += float64(cfg.Bytes(p.LoadElems)) / bw
+		start := loads
+		if comp > start {
+			start = comp
+		}
+		comp = start + float64(p.MACs)/mac
+		totalDMA += float64(cfg.Bytes(p.LoadElems)+cfg.Bytes(p.StoreElems)) / bw
+		if p.StoreElems > 0 {
+			lastStore = float64(cfg.Bytes(p.StoreElems)) / bw
+		}
+	}
+	t := comp + lastStore
+	if totalDMA > t {
+		t = totalDMA
+	}
+	return int64(t + 0.9999999)
+}

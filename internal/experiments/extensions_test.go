@@ -1,0 +1,181 @@
+package experiments
+
+import "testing"
+
+func TestExtEnergyShape(t *testing.T) {
+	cells, tab := ExtEnergy(quickSetup())
+	if len(cells) != 30 || tab.Rows() != 30 {
+		t.Fatalf("energy cells = %d, want 30", len(cells))
+	}
+	for _, c := range cells {
+		if c.HetPJ <= 0 || c.BaselinePJ <= 0 {
+			t.Errorf("%s @%dkB: non-positive energy", c.Model, c.SizeKB)
+		}
+		if c.SizeKB == 64 && c.ReductionPct < 10 {
+			t.Errorf("%s @64kB: energy reduction %.1f%%, want substantial", c.Model, c.ReductionPct)
+		}
+		// At the largest buffer the paper itself reports slightly higher
+		// accesses for Hom/Het (ifmap padding is counted on our side only),
+		// so allow a small excess there; smaller buffers must win.
+		if c.SizeKB < 1024 && c.HetPJ > c.BaselinePJ {
+			t.Errorf("%s @%dkB: Het energy above baseline", c.Model, c.SizeKB)
+		}
+		if c.HetPJ > 1.15*c.BaselinePJ {
+			t.Errorf("%s @%dkB: Het energy %.0f far above baseline %.0f",
+				c.Model, c.SizeKB, c.HetPJ, c.BaselinePJ)
+		}
+	}
+}
+
+func TestExtBatchShape(t *testing.T) {
+	cells, _ := ExtBatch(quickSetup(), "GoogLeNet", 256)
+	if len(cells) != 5 {
+		t.Fatalf("batch cells = %d, want 5", len(cells))
+	}
+	for i := 1; i < len(cells); i++ {
+		if cells[i].PerInputAccessElem > cells[i-1].PerInputAccessElem {
+			t.Errorf("batch %d: per-input traffic grew (%d -> %d)",
+				cells[i].Batch, cells[i-1].PerInputAccessElem, cells[i].PerInputAccessElem)
+		}
+		if cells[i].FilterSharePct > cells[i-1].FilterSharePct {
+			t.Errorf("batch %d: filter share grew (%.1f%% -> %.1f%%)",
+				cells[i].Batch, cells[i-1].FilterSharePct, cells[i].FilterSharePct)
+		}
+	}
+	// Weight amortisation must be visible on a filter-heavy model.
+	first, last := cells[0], cells[len(cells)-1]
+	if float64(last.PerInputAccessElem) > 0.9*float64(first.PerInputAccessElem) {
+		t.Errorf("batching saved only %d -> %d elems/input",
+			first.PerInputAccessElem, last.PerInputAccessElem)
+	}
+}
+
+func TestExtInterLayerAblation(t *testing.T) {
+	cells, _ := ExtInterLayerAblation(quickSetup())
+	if len(cells) != 30 {
+		t.Fatalf("ablation cells = %d, want 30", len(cells))
+	}
+	for _, c := range cells {
+		if c.DP > c.Greedy {
+			t.Errorf("%s @%dkB: DP %d worse than greedy %d", c.Model, c.SizeKB, c.DP, c.Greedy)
+		}
+		if c.DPGainPct < -1e-9 {
+			t.Errorf("%s @%dkB: negative DP gain %.2f", c.Model, c.SizeKB, c.DPGainPct)
+		}
+	}
+}
+
+func TestExtTenancy(t *testing.T) {
+	cell, tab := ExtTenancy(quickSetup(), "ResNet18", "MobileNet", 128)
+	if tab.Rows() != 3 {
+		t.Fatalf("tenancy rows = %d, want 3", tab.Rows())
+	}
+	// Time-sharing the full buffer can only help relative to static halves.
+	if cell.HetTimeShared > cell.HetHalf {
+		t.Errorf("time-shared %d worse than static %d", cell.HetTimeShared, cell.HetHalf)
+	}
+	// And Het on halves still crushes the fixed-split baseline on halves.
+	if cell.HetHalf >= cell.BaselineHalf {
+		t.Errorf("Het halves %d not better than baseline halves %d", cell.HetHalf, cell.BaselineHalf)
+	}
+	if cell.SharingGainPct < 0 {
+		t.Errorf("negative sharing gain %.1f", cell.SharingGainPct)
+	}
+}
+
+func TestExtDataflow(t *testing.T) {
+	cells, tab := ExtDataflow(quickSetup(), 64)
+	if len(cells) != 18 || tab.Rows() != 18 {
+		t.Fatalf("dataflow cells = %d, want 18", len(cells))
+	}
+	// For every model, OS must not be the worst on DRAM traffic (partial
+	// sums dominate WS/IS on the conv-heavy nets).
+	byModel := map[string]map[string]float64{}
+	for _, c := range cells {
+		if byModel[c.Model] == nil {
+			byModel[c.Model] = map[string]float64{}
+		}
+		byModel[c.Model][c.Flow] = c.DRAMMB
+	}
+	for m, flows := range byModel {
+		if flows["os"] > flows["ws"] && flows["os"] > flows["is"] {
+			t.Errorf("%s: OS is the worst dataflow (%v)", m, flows)
+		}
+	}
+}
+
+func TestExtSensitivity(t *testing.T) {
+	cells, tab := ExtSensitivity(quickSetup(), "MobileNetV2", 64)
+	if len(cells) != 9 || tab.Rows() != 9 {
+		t.Fatalf("sensitivity cells = %d, want 9", len(cells))
+	}
+	find := func(dim, bw int) SensitivityCell {
+		for _, c := range cells {
+			if c.ArrayDim == dim && c.BWBytesPerCycle == bw {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %dx%d bw %d", dim, dim, bw)
+		return SensitivityCell{}
+	}
+	// More bandwidth can only help our (bandwidth-aware) scheme.
+	if find(16, 32).HetLMCycles > find(16, 8).HetLMCycles {
+		t.Error("more bandwidth increased Het_l latency")
+	}
+	// A bigger array can only lower the compute-bound portions.
+	if find(32, 16).HetLMCycles > find(8, 16).HetLMCycles {
+		t.Error("a 16x bigger array increased Het_l latency")
+	}
+	// Baselines scale with the array too.
+	if find(32, 16).BaselineMCycles > find(8, 16).BaselineMCycles {
+		t.Error("bigger array increased baseline cycles")
+	}
+}
+
+func TestExtDSE(t *testing.T) {
+	cells, tab := ExtDSE(quickSetup(), 64)
+	if len(cells) != 6 || tab.Rows() != 6 {
+		t.Fatalf("dse cells = %d, want 6", len(cells))
+	}
+	for _, c := range cells {
+		if c.GapPct < -0.01 {
+			t.Errorf("%s: Het below DSE optimum (gap %.2f%%)", c.Model, c.GapPct)
+		}
+		if c.GapPct > 15 {
+			t.Errorf("%s: Het %.1f%% above the DSE optimum, want near-optimal", c.Model, c.GapPct)
+		}
+	}
+}
+
+func TestExtSizing(t *testing.T) {
+	cells, tab := ExtSizing(quickSetup())
+	if len(cells) != 6 || tab.Rows() != 6 {
+		t.Fatalf("sizing cells = %d, want 6", len(cells))
+	}
+	for _, c := range cells {
+		if c.NeedKB <= 0 || c.BoundLayer == "" {
+			t.Errorf("%s: degenerate sizing %+v", c.Model, c)
+		}
+		// The heterogeneous requirement never exceeds the best homogeneous
+		// (Table 3) requirement by more than padding bookkeeping.
+		if c.NeedKB > 1.15*c.BestTable3KB {
+			t.Errorf("%s: heterogeneous need %.1f kB above best homogeneous %.1f kB",
+				c.Model, c.NeedKB, c.BestTable3KB)
+		}
+	}
+}
+
+func TestExtClassics(t *testing.T) {
+	cells, tab := ExtClassics(quickSetup())
+	if len(cells) != 10 || tab.Rows() != 10 {
+		t.Fatalf("classic cells = %d, want 10", len(cells))
+	}
+	for _, c := range cells {
+		if c.SizeKB == 64 && c.ReductionPct < 30 {
+			t.Errorf("%s @64kB: reduction %.1f%%, want substantial", c.Model, c.ReductionPct)
+		}
+		if c.HetMB <= 0 {
+			t.Errorf("%s @%dkB: degenerate traffic", c.Model, c.SizeKB)
+		}
+	}
+}

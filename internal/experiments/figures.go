@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+
+	"scratchmem/internal/core"
+	"scratchmem/internal/model"
+	"scratchmem/internal/report"
+	"scratchmem/internal/scalesim"
+	"scratchmem/internal/stats"
+)
+
+// Fig5Cell is one (model, buffer size) cell of Figure 5: off-chip traffic
+// in bytes for the three baselines and the two proposed schemes.
+type Fig5Cell struct {
+	Model     string
+	SizeKB    int
+	Baselines map[string]int64 // split name -> bytes
+	Hom, Het  int64            // bytes
+}
+
+// Fig5 reproduces the off-chip access volumes across models and buffer
+// sizes: three fixed-split baselines against the best homogeneous and the
+// heterogeneous scheme (access objective).
+func Fig5(s Setup) ([]Fig5Cell, *report.Table) {
+	models := model.BuiltinNames()
+	sizes := s.sizes()
+	cells := make([]Fig5Cell, len(models)*len(sizes))
+	forEach(s, len(cells), func(i int) {
+		m, kb := models[i/len(sizes)], sizes[i%len(sizes)]
+		n := mustBuiltin(m)
+		cell := Fig5Cell{Model: m, SizeKB: kb, Baselines: map[string]int64{}}
+		for _, c := range scalesim.PaperSplits(kb, 8) {
+			r, err := scalesim.SimulateNetwork(n, c)
+			if err != nil {
+				panic(err)
+			}
+			cell.Baselines[c.Name] = r.DRAMBytes()
+		}
+		pl := core.NewPlanner(kb, core.MinAccesses)
+		cell.Hom = mustPlan(pl.BestHomogeneous(n)).AccessBytes()
+		cell.Het = mustPlan(pl.Heterogeneous(n)).AccessBytes()
+		cells[i] = cell
+	})
+	t := report.NewTable("Figure 5: off-chip memory accesses (MB)",
+		"Network", "GLB kB", "sa_25_75", "sa_50_50", "sa_75_25", "Hom", "Het", "Het vs best-sa %")
+	for _, c := range cells {
+		best := c.Baselines["sa_25_75"]
+		for _, v := range c.Baselines {
+			if v < best {
+				best = v
+			}
+		}
+		t.Row(c.Model, c.SizeKB,
+			mb(c.Baselines["sa_25_75"]), mb(c.Baselines["sa_50_50"]), mb(c.Baselines["sa_75_25"]),
+			mb(c.Hom), mb(c.Het), stats.Benefit(best, c.Het))
+	}
+	return cells, t
+}
+
+func mb(b int64) float64 { return float64(b) / (1024 * 1024) }
+
+// Fig7Cell is one (width, size) cell of Figure 7: the benefit of Het over
+// Hom for MobileNetV2.
+type Fig7Cell struct {
+	WidthBits, SizeKB int
+	Hom, Het          int64 // access elements
+	BenefitPct        float64
+}
+
+// Fig7 reproduces the data-width study: Het's access reduction over Hom for
+// MobileNetV2 across data widths, where wider elements squeeze the GLB.
+func Fig7(s Setup) ([]Fig7Cell, *report.Table) {
+	widths := []int{8, 16, 32}
+	sizes := s.sizes()
+	n := mustBuiltin("MobileNetV2")
+	cells := make([]Fig7Cell, len(widths)*len(sizes))
+	forEach(s, len(cells), func(i int) {
+		w, kb := widths[i/len(sizes)], sizes[i%len(sizes)]
+		pl := core.NewPlanner(kb, core.MinAccesses)
+		pl.Cfg.DataWidthBits = w
+		hom := mustPlan(pl.BestHomogeneous(n)).AccessElems()
+		het := mustPlan(pl.Heterogeneous(n)).AccessElems()
+		cells[i] = Fig7Cell{WidthBits: w, SizeKB: kb, Hom: hom, Het: het,
+			BenefitPct: stats.Benefit(hom, het)}
+	})
+	t := report.NewTable("Figure 7: Het-over-Hom access benefit for MobileNetV2 (%)",
+		"Width", "GLB kB", "Hom Melem", "Het Melem", "Benefit %")
+	for _, c := range cells {
+		t.Row(fmt.Sprintf("%d-bit", c.WidthBits), c.SizeKB,
+			float64(c.Hom)/1e6, float64(c.Het)/1e6, c.BenefitPct)
+	}
+	return cells, t
+}
+
+// Fig8Cell is one (model, size) cell of Figure 8: latency in cycles for the
+// zero-stall baseline and the four proposed scheme variants.
+type Fig8Cell struct {
+	Model                  string
+	SizeKB                 int
+	Baseline               int64
+	HomA, HetA, HomL, HetL int64
+}
+
+// Fig8 reproduces the inference-latency comparison: the buffer-independent
+// zero-stall baseline against Hom/Het optimised for accesses (suffix _a)
+// and for latency (suffix _l).
+func Fig8(s Setup) ([]Fig8Cell, *report.Table) {
+	models := model.BuiltinNames()
+	sizes := s.sizes()
+	cells := make([]Fig8Cell, len(models)*len(sizes))
+	forEach(s, len(cells), func(i int) {
+		m, kb := models[i/len(sizes)], sizes[i%len(sizes)]
+		n := mustBuiltin(m)
+		base, err := scalesim.SimulateNetwork(n, scalesim.Split("sa_50_50", kb, 50, 8))
+		if err != nil {
+			panic(err)
+		}
+		plA := core.NewPlanner(kb, core.MinAccesses)
+		plL := core.NewPlanner(kb, core.MinLatency)
+		cells[i] = Fig8Cell{
+			Model: m, SizeKB: kb,
+			Baseline: base.Cycles(),
+			HomA:     mustPlan(plA.BestHomogeneous(n)).LatencyCycles(),
+			HetA:     mustPlan(plA.Heterogeneous(n)).LatencyCycles(),
+			HomL:     mustPlan(plL.BestHomogeneous(n)).LatencyCycles(),
+			HetL:     mustPlan(plL.Heterogeneous(n)).LatencyCycles(),
+		}
+	})
+	t := report.NewTable("Figure 8: inference latency (Mcycles)",
+		"Network", "GLB kB", "baseline", "Hom_a", "Het_a", "Hom_l", "Het_l", "Het_l vs base %")
+	for _, c := range cells {
+		t.Row(c.Model, c.SizeKB, mc(c.Baseline), mc(c.HomA), mc(c.HetA), mc(c.HomL), mc(c.HetL),
+			stats.Benefit(c.Baseline, c.HetL))
+	}
+	return cells, t
+}
+
+func mc(cycles int64) float64 { return float64(cycles) / 1e6 }
+
+// Fig9Cell is one model of Figure 9: the benefit (positive) or penalty
+// (negative) in accesses and latency of Het optimised for latency relative
+// to Het optimised for accesses, at a fixed GLB size.
+type Fig9Cell struct {
+	Model                    string
+	AccessBenefitPct         float64
+	LatencyBenefitPct        float64
+	HetAAccess, HetLAccess   int64
+	HetALatency, HetLLatency int64
+}
+
+// Fig9 reproduces the accesses-vs-latency trade-off at the given size
+// (64 kB in the paper).
+func Fig9(s Setup, glbKB int) ([]Fig9Cell, *report.Table) {
+	models := model.BuiltinNames()
+	cells := make([]Fig9Cell, len(models))
+	forEach(s, len(models), func(i int) {
+		n := mustBuiltin(models[i])
+		pa := mustPlan(core.NewPlanner(glbKB, core.MinAccesses).Heterogeneous(n))
+		pl := mustPlan(core.NewPlanner(glbKB, core.MinLatency).Heterogeneous(n))
+		cells[i] = Fig9Cell{
+			Model:             models[i],
+			AccessBenefitPct:  stats.Benefit(pa.AccessElems(), pl.AccessElems()),
+			LatencyBenefitPct: stats.Benefit(pa.LatencyCycles(), pl.LatencyCycles()),
+			HetAAccess:        pa.AccessElems(), HetLAccess: pl.AccessElems(),
+			HetALatency: pa.LatencyCycles(), HetLLatency: pl.LatencyCycles(),
+		}
+	})
+	t := report.NewTable(
+		fmt.Sprintf("Figure 9: Het_l vs Het_a benefit at %d kB (negative = penalty)", glbKB),
+		"Network", "accesses %", "latency %")
+	for _, c := range cells {
+		t.Row(c.Model, c.AccessBenefitPct, c.LatencyBenefitPct)
+	}
+	return cells, t
+}
+
+// Fig10Cell is one buffer size of Figure 10: prefetching enabled vs
+// disabled for the latency-optimised Het scheme.
+type Fig10Cell struct {
+	SizeKB            int
+	AccessBenefitPct  float64
+	LatencyBenefitPct float64
+	CoveragePct       float64
+}
+
+// Fig10 reproduces the prefetching ablation on the given model (MobileNet
+// in the paper).
+func Fig10(s Setup, modelName string) ([]Fig10Cell, *report.Table) {
+	sizes := s.sizes()
+	n := mustBuiltin(modelName)
+	cells := make([]Fig10Cell, len(sizes))
+	forEach(s, len(sizes), func(i int) {
+		kb := sizes[i]
+		with := core.NewPlanner(kb, core.MinLatency)
+		without := core.NewPlanner(kb, core.MinLatency)
+		without.DisablePrefetch = true
+		pw := mustPlan(with.Heterogeneous(n))
+		pwo := mustPlan(without.Heterogeneous(n))
+		cells[i] = Fig10Cell{
+			SizeKB:            kb,
+			AccessBenefitPct:  stats.Benefit(pwo.AccessElems(), pw.AccessElems()),
+			LatencyBenefitPct: stats.Benefit(pwo.LatencyCycles(), pw.LatencyCycles()),
+			CoveragePct:       stats.Percent(pw.PrefetchCoverage()),
+		}
+	})
+	t := report.NewTable(
+		fmt.Sprintf("Figure 10: prefetching on/off for %s (negative = penalty)", modelName),
+		"GLB kB", "accesses %", "latency %", "coverage %")
+	for _, c := range cells {
+		t.Row(c.SizeKB, c.AccessBenefitPct, c.LatencyBenefitPct, c.CoveragePct)
+	}
+	return cells, t
+}
+
+// Fig11Cell is one buffer size of Figure 11: inter-layer reuse enabled vs
+// disabled for the access-optimised Het scheme.
+type Fig11Cell struct {
+	SizeKB            int
+	AccessBenefitPct  float64
+	LatencyBenefitPct float64
+	CoveragePct       float64
+}
+
+// Fig11 reproduces the inter-layer-reuse study on the given model (MnasNet
+// in the paper) and additionally reports the geometric-mean benefit across
+// all six models at the largest size, as §5.4 does.
+func Fig11(s Setup, modelName string) ([]Fig11Cell, *report.Table, *report.Table) {
+	sizes := s.sizes()
+	n := mustBuiltin(modelName)
+	cells := make([]Fig11Cell, len(sizes))
+	forEach(s, len(sizes), func(i int) {
+		kb := sizes[i]
+		base := core.NewPlanner(kb, core.MinAccesses)
+		inter := core.NewPlanner(kb, core.MinAccesses)
+		inter.InterLayer = true
+		pb := mustPlan(base.Heterogeneous(n))
+		pi := mustPlan(inter.Heterogeneous(n))
+		cells[i] = Fig11Cell{
+			SizeKB:            kb,
+			AccessBenefitPct:  stats.Benefit(pb.AccessElems(), pi.AccessElems()),
+			LatencyBenefitPct: stats.Benefit(pb.LatencyCycles(), pi.LatencyCycles()),
+			CoveragePct:       stats.Percent(pi.InterLayerCoverage()),
+		}
+	})
+	t := report.NewTable(
+		fmt.Sprintf("Figure 11: inter-layer reuse on/off for %s", modelName),
+		"GLB kB", "accesses %", "latency %", "coverage %")
+	for _, c := range cells {
+		t.Row(c.SizeKB, c.AccessBenefitPct, c.LatencyBenefitPct, c.CoveragePct)
+	}
+
+	// Geometric mean across all models at the largest size.
+	big := sizes[len(sizes)-1]
+	models := model.BuiltinNames()
+	baseAcc := make([]int64, len(models))
+	interAcc := make([]int64, len(models))
+	baseLat := make([]int64, len(models))
+	interLat := make([]int64, len(models))
+	forEach(s, len(models), func(i int) {
+		nn := mustBuiltin(models[i])
+		pb := mustPlan(core.NewPlanner(big, core.MinAccesses).Heterogeneous(nn))
+		ipl := core.NewPlanner(big, core.MinAccesses)
+		ipl.InterLayer = true
+		pi := mustPlan(ipl.Heterogeneous(nn))
+		baseAcc[i], interAcc[i] = pb.AccessElems(), pi.AccessElems()
+		baseLat[i], interLat[i] = pb.LatencyCycles(), pi.LatencyCycles()
+	})
+	g := report.NewTable(fmt.Sprintf("Figure 11b: geomean inter-layer benefit at %d kB, all models", big),
+		"metric", "geomean benefit %")
+	g.Row("accesses", stats.Percent(stats.GeoMeanReduction(baseAcc, interAcc)))
+	g.Row("latency", stats.Percent(stats.GeoMeanReduction(baseLat, interLat)))
+	return cells, t, g
+}
+
+// Headline summarises the paper's headline claims against this
+// implementation: the maximum access reduction at the smallest buffer and
+// the maximum latency reduction anywhere.
+type Headline struct {
+	MaxAccessReductionPct  float64
+	MaxAccessModel         string
+	MaxLatencyReductionPct float64
+	MaxLatencyModel        string
+	MaxLatencySizeKB       int
+}
+
+// Headlines computes the abstract's headline numbers from the Fig5/Fig8
+// cell data.
+func Headlines(f5 []Fig5Cell, f8 []Fig8Cell) (Headline, *report.Table) {
+	var h Headline
+	minSize := 0
+	for _, c := range f5 {
+		if minSize == 0 || c.SizeKB < minSize {
+			minSize = c.SizeKB
+		}
+	}
+	for _, c := range f5 {
+		if c.SizeKB != minSize {
+			continue
+		}
+		best := int64(0)
+		for _, v := range c.Baselines {
+			if best == 0 || v < best {
+				best = v
+			}
+		}
+		if r := stats.Benefit(best, c.Het); r > h.MaxAccessReductionPct {
+			h.MaxAccessReductionPct, h.MaxAccessModel = r, c.Model
+		}
+	}
+	for _, c := range f8 {
+		if r := stats.Benefit(c.Baseline, c.HetL); r > h.MaxLatencyReductionPct {
+			h.MaxLatencyReductionPct, h.MaxLatencyModel, h.MaxLatencySizeKB = r, c.Model, c.SizeKB
+		}
+	}
+	t := report.NewTable("Headline results (paper: up to 80% accesses, up to 56% latency)",
+		"metric", "value", "where")
+	t.Row("max access reduction %", h.MaxAccessReductionPct,
+		fmt.Sprintf("%s @%dkB", h.MaxAccessModel, minSize))
+	t.Row("max latency reduction %", h.MaxLatencyReductionPct,
+		fmt.Sprintf("%s @%dkB", h.MaxLatencyModel, h.MaxLatencySizeKB))
+	return h, t
+}

@@ -1,0 +1,92 @@
+// Package glb models the unified global buffer (scratchpad) as a set of
+// named regions drawn from a single element pool. The engine allocates one
+// region per data type (plus a double-buffering reserve when prefetching)
+// and the buffer enforces the capacity constraint the planner promised —
+// an over-allocation here means the estimator and the executor disagree,
+// which the tests treat as a bug.
+package glb
+
+import "fmt"
+
+// Buffer is a capacity-checked pool of named regions, sized in elements.
+type Buffer struct {
+	capacity int64
+	used     int64
+	peak     int64
+	regions  map[string]int64
+}
+
+// New returns a buffer of the given capacity in elements.
+func New(capacityElems int64) *Buffer {
+	if capacityElems <= 0 {
+		panic(fmt.Sprintf("glb: non-positive capacity %d", capacityElems))
+	}
+	return &Buffer{capacity: capacityElems, regions: make(map[string]int64)}
+}
+
+// ErrCapacity reports an allocation that does not fit.
+type ErrCapacity struct {
+	Region   string
+	Want     int64
+	Free     int64
+	Capacity int64
+}
+
+func (e *ErrCapacity) Error() string {
+	return fmt.Sprintf("glb: region %q needs %d elements, only %d of %d free",
+		e.Region, e.Want, e.Free, e.Capacity)
+}
+
+// Alloc creates a region of the given size. Allocating an existing region
+// is an error; use Resize.
+func (b *Buffer) Alloc(name string, elems int64) error {
+	if _, ok := b.regions[name]; ok {
+		return fmt.Errorf("glb: region %q already allocated", name)
+	}
+	if elems < 0 {
+		return fmt.Errorf("glb: negative allocation %d for %q", elems, name)
+	}
+	return b.set(name, elems)
+}
+
+// Resize grows or shrinks a region, creating it if absent.
+func (b *Buffer) Resize(name string, elems int64) error {
+	if elems < 0 {
+		return fmt.Errorf("glb: negative allocation %d for %q", elems, name)
+	}
+	return b.set(name, elems)
+}
+
+func (b *Buffer) set(name string, elems int64) error {
+	cur := b.regions[name]
+	next := b.used - cur + elems
+	if next > b.capacity {
+		return &ErrCapacity{Region: name, Want: elems, Free: b.capacity - (b.used - cur), Capacity: b.capacity}
+	}
+	b.regions[name] = elems
+	b.used = next
+	if b.used > b.peak {
+		b.peak = b.used
+	}
+	return nil
+}
+
+// Free releases a region; freeing an absent region is a no-op.
+func (b *Buffer) Free(name string) {
+	if cur, ok := b.regions[name]; ok {
+		b.used -= cur
+		delete(b.regions, name)
+	}
+}
+
+// Used returns the currently allocated element count.
+func (b *Buffer) Used() int64 { return b.used }
+
+// Peak returns the high-water mark of allocated elements.
+func (b *Buffer) Peak() int64 { return b.peak }
+
+// Capacity returns the buffer capacity in elements.
+func (b *Buffer) Capacity() int64 { return b.capacity }
+
+// Region returns the size of a region (0 if absent).
+func (b *Buffer) Region(name string) int64 { return b.regions[name] }

@@ -1,0 +1,111 @@
+package glb
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAllocFreeCycle(t *testing.T) {
+	b := New(100)
+	if err := b.Alloc("a", 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Alloc("b", 60); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 100 || b.Peak() != 100 {
+		t.Errorf("used=%d peak=%d, want 100/100", b.Used(), b.Peak())
+	}
+	b.Free("a")
+	if b.Used() != 60 {
+		t.Errorf("used=%d after free, want 60", b.Used())
+	}
+	if b.Peak() != 100 {
+		t.Errorf("peak=%d, want 100 (high-water mark)", b.Peak())
+	}
+	if err := b.Alloc("c", 41); err == nil {
+		t.Error("over-capacity alloc accepted")
+	}
+	if err := b.Alloc("c", 40); err != nil {
+		t.Errorf("fitting alloc rejected: %v", err)
+	}
+}
+
+func TestCapacityError(t *testing.T) {
+	b := New(10)
+	err := b.Alloc("x", 11)
+	var ce *ErrCapacity
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ErrCapacity", err)
+	}
+	if ce.Region != "x" || ce.Want != 11 || ce.Free != 10 || ce.Capacity != 10 {
+		t.Errorf("unhelpful error: %+v", ce)
+	}
+	if ce.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestResize(t *testing.T) {
+	b := New(100)
+	if err := b.Resize("w", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Resize("w", 80); err != nil {
+		t.Fatal(err)
+	}
+	if b.Region("w") != 80 || b.Used() != 80 {
+		t.Errorf("region=%d used=%d, want 80/80", b.Region("w"), b.Used())
+	}
+	if err := b.Resize("w", 10); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 10 || b.Peak() != 80 {
+		t.Errorf("used=%d peak=%d, want 10/80", b.Used(), b.Peak())
+	}
+	if err := b.Resize("w", 101); err == nil {
+		t.Error("over-capacity resize accepted")
+	}
+	if b.Region("w") != 10 {
+		t.Error("failed resize mutated the region")
+	}
+}
+
+func TestDoubleAllocRejected(t *testing.T) {
+	b := New(10)
+	if err := b.Alloc("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Alloc("a", 1); err == nil {
+		t.Error("double alloc accepted")
+	}
+	if err := b.Alloc("n", -1); err == nil {
+		t.Error("negative alloc accepted")
+	}
+	if err := b.Resize("n", -1); err == nil {
+		t.Error("negative resize accepted")
+	}
+}
+
+func TestFreeAbsentIsNoop(t *testing.T) {
+	b := New(10)
+	b.Free("ghost")
+	if b.Used() != 0 {
+		t.Error("freeing absent region changed usage")
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestCapacityAccessor(t *testing.T) {
+	if New(42).Capacity() != 42 {
+		t.Error("capacity accessor wrong")
+	}
+}

@@ -1,0 +1,346 @@
+package model
+
+import (
+	"fmt"
+
+	"scratchmem/internal/layer"
+)
+
+// shape tracks the activation tensor flowing through a network under
+// construction.
+type shape struct{ h, w, c int }
+
+// netBuilder incrementally assembles a Network, tracking the activation
+// shape so each layer's ifmap dimensions follow from the previous layer.
+// Pooling layers carry no weights or MACs in the paper's methodology, so
+// they only transform the tracked shape and append no layer.
+type netBuilder struct {
+	net Network
+	cur shape
+}
+
+func newNet(name string, h, w, c int) *netBuilder {
+	return &netBuilder{net: Network{Name: name}, cur: shape{h, w, c}}
+}
+
+func (b *netBuilder) add(name string, kind layer.Type, fh, fw, f, s, p int) {
+	l := layer.MustNew(name, kind, b.cur.h, b.cur.w, b.cur.c, fh, fw, f, s, p)
+	b.net.Layers = append(b.net.Layers, l)
+	b.cur = shape{l.OH(), l.OW(), l.CO()}
+}
+
+// conv appends a dense convolution with a square k x k filter.
+func (b *netBuilder) conv(name string, k, f, s, p int) {
+	b.add(name, layer.Conv, k, k, f, s, p)
+}
+
+// dw appends a depth-wise convolution with a square k x k filter.
+func (b *netBuilder) dw(name string, k, s, p int) {
+	b.add(name, layer.DepthwiseConv, k, k, 1, s, p)
+}
+
+// pw appends a 1x1 point-wise convolution with f output channels.
+func (b *netBuilder) pw(name string, f int) {
+	b.add(name, layer.PointwiseConv, 1, 1, f, 1, 0)
+}
+
+// proj appends a 1x1 strided projection layer (ResNet shortcut).
+func (b *netBuilder) proj(name string, f, s int) {
+	b.add(name, layer.Projection, 1, 1, f, s, 0)
+}
+
+// fc appends a fully-connected layer taking the current channel count
+// (spatial dims must already be 1x1) to out features.
+func (b *netBuilder) fc(name string, out int) {
+	if b.cur.h != 1 || b.cur.w != 1 {
+		panic(fmt.Sprintf("model: fc %s after non-pooled shape %dx%d", name, b.cur.h, b.cur.w))
+	}
+	b.add(name, layer.FullyConnected, 1, 1, out, 1, 0)
+}
+
+// pool applies a weight-free pooling window (shape change only).
+func (b *netBuilder) pool(k, s, p int) {
+	b.cur = shape{
+		h: (b.cur.h-k+2*p)/s + 1,
+		w: (b.cur.w-k+2*p)/s + 1,
+		c: b.cur.c,
+	}
+}
+
+// globalPool collapses the spatial dimensions to 1x1.
+func (b *netBuilder) globalPool() { b.cur = shape{1, 1, b.cur.c} }
+
+// at overrides the tracked shape; used for branches (projections, aux heads)
+// whose input is not the immediately preceding layer's output.
+func (b *netBuilder) at(h, w, c int) { b.cur = shape{h, w, c} }
+
+// shapeNow returns the current tracked shape, so a caller can restore it
+// after building a side branch.
+func (b *netBuilder) shapeNow() shape { return b.cur }
+
+// restore resets the tracked shape saved by shapeNow.
+func (b *netBuilder) restore(s shape) { b.cur = s }
+
+func (b *netBuilder) build() *Network {
+	n := b.net
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	return &n
+}
+
+// ResNet18 builds the 21-layer ResNet18 of He et al. (224x224x3 input):
+// 17 convolutions, 3 projection shortcuts and the final FC, with residual
+// branches serialised as in the paper (the projection layer follows the
+// first convolution of its stage).
+func ResNet18() *Network {
+	b := newNet("ResNet18", 224, 224, 3)
+	b.conv("conv1", 7, 64, 2, 3)
+	b.pool(3, 2, 1) // maxpool 112 -> 56
+
+	// Stage 2: two basic blocks at 56x56x64, no projection.
+	for blk := 1; blk <= 2; blk++ {
+		b.conv(fmt.Sprintf("conv2_%d_a", blk), 3, 64, 1, 1)
+		b.conv(fmt.Sprintf("conv2_%d_b", blk), 3, 64, 1, 1)
+	}
+	stage := func(idx, f int) {
+		in := b.shapeNow()
+		b.conv(fmt.Sprintf("conv%d_1_a", idx), 3, f, 2, 1)
+		b.conv(fmt.Sprintf("conv%d_1_b", idx), 3, f, 1, 1)
+		out := b.shapeNow()
+		// Projection shortcut runs on the stage input.
+		b.restore(in)
+		b.proj(fmt.Sprintf("proj%d", idx), f, 2)
+		b.restore(out)
+		b.conv(fmt.Sprintf("conv%d_2_a", idx), 3, f, 1, 1)
+		b.conv(fmt.Sprintf("conv%d_2_b", idx), 3, f, 1, 1)
+	}
+	stage(3, 128) // 56 -> 28
+	stage(4, 256) // 28 -> 14
+	stage(5, 512) // 14 -> 7
+	b.globalPool()
+	b.fc("fc", 1000)
+	return b.build()
+}
+
+// MobileNet builds the 28-layer MobileNetV1 (width multiplier 1.0):
+// a 3x3 stem convolution, 13 depth-wise separable pairs and the final FC.
+func MobileNet() *Network {
+	b := newNet("MobileNet", 224, 224, 3)
+	b.conv("conv1", 3, 32, 2, 1)
+	sep := func(i, f, s int) {
+		b.dw(fmt.Sprintf("dw%d", i), 3, s, 1)
+		b.pw(fmt.Sprintf("pw%d", i), f)
+	}
+	sep(1, 64, 1)
+	sep(2, 128, 2)
+	sep(3, 128, 1)
+	sep(4, 256, 2)
+	sep(5, 256, 1)
+	sep(6, 512, 2)
+	for i := 7; i <= 11; i++ {
+		sep(i, 512, 1)
+	}
+	sep(12, 1024, 2)
+	sep(13, 1024, 1)
+	b.globalPool()
+	b.fc("fc", 1000)
+	return b.build()
+}
+
+// invertedBlock appends one inverted-residual block: an optional expansion
+// point-wise convolution (expansion factor t), a k x k depth-wise
+// convolution with the given stride, optional squeeze-and-excite FC pair
+// (seRatioDen > 0 divides the block input channels) and the projection
+// point-wise convolution to c output channels.
+func invertedBlock(b *netBuilder, name string, t, k, c, s, seRatioDen int) {
+	in := b.shapeNow().c
+	exp := in * t
+	if t > 1 {
+		b.pw(name+"_exp", exp)
+	}
+	b.dw(name+"_dw", k, s, k/2)
+	if seRatioDen > 0 {
+		sq := in / seRatioDen
+		if sq < 1 {
+			sq = 1
+		}
+		// Squeeze-and-excite works on globally pooled 1x1xexp activations,
+		// hence two FC layers (this is why Table 2 lists FC for these nets).
+		after := b.shapeNow()
+		b.at(1, 1, exp)
+		b.fc(name+"_se1", sq)
+		b.fc(name+"_se2", exp)
+		b.restore(after)
+	}
+	b.pw(name+"_proj", c)
+}
+
+// MobileNetV2 builds the 53-layer MobileNetV2 (Sandler et al.): stem
+// convolution, 17 inverted-residual blocks, the 1280-channel head
+// point-wise convolution and the final FC.
+func MobileNetV2() *Network {
+	b := newNet("MobileNetV2", 224, 224, 3)
+	b.conv("conv1", 3, 32, 2, 1)
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	for bi, c := range cfg {
+		for i := 0; i < c.n; i++ {
+			s := 1
+			if i == 0 {
+				s = c.s
+			}
+			invertedBlock(b, fmt.Sprintf("b%d_%d", bi+1, i+1), c.t, 3, c.c, s, 0)
+		}
+	}
+	b.pw("head", 1280)
+	b.globalPool()
+	b.fc("fc", 1000)
+	return b.build()
+}
+
+// MnasNet builds the 53-layer MnasNet-B1 (Tan et al.): stem convolution, a
+// separable-convolution block, six MBConv stages mixing 3x3 and 5x5
+// depth-wise kernels, the 1280-channel head and the final FC.
+func MnasNet() *Network {
+	b := newNet("MnasNet", 224, 224, 3)
+	b.conv("conv1", 3, 32, 2, 1)
+	// SepConv block: depth-wise 3x3 + linear point-wise to 16 channels.
+	b.dw("sep_dw", 3, 1, 1)
+	b.pw("sep_pw", 16)
+	stages := []struct{ t, k, c, n, s int }{
+		{3, 3, 24, 3, 2},
+		{3, 5, 40, 3, 2},
+		{6, 5, 80, 3, 2},
+		{6, 3, 96, 2, 1},
+		{6, 5, 192, 4, 2},
+		{6, 3, 320, 1, 1},
+	}
+	for si, st := range stages {
+		for i := 0; i < st.n; i++ {
+			s := 1
+			if i == 0 {
+				s = st.s
+			}
+			invertedBlock(b, fmt.Sprintf("s%d_%d", si+1, i+1), st.t, st.k, st.c, s, 0)
+		}
+	}
+	b.pw("head", 1280)
+	b.globalPool()
+	b.fc("fc", 1000)
+	return b.build()
+}
+
+// EfficientNetB0 builds the 82-layer EfficientNet-B0 (Tan & Le): stem
+// convolution, seven MBConv stages with squeeze-and-excite (each SE module
+// contributing two FC layers on globally-pooled activations), the
+// 1280-channel head and the final FC.
+func EfficientNetB0() *Network {
+	b := newNet("EfficientNetB0", 224, 224, 3)
+	b.conv("conv1", 3, 32, 2, 1)
+	stages := []struct{ t, k, c, n, s int }{
+		{1, 3, 16, 1, 1},
+		{6, 3, 24, 2, 2},
+		{6, 5, 40, 2, 2},
+		{6, 3, 80, 3, 2},
+		{6, 5, 112, 3, 1},
+		{6, 5, 192, 4, 2},
+		{6, 3, 320, 1, 1},
+	}
+	for si, st := range stages {
+		for i := 0; i < st.n; i++ {
+			s := 1
+			if i == 0 {
+				s = st.s
+			}
+			invertedBlock(b, fmt.Sprintf("s%d_%d", si+1, i+1), st.t, st.k, st.c, s, 4)
+		}
+	}
+	b.pw("head", 1280)
+	b.globalPool()
+	b.fc("fc", 1000)
+	return b.build()
+}
+
+// inception appends one GoogLeNet inception module: the 1x1 branch, the 3x3
+// branch (1x1 reduce + 3x3), the 5x5 branch (1x1 reduce + 5x5) and the
+// pool-projection 1x1, all reading the module input; the tracked shape then
+// becomes the channel concatenation of the four branch outputs.
+func inception(b *netBuilder, name string, c1, c3r, c3, c5r, c5, cp int) {
+	in := b.shapeNow()
+	b.pw(name+"_1x1", c1)
+	b.restore(in)
+	b.pw(name+"_3x3r", c3r)
+	b.conv(name+"_3x3", 3, c3, 1, 1)
+	b.restore(in)
+	b.pw(name+"_5x5r", c5r)
+	b.conv(name+"_5x5", 5, c5, 1, 2)
+	b.restore(in)
+	b.pw(name+"_pool", cp)
+	b.at(in.h, in.w, c1+c3+c5+cp)
+}
+
+// GoogLeNet builds the 64-layer GoogLeNet (Szegedy et al.): the stem, nine
+// inception modules, both auxiliary classifiers (1x1 conv + two FCs each)
+// and the final FC. Layer types are CV, PW and FC as in the paper's Table 2.
+func GoogLeNet() *Network {
+	b := newNet("GoogLeNet", 224, 224, 3)
+	b.conv("conv1", 7, 64, 2, 3)
+	b.pool(3, 2, 1) // 112 -> 56
+	b.pw("conv2_red", 64)
+	b.conv("conv2", 3, 192, 1, 1)
+	b.pool(3, 2, 1) // 56 -> 28
+
+	inception(b, "i3a", 64, 96, 128, 16, 32, 32)
+	inception(b, "i3b", 128, 128, 192, 32, 96, 64)
+	b.pool(3, 2, 1) // 28 -> 14
+	inception(b, "i4a", 192, 96, 208, 16, 48, 64)
+
+	aux := func(name string, h, w, c int) {
+		main := b.shapeNow()
+		// Auxiliary head: 5x5 s3 average pool, 1x1 conv to 128, two FCs.
+		b.at(h, w, c)
+		b.pool(5, 3, 0)
+		b.pw(name+"_conv", 128)
+		s := b.shapeNow()
+		b.at(1, 1, s.h*s.w*s.c) // flatten 4x4x128 -> 2048
+		b.fc(name+"_fc1", 1024)
+		b.fc(name+"_fc2", 1000)
+		b.restore(main)
+	}
+	aux("aux1", 14, 14, 512)
+
+	inception(b, "i4b", 160, 112, 224, 24, 64, 64)
+	inception(b, "i4c", 128, 128, 256, 24, 64, 64)
+	inception(b, "i4d", 112, 144, 288, 32, 64, 64)
+	aux("aux2", 14, 14, 528)
+	inception(b, "i4e", 256, 160, 320, 32, 128, 128)
+	b.pool(3, 2, 1) // 14 -> 7
+	inception(b, "i5a", 256, 160, 320, 32, 128, 128)
+	inception(b, "i5b", 384, 192, 384, 48, 128, 128)
+	b.globalPool()
+	b.fc("fc", 1000)
+	return b.build()
+}
+
+// Tiny builds a small six-layer CNN on a 32x32x3 input. It is not part of
+// the paper's Table 2 model set; it exists so the functional engine
+// (cmd/smm-sim, examples) can execute a whole network in seconds.
+func Tiny() *Network {
+	b := newNet("TinyCNN", 32, 32, 3)
+	b.conv("conv1", 3, 16, 1, 1)
+	b.dw("dw1", 3, 2, 1)
+	b.pw("pw1", 32)
+	b.conv("conv2", 3, 32, 2, 1)
+	b.globalPool()
+	b.fc("fc1", 64)
+	b.fc("fc2", 10)
+	return b.build()
+}

@@ -1,0 +1,54 @@
+package model
+
+import "fmt"
+
+// The networks in this file are not part of the paper's Table 2 evaluation
+// set; they are provided because a memory-management library is routinely
+// pointed at the classic large-footprint CNNs, and their extreme
+// filter-to-activation ratios exercise the policies differently from the
+// paper's mobile-oriented models.
+
+// AlexNet builds the 8-layer AlexNet in its torchvision formulation
+// (ungrouped convolutions, 224x224x3 input): five convolutions and three
+// fully-connected layers, ~61M parameters dominated by the first FC.
+func AlexNet() *Network {
+	b := newNet("AlexNet", 224, 224, 3)
+	b.conv("conv1", 11, 64, 4, 2)
+	b.pool(3, 2, 0) // 55 -> 27
+	b.conv("conv2", 5, 192, 1, 2)
+	b.pool(3, 2, 0) // 27 -> 13
+	b.conv("conv3", 3, 384, 1, 1)
+	b.conv("conv4", 3, 256, 1, 1)
+	b.conv("conv5", 3, 256, 1, 1)
+	b.pool(3, 2, 0) // 13 -> 6
+	s := b.shapeNow()
+	b.at(1, 1, s.h*s.w*s.c) // flatten 6x6x256 -> 9216
+	b.fc("fc1", 4096)
+	b.fc("fc2", 4096)
+	b.fc("fc3", 1000)
+	return b.build()
+}
+
+// VGG16 builds the 16-layer VGG configuration D (224x224x3 input):
+// thirteen 3x3 convolutions in five stages and three fully-connected
+// layers, ~138M parameters.
+func VGG16() *Network {
+	b := newNet("VGG16", 224, 224, 3)
+	stage := func(idx, convs, f int) {
+		for i := 1; i <= convs; i++ {
+			b.conv(fmt.Sprintf("conv%d_%d", idx, i), 3, f, 1, 1)
+		}
+		b.pool(2, 2, 0)
+	}
+	stage(1, 2, 64)
+	stage(2, 2, 128)
+	stage(3, 3, 256)
+	stage(4, 3, 512)
+	stage(5, 3, 512)
+	s := b.shapeNow()
+	b.at(1, 1, s.h*s.w*s.c) // flatten 7x7x512 -> 25088
+	b.fc("fc1", 4096)
+	b.fc("fc2", 4096)
+	b.fc("fc3", 1000)
+	return b.build()
+}

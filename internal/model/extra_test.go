@@ -1,0 +1,63 @@
+package model
+
+import (
+	"testing"
+
+	"scratchmem/internal/layer"
+)
+
+// TestAlexNet pins the torchvision AlexNet: 8 weighted layers, ~61M
+// parameters (the first FC dominates), ~0.71G MACs.
+func TestAlexNet(t *testing.T) {
+	n := AlexNet()
+	if len(n.Layers) != 8 {
+		t.Fatalf("layers = %d, want 8", len(n.Layers))
+	}
+	if p := n.Params(); p < 60_000_000 || p > 62_500_000 {
+		t.Errorf("params = %d, want ~61M", p)
+	}
+	if m := n.MACs(); m < 650_000_000 || m > 780_000_000 {
+		t.Errorf("MACs = %d, want ~0.71G", m)
+	}
+	fc1 := n.Layers[5]
+	if fc1.Kind != layer.FullyConnected || fc1.CI != 9216 || fc1.F != 4096 {
+		t.Errorf("fc1 = %s, want FC 9216->4096", fc1.String())
+	}
+}
+
+// TestVGG16 pins configuration D: 16 weighted layers, ~138M parameters,
+// ~15.5G MACs.
+func TestVGG16(t *testing.T) {
+	n := VGG16()
+	if len(n.Layers) != 16 {
+		t.Fatalf("layers = %d, want 16", len(n.Layers))
+	}
+	if p := n.Params(); p < 137_000_000 || p > 139_000_000 {
+		t.Errorf("params = %d, want ~138M", p)
+	}
+	if m := n.MACs(); m < 15_000_000_000 || m > 16_000_000_000 {
+		t.Errorf("MACs = %d, want ~15.5G", m)
+	}
+	fc1 := n.Layers[13]
+	if fc1.Kind != layer.FullyConnected || fc1.CI != 25088 || fc1.F != 4096 {
+		t.Errorf("fc1 = %s, want FC 25088->4096", fc1.String())
+	}
+	// Last conv stage sees 14x14x512.
+	c51 := n.Layers[10]
+	if c51.IH != 14 || c51.CI != 512 {
+		t.Errorf("conv5_1 = %s, want 14x14x512 input", c51.String())
+	}
+}
+
+// TestExtraModelsPlannable: the big classics plan at every paper size.
+func TestExtraModelsPlannable(t *testing.T) {
+	for _, name := range []string{"AlexNet", "VGG16"} {
+		n, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

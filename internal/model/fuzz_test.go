@@ -1,0 +1,62 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON: arbitrary input must never panic, and any input the parser
+// accepts must round-trip through WriteJSON.
+func FuzzReadJSON(f *testing.F) {
+	var seed strings.Builder
+	if err := ResNet18().WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"name":"x","layers":[{"name":"l","type":"CV","ih":4,"iw":4,"ci":1,"fh":3,"fw":3,"f":2,"s":1,"p":1}]}`)
+	f.Add(`{"name":"","layers":[]}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, data string) {
+		n, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must be a valid network and survive a round trip.
+		if err := n.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid network: %v", err)
+		}
+		var buf strings.Builder
+		if err := n.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-serialise failed: %v", err)
+		}
+		back, err := ReadJSON(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.Layers) != len(n.Layers) {
+			t.Fatalf("round trip lost layers: %d != %d", len(back.Layers), len(n.Layers))
+		}
+	})
+}
+
+// FuzzReadTopologyCSV: arbitrary CSV must never panic; accepted inputs must
+// be valid networks.
+func FuzzReadTopologyCSV(f *testing.F) {
+	var seed strings.Builder
+	if err := MobileNet().WriteTopologyCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("conv1, 8, 8, 3, 3, 2, 4, 1,\n")
+	f.Add("Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,\n")
+	f.Add("a,b,c\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		n, err := ReadTopologyCSV("fuzz", strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid network: %v", err)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package model
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"scratchmem/internal/layer"
+)
+
+// jsonLayer is the on-disk JSON form of one layer.
+type jsonLayer struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	IH   int    `json:"ih"`
+	IW   int    `json:"iw"`
+	CI   int    `json:"ci"`
+	FH   int    `json:"fh"`
+	FW   int    `json:"fw"`
+	F    int    `json:"f"`
+	S    int    `json:"s"`
+	P    int    `json:"p"`
+}
+
+type jsonNetwork struct {
+	Name   string      `json:"name"`
+	Layers []jsonLayer `json:"layers"`
+}
+
+// WriteJSON serialises the network as indented JSON.
+func (n *Network) WriteJSON(w io.Writer) error {
+	jn := jsonNetwork{Name: n.Name, Layers: make([]jsonLayer, len(n.Layers))}
+	for i, l := range n.Layers {
+		jn.Layers[i] = jsonLayer{
+			Name: l.Name, Type: l.Kind.String(),
+			IH: l.IH, IW: l.IW, CI: l.CI, FH: l.FH, FW: l.FW, F: l.F, S: l.S, P: l.P,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jn)
+}
+
+// ReadJSON parses a network from its JSON form and validates it.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var jn jsonNetwork
+	if err := json.NewDecoder(r).Decode(&jn); err != nil {
+		return nil, fmt.Errorf("model: decoding JSON: %w", err)
+	}
+	n := &Network{Name: jn.Name, Layers: make([]layer.Layer, len(jn.Layers))}
+	for i, jl := range jn.Layers {
+		kind, err := layer.ParseType(jl.Type)
+		if err != nil {
+			return nil, fmt.Errorf("model: layer %d (%s): %w", i+1, jl.Name, err)
+		}
+		l, err := layer.New(jl.Name, kind, jl.IH, jl.IW, jl.CI, jl.FH, jl.FW, jl.F, jl.S, jl.P)
+		if err != nil {
+			return nil, err
+		}
+		n.Layers[i] = l
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// topologyHeader is the SCALE-Sim v2 topology CSV header. The trailing
+// empty column mirrors SCALE-Sim's own files, which end every row with a
+// comma.
+var topologyHeader = []string{
+	"Layer name", "IFMAP Height", "IFMAP Width", "Filter Height", "Filter Width",
+	"Channels", "Num Filter", "Strides", "",
+}
+
+// WriteTopologyCSV serialises the network in the SCALE-Sim topology format.
+// The format has no padding or layer-type columns; depth-wise layers are
+// written with Num Filter = 1 and padding information is lost (SCALE-Sim
+// itself ignores padding, as the paper notes).
+func (n *Network) WriteTopologyCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(topologyHeader); err != nil {
+		return err
+	}
+	for _, l := range n.Layers {
+		rec := []string{
+			l.Name,
+			strconv.Itoa(l.IH), strconv.Itoa(l.IW),
+			strconv.Itoa(l.FH), strconv.Itoa(l.FW),
+			strconv.Itoa(l.CI), strconv.Itoa(l.F), strconv.Itoa(l.S), "",
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTopologyCSV parses a SCALE-Sim topology CSV. Because the format
+// carries no type or padding column, every layer is read as a dense
+// convolution with zero padding; 1x1 layers become point-wise convolutions.
+func ReadTopologyCSV(name string, r io.Reader) (*Network, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // SCALE-Sim rows have a trailing comma
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("model: reading topology CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("model: empty topology CSV")
+	}
+	n := &Network{Name: name}
+	for i, row := range rows {
+		if i == 0 && len(row) > 0 && row[0] == topologyHeader[0] {
+			continue // header
+		}
+		if len(row) < 8 {
+			return nil, fmt.Errorf("model: topology row %d has %d fields, want >= 8", i+1, len(row))
+		}
+		vals := make([]int, 7)
+		for j := 0; j < 7; j++ {
+			v, err := strconv.Atoi(row[j+1])
+			if err != nil {
+				return nil, fmt.Errorf("model: topology row %d field %d: %w", i+1, j+2, err)
+			}
+			vals[j] = v
+		}
+		ih, iw, fh, fw, ci, f, s := vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6]
+		kind := layer.Conv
+		if fh == 1 && fw == 1 {
+			if ih == 1 && iw == 1 {
+				kind = layer.FullyConnected
+			} else {
+				kind = layer.PointwiseConv
+			}
+		}
+		l, err := layer.New(row[0], kind, ih, iw, ci, fh, fw, f, s, 0)
+		if err != nil {
+			return nil, err
+		}
+		n.Layers = append(n.Layers, l)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

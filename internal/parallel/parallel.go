@@ -1,0 +1,56 @@
+// Package parallel provides the small fan-out helper the experiment
+// drivers use to evaluate independent (model, buffer-size, scheme) cells
+// concurrently. It follows the worker-pool idiom from Effective Go: a fixed
+// number of goroutines draining an index channel, synchronised with a
+// WaitGroup — no shared mutable state beyond the caller's pre-sized result
+// slices.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs f(i) for every i in [0, n), distributing indices over
+// workers goroutines (GOMAXPROCS when workers <= 0). It returns when all
+// calls completed. f must only write to per-index state.
+func ForEach(n, workers int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Map runs f over [0, n) like ForEach and collects the results in order.
+func Map[T any](n, workers int, f func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = f(i) })
+	return out
+}

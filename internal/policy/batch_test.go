@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"testing"
+
+	"scratchmem/internal/layer"
+)
+
+// TestBatchAmortisesFilterResidentPolicies: with a batch of B inputs,
+// intra/P1/P4 load weights once while P2/P3/P5 re-stream them per input;
+// ifmap and ofmap traffic always scales with B.
+func TestBatchAmortisesFilterResidentPolicies(t *testing.T) {
+	l := layer.MustNew("c", layer.Conv, 14, 14, 128, 3, 3, 256, 1, 1)
+	base := Default(1024)
+	batched := Default(1024)
+	batched.Batch = 8
+
+	for _, id := range IDs() {
+		e1 := Estimate(&l, id, Options{}, base)
+		e8 := Estimate(&l, id, Options{}, batched)
+		if e8.AccessIfmap != 8*e1.AccessIfmap {
+			t.Errorf("%s: batched ifmap %d != 8x%d", id, e8.AccessIfmap, e1.AccessIfmap)
+		}
+		if e8.AccessOfmap != 8*e1.AccessOfmap {
+			t.Errorf("%s: batched ofmap %d != 8x%d", id, e8.AccessOfmap, e1.AccessOfmap)
+		}
+		switch id {
+		case IntraLayer, P1IfmapReuse, P4PartialIfmap:
+			if e8.AccessFilter != e1.AccessFilter {
+				t.Errorf("%s: filter traffic not amortised: %d vs %d", id, e8.AccessFilter, e1.AccessFilter)
+			}
+		default:
+			if e8.AccessFilter != 8*e1.AccessFilter {
+				t.Errorf("%s: filter traffic %d != 8x%d", id, e8.AccessFilter, e1.AccessFilter)
+			}
+		}
+		// Memory footprint is per-input and unchanged.
+		if e8.MemoryElems != e1.MemoryElems {
+			t.Errorf("%s: batching changed memory %d -> %d", id, e1.MemoryElems, e8.MemoryElems)
+		}
+		if e8.ComputeCycles != 8*e1.ComputeCycles {
+			t.Errorf("%s: batched compute %d != 8x%d", id, e8.ComputeCycles, e1.ComputeCycles)
+		}
+	}
+}
+
+// TestBatchPerInputTrafficImproves: for a filter-heavy layer, the best
+// per-input traffic strictly improves with batch size (the Escher-style
+// batching effect the paper cites).
+func TestBatchPerInputTrafficImproves(t *testing.T) {
+	l := layer.MustNew("c", layer.Conv, 7, 7, 512, 3, 3, 512, 1, 1)
+	var prev float64
+	for i, b := range []int{1, 2, 4, 8} {
+		cfg := Default(1024)
+		cfg.Batch = b
+		best := int64(0)
+		for _, id := range IDs() {
+			e := Estimate(&l, id, Options{}, cfg)
+			if !e.Feasible {
+				continue
+			}
+			if best == 0 || e.AccessElems < best {
+				best = e.AccessElems
+			}
+		}
+		perInput := float64(best) / float64(b)
+		if i > 0 && perInput >= prev {
+			t.Errorf("batch %d: per-input traffic %.0f did not improve on %.0f", b, perInput, prev)
+		}
+		prev = perInput
+	}
+}
+
+// TestBatchFallback: in the filter-outer orientation the fallback keeps
+// each filter resident across the whole batch, so its weight traffic does
+// not scale with the batch; row-outer weight traffic does.
+func TestBatchFallback(t *testing.T) {
+	cfg1 := Default(1024)
+	cfg8 := Default(1024)
+	cfg8.Batch = 8
+
+	// Filter-outer shape (tall filters, tiny ifmap): weights amortised.
+	fo := layer.MustNew("fo", layer.Conv, 5, 5, 2, 5, 5, 16, 1, 2)
+	f1 := FallbackEstimate(&fo, Options{}, cfg1)
+	f8 := FallbackEstimate(&fo, Options{}, cfg8)
+	if f1.IfmapLoads <= 1 {
+		t.Fatalf("expected filter-outer at batch 1, got ifmap loads %d", f1.IfmapLoads)
+	}
+	if f8.AccessFilter != f1.AccessFilter {
+		t.Errorf("filter-outer weights not amortised: %d vs %d", f8.AccessFilter, f1.AccessFilter)
+	}
+	if f8.AccessIfmap != 8*f1.AccessIfmap {
+		t.Errorf("filter-outer ifmap traffic %d != 8x%d", f8.AccessIfmap, f1.AccessIfmap)
+	}
+
+	// Row-outer shape (tiny filters): weight traffic scales with the batch.
+	ro := layer.MustNew("ro", layer.Conv, 24, 24, 2, 3, 3, 3, 1, 1)
+	r1 := FallbackEstimate(&ro, Options{}, cfg1)
+	r8 := FallbackEstimate(&ro, Options{}, cfg8)
+	if r1.FilterLoads <= 1 {
+		t.Fatalf("expected row-outer at batch 1, got filter loads %d", r1.FilterLoads)
+	}
+	if r8.AccessFilter != 8*r1.AccessFilter {
+		t.Errorf("row-outer weights %d != 8x%d", r8.AccessFilter, r1.AccessFilter)
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	cfg := Default(64)
+	cfg.Batch = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative batch accepted")
+	}
+	cfg.Batch = 0
+	if cfg.BatchSize() != 1 {
+		t.Error("zero batch should mean 1")
+	}
+	cfg.Batch = 4
+	if cfg.BatchSize() != 4 {
+		t.Error("BatchSize broken")
+	}
+}

@@ -1,0 +1,121 @@
+package policy
+
+import (
+	"fmt"
+
+	"scratchmem/internal/layer"
+)
+
+// Direction is an ifmap tile-traversal direction (paper Figure 2a). When a
+// tile smaller than the ifmap sweeps the tensor, consecutive positions
+// along the sliding (primary) direction retain their convolution halo
+// (FH-S rows or FW-S columns), while every tile boundary crossed in the
+// other directions re-loads its halo — the turquoise elements of Figure 2a.
+// Channels have no halo, so the depth direction never re-loads, which is
+// what makes the height-wise full-width sliding window of Figure 2b (and
+// of policies 1/3-5) transfer every element exactly once.
+type Direction int
+
+const (
+	// HeightWise slides the tile along the ifmap height.
+	HeightWise Direction = iota
+	// WidthWise slides the tile along the ifmap width.
+	WidthWise
+	// DepthWise slides the tile along the channels.
+	DepthWise
+)
+
+// String names the direction as in the paper's Figure 2.
+func (d Direction) String() string {
+	switch d {
+	case HeightWise:
+		return "height-wise"
+	case WidthWise:
+		return "width-wise"
+	case DepthWise:
+		return "depth-wise"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Tile is an ifmap tile shape for the Figure 2 analysis.
+type Tile struct {
+	TH, TW, TC int
+}
+
+// SweepLoad returns the total ifmap elements transferred when the tile
+// sweeps the layer's (effective) ifmap with the given primary direction:
+// the primary dimension loads its extent once (halo retained while
+// sliding); each other dimension loads its stretched extent —
+// extent + (tiles-1) * halo — because halos re-load at every tile boundary.
+//
+// The tile must be at least the filter's extent in H/W (a convolution
+// window must fit) and positive in depth.
+func SweepLoad(l *layer.Layer, t Tile, primary Direction, cfg Config) (int64, error) {
+	ihe, iwe := int64(l.IH), int64(l.IW)
+	if cfg.IncludePadding {
+		ihe, iwe = int64(l.PaddedIH()), int64(l.PaddedIW())
+	}
+	if int64(t.TH) < int64(l.FH) || int64(t.TW) < int64(l.FW) || t.TC < 1 {
+		return 0, fmt.Errorf("policy: tile %dx%dx%d smaller than the %dx%d window", t.TH, t.TW, t.TC, l.FH, l.FW)
+	}
+	th, tw := min64(int64(t.TH), ihe), min64(int64(t.TW), iwe)
+
+	// Stretched extents: halo re-loaded once per interior tile boundary.
+	stretch := func(extent, tile, halo int64) int64 {
+		if tile >= extent {
+			return extent
+		}
+		step := tile - halo
+		tiles := 1 + ceilDiv(extent-tile, step)
+		return extent + (tiles-1)*halo
+	}
+	haloH := int64(l.FH - l.S)
+	if haloH < 0 {
+		haloH = 0
+	}
+	haloW := int64(l.FW - l.S)
+	if haloW < 0 {
+		haloW = 0
+	}
+	covH := stretch(ihe, th, haloH)
+	covW := stretch(iwe, tw, haloW)
+	covD := int64(l.CI) // channels never re-load
+
+	switch primary {
+	case HeightWise:
+		covH = ihe
+	case WidthWise:
+		covW = iwe
+	case DepthWise:
+		// Depth has no halo, so sliding along it saves nothing.
+	default:
+		return 0, fmt.Errorf("policy: unknown direction %v", primary)
+	}
+	return covH * covW * covD, nil
+}
+
+// BestDirection returns the direction minimising SweepLoad for a tile —
+// height-wise for the full-width sliding windows the policies use.
+func BestDirection(l *layer.Layer, t Tile, cfg Config) (Direction, int64, error) {
+	var bestDir Direction
+	var best int64 = -1
+	for _, d := range []Direction{HeightWise, WidthWise, DepthWise} {
+		v, err := SweepLoad(l, t, d, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		if best < 0 || v < best {
+			bestDir, best = d, v
+		}
+	}
+	return bestDir, best, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

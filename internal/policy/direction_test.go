@@ -1,0 +1,175 @@
+package policy
+
+import (
+	"testing"
+
+	"scratchmem/internal/layer"
+)
+
+// bruteSweep simulates the tile traversal at element granularity: only the
+// primary (innermost) direction retains its sliding overlap; crossing an
+// outer tile boundary flushes residency. It returns the total elements
+// loaded.
+func bruteSweep(ihe, iwe, ci, th, tw, fh, fw, s int, primary Direction) int64 {
+	haloH, haloW := fh-s, fw-s
+	if haloH < 0 {
+		haloH = 0
+	}
+	if haloW < 0 {
+		haloW = 0
+	}
+	positions := func(extent, tile, halo int) []int {
+		if tile >= extent {
+			return []int{0}
+		}
+		step := tile - halo
+		var pos []int
+		for p := 0; ; p += step {
+			if p+tile >= extent {
+				pos = append(pos, extent-tile)
+				break
+			}
+			pos = append(pos, p)
+		}
+		return pos
+	}
+	hPos := positions(ihe, th, haloH)
+	wPos := positions(iwe, tw, haloW)
+	dPos := []int{0} // whole depth per slab; channels have no halo
+	type id struct{ h, w int }
+
+	var total int64
+	sweep := func(outerA, outerB []int, inner []int, tileAt func(a, b, p int) (h0, h1, w0, w1 int)) {
+		for _, a := range outerA {
+			for _, b := range outerB {
+				resident := map[id]bool{}
+				for _, p := range inner {
+					h0, h1, w0, w1 := tileAt(a, b, p)
+					next := map[id]bool{}
+					for h := h0; h < h1; h++ {
+						for w := w0; w < w1; w++ {
+							k := id{h, w}
+							if !resident[k] {
+								total += int64(ci)
+							}
+							next[k] = true
+						}
+					}
+					resident = next
+				}
+			}
+		}
+	}
+	switch primary {
+	case HeightWise:
+		sweep(wPos, dPos, hPos, func(w, _, h int) (int, int, int, int) {
+			return h, h + th, w, w + tw
+		})
+	case WidthWise:
+		sweep(hPos, dPos, wPos, func(h, _, w int) (int, int, int, int) {
+			return h, h + th, w, w + tw
+		})
+	case DepthWise:
+		// Depth is innermost but has no halo: every (h, w) tile crossing
+		// loads fresh.
+		sweep(hPos, wPos, []int{0}, func(h, w, _ int) (int, int, int, int) {
+			return h, h + th, w, w + tw
+		})
+	}
+	return total
+}
+
+// TestSweepLoadMatchesBruteForce: on tile grids that divide the ifmap
+// evenly, the closed form equals the element-level simulation for all three
+// directions.
+func TestSweepLoadMatchesBruteForce(t *testing.T) {
+	cfg := Default(64)
+	cfg.IncludePadding = false
+	cases := []struct {
+		l layer.Layer
+		t Tile
+	}{
+		// 14 = 4 + 5*2: tiles of 4 with halo 2 step 2 tile evenly.
+		{layer.MustNew("a", layer.Conv, 14, 14, 3, 3, 3, 4, 1, 0), Tile{TH: 4, TW: 4, TC: 3}},
+		{layer.MustNew("b", layer.Conv, 14, 10, 2, 3, 3, 4, 1, 0), Tile{TH: 4, TW: 10, TC: 2}},
+		{layer.MustNew("c", layer.Conv, 10, 10, 4, 1, 1, 4, 1, 0), Tile{TH: 2, TW: 2, TC: 4}},
+	}
+	for _, tc := range cases {
+		for _, dir := range []Direction{HeightWise, WidthWise, DepthWise} {
+			got, err := SweepLoad(&tc.l, tc.t, dir, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteSweep(tc.l.IH, tc.l.IW, tc.l.CI, tc.t.TH, tc.t.TW, tc.l.FH, tc.l.FW, tc.l.S, dir)
+			if got != want {
+				t.Errorf("%s %v %v: closed form %d != brute force %d", tc.l.Name, tc.t, dir, got, want)
+			}
+		}
+	}
+}
+
+// TestSweepLoadLowerBoundsUnaligned: with clamped (unaligned) tilings the
+// closed form is a lower bound on the simulated loads.
+func TestSweepLoadLowerBoundsUnaligned(t *testing.T) {
+	cfg := Default(64)
+	cfg.IncludePadding = false
+	l := layer.MustNew("u", layer.Conv, 13, 11, 2, 3, 3, 4, 1, 0)
+	tile := Tile{TH: 5, TW: 4, TC: 2}
+	for _, dir := range []Direction{HeightWise, WidthWise, DepthWise} {
+		got, err := SweepLoad(&l, tile, dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteSweep(l.IH, l.IW, l.CI, tile.TH, tile.TW, l.FH, l.FW, l.S, dir)
+		if got > want {
+			t.Errorf("%v: closed form %d exceeds brute force %d", dir, got, want)
+		}
+	}
+}
+
+// TestFig2SlidingWindowMinimal reproduces Figure 2b: the full-width
+// height-wise sliding window of policy 1 transfers every ifmap element
+// exactly once, and height-wise is the best direction for it.
+func TestFig2SlidingWindowMinimal(t *testing.T) {
+	cfg := Default(64)
+	l := layer.MustNew("c", layer.Conv, 56, 56, 64, 3, 3, 64, 1, 1)
+	window := Tile{TH: l.FH, TW: l.PaddedIW(), TC: l.CI}
+	got, err := SweepLoad(&l, window, HeightWise, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := l.IfmapElems(true); got != want {
+		t.Errorf("sliding window loads %d, want each element once (%d)", got, want)
+	}
+	dir, best, err := BestDirection(&l, window, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != HeightWise || best != got {
+		t.Errorf("best direction = %v (%d), want height-wise (%d)", dir, best, got)
+	}
+	// Depth-wise primary on a narrow tile pays halo re-loads in H and W.
+	narrow := Tile{TH: l.FH, TW: l.FW, TC: l.CI}
+	dw, _ := SweepLoad(&l, narrow, DepthWise, cfg)
+	hw, _ := SweepLoad(&l, narrow, HeightWise, cfg)
+	if dw <= hw {
+		t.Errorf("depth-wise (%d) should re-load more than height-wise (%d) for a narrow tile", dw, hw)
+	}
+	if hw <= l.IfmapElems(true) {
+		t.Errorf("narrow tile should still re-load (%d vs %d once-each)", hw, l.IfmapElems(true))
+	}
+}
+
+func TestSweepLoadErrors(t *testing.T) {
+	cfg := Default(64)
+	l := layer.MustNew("c", layer.Conv, 8, 8, 2, 3, 3, 4, 1, 0)
+	if _, err := SweepLoad(&l, Tile{TH: 2, TW: 3, TC: 1}, HeightWise, cfg); err == nil {
+		t.Error("tile smaller than the window accepted")
+	}
+	if _, err := SweepLoad(&l, Tile{TH: 3, TW: 3, TC: 1}, Direction(9), cfg); err == nil {
+		t.Error("unknown direction accepted")
+	}
+	if DepthWise.String() != "depth-wise" || Direction(9).String() == "" {
+		t.Error("direction names broken")
+	}
+}

@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"sort"
+
+	"scratchmem/internal/layer"
+)
+
+// FrontierPoint is one Pareto-optimal (memory, accesses) trade-off for a
+// layer: no other evaluated variant needs less memory and moves fewer
+// bytes.
+type FrontierPoint struct {
+	MemoryBytes int64
+	AccessElems int64
+	Policy      ID
+	Prefetch    bool
+	N           int
+}
+
+// Frontier enumerates the memory/traffic Pareto frontier of a layer across
+// every policy variant (including the fallback and, for P4/P5, the full
+// range of filter-block sizes), sorted by ascending memory. The first point
+// is the smallest footprint that can execute the layer at all; the last is
+// the cheapest traffic any policy can reach. This is the curve a designer
+// reads to size a scratchpad for a target network.
+func Frontier(l *layer.Layer, cfg Config) []FrontierPoint {
+	var pts []FrontierPoint
+	add := func(e Result) {
+		pts = append(pts, FrontierPoint{
+			MemoryBytes: e.MemoryBytes,
+			AccessElems: e.AccessElems,
+			Policy:      e.Policy,
+			Prefetch:    e.Opts.Prefetch,
+			N:           e.N,
+		})
+	}
+	s := newShape(l, cfg.IncludePadding)
+	for _, pf := range []bool{false, true} {
+		o := Options{Prefetch: pf}
+		for _, id := range []ID{IntraLayer, P1IfmapReuse, P2FilterReuse, P3PerChannel} {
+			add(estimateWithN(l, id, o, cfg, s, 0))
+		}
+		for _, id := range []ID{P4PartialIfmap, P5PartialPerChannel} {
+			maxN := int64(l.F)
+			if l.Kind != layer.DepthwiseConv && maxN > 1 {
+				maxN--
+			}
+			for _, n := range blockSamples(maxN) {
+				add(estimateWithN(l, id, o, cfg, s, n))
+			}
+		}
+		add(FallbackEstimate(l, o, cfg))
+	}
+
+	// Pareto filter: sort by memory, keep strictly improving traffic.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].MemoryBytes != pts[j].MemoryBytes {
+			return pts[i].MemoryBytes < pts[j].MemoryBytes
+		}
+		return pts[i].AccessElems < pts[j].AccessElems
+	})
+	var frontier []FrontierPoint
+	bestAcc := int64(-1)
+	for _, p := range pts {
+		if bestAcc < 0 || p.AccessElems < bestAcc {
+			frontier = append(frontier, p)
+			bestAcc = p.AccessElems
+		}
+	}
+	return frontier
+}
+
+// blockSamples returns block sizes to probe: all powers of two up to max
+// plus max itself.
+func blockSamples(max int64) []int64 {
+	var out []int64
+	for n := int64(1); n < max; n *= 2 {
+		out = append(out, n)
+	}
+	out = append(out, max)
+	return out
+}
+
+// SmallestGLBForMinimum returns the smallest GLB size in bytes at which the
+// layer reaches its once-per-element traffic minimum under some policy —
+// the knee of the frontier.
+func SmallestGLBForMinimum(l *layer.Layer, cfg Config) int64 {
+	min := MinAccessElems(l, cfg)
+	best := int64(-1)
+	for _, p := range Frontier(l, cfg) {
+		if p.AccessElems == min && (best < 0 || p.MemoryBytes < best) {
+			best = p.MemoryBytes
+		}
+	}
+	return best
+}

@@ -1,0 +1,74 @@
+package policy
+
+import (
+	"testing"
+
+	"scratchmem/internal/layer"
+)
+
+func TestFrontierIsPareto(t *testing.T) {
+	cfg := Default(1024)
+	layers := []layer.Layer{
+		layer.MustNew("cv", layer.Conv, 28, 28, 64, 3, 3, 128, 1, 1),
+		layer.MustNew("dw", layer.DepthwiseConv, 28, 28, 64, 3, 3, 1, 1, 1),
+		layer.FC("fc", 512, 1000),
+	}
+	for _, l := range layers {
+		l := l
+		f := Frontier(&l, cfg)
+		if len(f) == 0 {
+			t.Fatalf("%s: empty frontier", l.Name)
+		}
+		for i := 1; i < len(f); i++ {
+			if f[i].MemoryBytes <= f[i-1].MemoryBytes {
+				t.Errorf("%s: memory not strictly increasing at %d", l.Name, i)
+			}
+			if f[i].AccessElems >= f[i-1].AccessElems {
+				t.Errorf("%s: traffic not strictly decreasing at %d", l.Name, i)
+			}
+		}
+		// The last (largest-memory) point reaches the minimum.
+		if last := f[len(f)-1]; last.AccessElems != MinAccessElems(&l, cfg) {
+			t.Errorf("%s: frontier tail %d, want minimum %d",
+				l.Name, last.AccessElems, MinAccessElems(&l, cfg))
+		}
+		// Every named policy variant is dominated by (or on) the frontier.
+		for _, id := range IDs() {
+			e := Estimate(&l, id, Options{}, cfg)
+			dominated := false
+			for _, p := range f {
+				if p.MemoryBytes <= e.MemoryBytes && p.AccessElems <= e.AccessElems {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Errorf("%s: %s (mem %d, acc %d) not covered by frontier",
+					l.Name, id, e.MemoryBytes, e.AccessElems)
+			}
+		}
+	}
+}
+
+func TestSmallestGLBForMinimum(t *testing.T) {
+	cfg := Default(1024)
+	l := layer.MustNew("cv", layer.Conv, 28, 28, 64, 3, 3, 128, 1, 1)
+	need := SmallestGLBForMinimum(&l, cfg)
+	if need <= 0 {
+		t.Fatalf("no minimum-reaching point (need = %d)", need)
+	}
+	// A GLB of exactly that size must admit a min-traffic policy; one byte
+	// less must not (for the probed variants).
+	cfgAt := cfg
+	cfgAt.GLBBytes = need
+	found := false
+	for _, id := range IDs() {
+		e := Estimate(&l, id, Options{}, cfgAt)
+		if e.Feasible && e.AccessElems == MinAccessElems(&l, cfg) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("GLB of %d bytes does not admit a minimal policy", need)
+	}
+}

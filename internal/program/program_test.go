@@ -1,0 +1,142 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"scratchmem/internal/core"
+	"scratchmem/internal/model"
+)
+
+func compileModel(t *testing.T, name string, kb int) *Program {
+	t.Helper()
+	n, err := model.Builtin(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlanner(kb, core.MinAccesses).Heterogeneous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCompileMatchesPlan: the lowered program's traffic equals the plan's
+// analytical total for every model at the smallest paper size.
+func TestCompileMatchesPlan(t *testing.T) {
+	for _, name := range []string{"ResNet18", "MobileNet", "TinyCNN"} {
+		n, _ := model.Builtin(name)
+		plan, err := core.NewPlanner(64, core.MinAccesses).Heterogeneous(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Compile(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.AccessElems() != plan.AccessElems() {
+			t.Errorf("%s: program traffic %d != plan %d", name, p.AccessElems(), plan.AccessElems())
+		}
+		if len(p.Layers) != len(plan.Layers) {
+			t.Errorf("%s: %d layer programs, want %d", name, len(p.Layers), len(plan.Layers))
+		}
+		if p.Ops() == 0 {
+			t.Errorf("%s: empty op stream", name)
+		}
+	}
+}
+
+// TestRunLengthEncoding: uniform sweeps compress massively — the encoded
+// op count must be far below the expanded one.
+func TestRunLengthEncoding(t *testing.T) {
+	p := compileModel(t, "ResNet18", 64)
+	var encoded int64
+	for i := range p.Layers {
+		encoded += int64(len(p.Layers[i].Ops))
+	}
+	if expanded := p.Ops(); encoded*4 > expanded {
+		t.Errorf("RLE ineffective: %d encoded vs %d expanded ops", encoded, expanded)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := compileModel(t, "TinyCNN", 32)
+	var sb strings.Builder
+	if err := p.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.AccessElems() != p.AccessElems() || len(back.Layers) != len(p.Layers) {
+		t.Error("round trip changed the program")
+	}
+	if back.Model != "TinyCNN" || back.Objective != "accesses" {
+		t.Errorf("header lost: %+v", back)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := compileModel(t, "TinyCNN", 32)
+	good := *p
+
+	p.Layers[0].AccessElems++
+	if err := p.Validate(); err == nil {
+		t.Error("traffic mismatch accepted")
+	}
+	*p = good
+
+	bad := p.Layers[0].Ops[0]
+	p.Layers[0].Ops[0] = Op{Count: 1}
+	if err := p.Validate(); err == nil {
+		t.Error("empty op accepted")
+	}
+	p.Layers[0].Ops[0] = bad
+
+	p.Layers[0].MemoryElems = 1 << 40
+	if err := p.Validate(); err == nil {
+		t.Error("over-capacity layer accepted")
+	}
+
+	if err := (&Program{}).Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("{}")); err == nil {
+		t.Error("empty JSON program accepted")
+	}
+}
+
+// TestInterLayerFlagsSurvive: retention decisions appear in the program.
+func TestInterLayerFlagsSurvive(t *testing.T) {
+	n, _ := model.Builtin("MnasNet")
+	pl := core.NewPlanner(1024, core.MinAccesses)
+	pl.InterLayer = true
+	plan, err := pl.Heterogeneous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keeps, consumes := 0, 0
+	for i := range p.Layers {
+		if p.Layers[i].KeepOfmap {
+			keeps++
+		}
+		if p.Layers[i].ResidentIfmap {
+			consumes++
+		}
+	}
+	if keeps == 0 || keeps != consumes {
+		t.Errorf("retention flags lost: %d keeps, %d consumes", keeps, consumes)
+	}
+}

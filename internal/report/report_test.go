@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.Row("alpha", 1.25)
+	tab.Row("b", 42)
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "1.2", "42", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("Rows = %d, want 2", tab.Rows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.Row("x", 1)
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "a,b\nx,1\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestBar(t *testing.T) {
+	var sb strings.Builder
+	Bar(&sb, "thing", 5, 10, 10)
+	out := sb.String()
+	if !strings.Contains(out, "#####") || strings.Contains(out, "######") {
+		t.Errorf("bar scaling wrong: %q", out)
+	}
+	sb.Reset()
+	Bar(&sb, "over", 20, 10, 10)
+	if !strings.Contains(sb.String(), strings.Repeat("#", 10)) {
+		t.Errorf("bar not clipped: %q", sb.String())
+	}
+	sb.Reset()
+	Bar(&sb, "zero-max", 5, 0, 0)
+	if !strings.Contains(sb.String(), "zero-max") {
+		t.Errorf("bar without max broken: %q", sb.String())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("", "only")
+	tab.Row("a", "extra", "cells")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "extra") {
+		t.Error("ragged row dropped")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.Row("alpha", 1.25)
+	var sb strings.Builder
+	if err := tab.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### Demo", "| name | value |", "| --- | --- |", "| alpha | 1.2 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package scalesim
+
+import (
+	"scratchmem/internal/layer"
+	"scratchmem/internal/model"
+)
+
+// foldCycles is SCALE-Sim's output-stationary fold timing: streaming the K
+// reduction plus the array fill/drain skew.
+func foldCycles(rows, cols int, k int64) int64 {
+	return 2*int64(rows) + int64(cols) + k - 2
+}
+
+// Simulate runs the analytical baseline model for one layer.
+//
+// Compute: the GEMM is folded onto the RxC array; every fold costs
+// 2R + C + K - 2 zero-stall cycles (the paper's baseline latency is
+// buffer-independent because it assumes zero stalls).
+//
+// DRAM traffic follows a partial-residency pass model: each operand is
+// logically swept once per fold pass of the *other* GEMM dimension (the
+// ifmap once per column fold, the filters once per row fold); whatever
+// fraction of the operand fits its statically assigned half-buffer stays
+// pinned across passes and the remainder re-streams from DRAM. With a
+// buffer that holds the whole operand this degenerates to one load; with a
+// tiny buffer it approaches a full re-load per pass — the cliff the paper's
+// fixed partitions fall off when the dominant data type is under-provisioned.
+// Output-stationary partial sums stay in the PEs, so the ofmap writes back
+// exactly once.
+//
+// Depth-wise layers map channels across array columns; their operands are
+// disjoint per column fold, so traffic is minimal by construction.
+func Simulate(l *layer.Layer, cfg Config) LayerResult {
+	g := strippedGeometry(l)
+	if !g.depthwise {
+		// Depth-wise layers always use the channel-parallel mapping below;
+		// dense layers honour the configured dataflow.
+		switch cfg.Flow {
+		case WeightStationary:
+			return simulateWS(l, cfg, g)
+		case InputStationary:
+			return simulateIS(l, cfg, g)
+		}
+	}
+	r := LayerResult{Layer: l.Name}
+	r.RowFolds = ceilDiv(g.m, int64(cfg.Rows))
+	r.ColFolds = ceilDiv(g.n, int64(cfg.Cols))
+	r.Cycles = r.RowFolds * r.ColFolds * foldCycles(cfg.Rows, cfg.Cols, g.k)
+	r.Utilization = float64(g.m*g.n) / float64(r.RowFolds*int64(cfg.Rows)*r.ColFolds*int64(cfg.Cols))
+	r.DRAMOfmap = g.m * g.n
+
+	si := usedIfmapElems(l, g)
+	sf := g.k * g.n // filter footprint of the GEMM view
+
+	if g.depthwise {
+		// Column folds hold disjoint channels; every operand element is
+		// needed by exactly one (row fold, column fold) pair, so each loads
+		// once regardless of buffer size.
+		r.DRAMIfmap = si
+		r.DRAMFilter = l.FilterElems()
+		return r
+	}
+
+	r.DRAMIfmap = passTraffic(si, cfg.IfmapActiveElems(), r.ColFolds)
+	r.DRAMFilter = passTraffic(sf, cfg.FilterActiveElems(), r.RowFolds)
+	return r
+}
+
+// passTraffic returns the DRAM traffic of an operand of `total` elements
+// that is swept `passes` times with `pinned` elements of buffer capacity:
+// the pinned fraction loads once, the spill re-streams on every pass.
+func passTraffic(total, pinned, passes int64) int64 {
+	if total <= pinned {
+		return total
+	}
+	return total + (passes-1)*(total-pinned)
+}
+
+// usedIfmapElems returns how many ifmap elements the stripped layer
+// actually reads: trailing rows/columns that no sliding window touches
+// (stride remainders) are excluded, matching the element-exact trace.
+func usedIfmapElems(l *layer.Layer, g gemm) int64 {
+	usedRows := (g.ohs-1)*int64(l.S) + int64(l.FH)
+	usedCols := (g.ows-1)*int64(l.S) + int64(l.FW)
+	if max := int64(l.IH); usedRows > max {
+		usedRows = max
+	}
+	if max := int64(l.IW); usedCols > max {
+		usedCols = max
+	}
+	return usedRows * usedCols * int64(l.CI)
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// SimulateNetwork runs the analytical baseline over a whole network.
+func SimulateNetwork(n *model.Network, cfg Config) (*NetworkResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	out := &NetworkResult{Config: cfg}
+	out.Layers = make([]LayerResult, len(n.Layers))
+	for i := range n.Layers {
+		out.Layers[i] = Simulate(&n.Layers[i], cfg)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+// Package scalesim models the paper's baseline accelerator: a SCALE-Sim
+// style output-stationary systolic array with separate, statically
+// partitioned ifmap and filter scratchpads (each internally double-buffered:
+// half the assigned capacity holds active data, half prefetches) and a small
+// ofmap staging buffer.
+//
+// Two evaluation paths are provided. The analytical model (Simulate) derives
+// per-layer zero-stall cycle counts from the fold timing of an output-
+// stationary array and DRAM traffic from a working-set reload model; the
+// trace model (Trace) replays the fold loop at element granularity,
+// tracking exactly which operand elements enter the SRAMs, and exists to
+// validate the analytical model on small layers (SCALE-Sim itself is a full
+// trace simulator, which is why the paper reports hours of baseline runtime
+// against a minute for the policy estimators).
+package scalesim
+
+import (
+	"fmt"
+
+	"scratchmem/internal/layer"
+)
+
+// Config describes the baseline accelerator.
+type Config struct {
+	// Name labels the configuration in reports, e.g. "sa_25_75".
+	Name string
+	// Rows, Cols are the PE array dimensions (16x16 in the paper).
+	Rows, Cols int
+	// IfmapSRAMBytes and FilterSRAMBytes are the per-type buffer sizes.
+	// When DoubleBuffered is set, only half of each holds active data.
+	IfmapSRAMBytes  int64
+	FilterSRAMBytes int64
+	// OfmapSRAMBytes stages output rows on their way to DRAM (4 kB in the
+	// paper); with an output-stationary dataflow partial sums live in the
+	// PEs, so this size does not affect traffic.
+	OfmapSRAMBytes int64
+	// DataWidthBits is the element width.
+	DataWidthBits int
+	// DoubleBuffered halves the active capacity of the ifmap/filter
+	// buffers, as the paper describes for the SCALE-Sim baseline.
+	DoubleBuffered bool
+	// Flow selects the dataflow; the zero value is the paper's
+	// output-stationary baseline.
+	Flow Dataflow
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Rows <= 0 || c.Cols <= 0:
+		return fmt.Errorf("scalesim: array %dx%d invalid", c.Rows, c.Cols)
+	case c.IfmapSRAMBytes <= 0 || c.FilterSRAMBytes <= 0 || c.OfmapSRAMBytes < 0:
+		return fmt.Errorf("scalesim: non-positive SRAM sizes")
+	case c.DataWidthBits <= 0:
+		return fmt.Errorf("scalesim: data width must be positive")
+	}
+	return nil
+}
+
+// activeElems returns the active (non-prefetch) capacity of a buffer in
+// elements.
+func (c Config) activeElems(bytes int64) int64 {
+	if c.DoubleBuffered {
+		bytes /= 2
+	}
+	return bytes * 8 / int64(c.DataWidthBits)
+}
+
+// IfmapActiveElems returns the usable ifmap buffer capacity in elements.
+func (c Config) IfmapActiveElems() int64 { return c.activeElems(c.IfmapSRAMBytes) }
+
+// FilterActiveElems returns the usable filter buffer capacity in elements.
+func (c Config) FilterActiveElems() int64 { return c.activeElems(c.FilterSRAMBytes) }
+
+// Split builds a baseline configuration from a total on-chip budget, an
+// ifmap share in percent, the paper's fixed 4 kB ofmap buffer and 16x16
+// array. ifmapPct of (total - 4 kB) goes to the ifmap buffer, the rest to
+// the filter buffer.
+func Split(name string, totalKB, ifmapPct, widthBits int) Config {
+	total := int64(totalKB) * 1024
+	ofmap := int64(4 * 1024)
+	rest := total - ofmap
+	if rest <= 0 {
+		rest = 2 // degenerate but non-zero so Validate flags sensibly sized use
+	}
+	ifm := rest * int64(ifmapPct) / 100
+	return Config{
+		Name:            name,
+		Rows:            16,
+		Cols:            16,
+		IfmapSRAMBytes:  ifm,
+		FilterSRAMBytes: rest - ifm,
+		OfmapSRAMBytes:  ofmap,
+		DataWidthBits:   widthBits,
+		DoubleBuffered:  true,
+	}
+}
+
+// PaperSplits returns the three baseline configurations of the paper's §4:
+// 25-75, 50-50 and 75-25 ifmap-filter partitions of (GLB - 4 kB).
+func PaperSplits(totalKB, widthBits int) []Config {
+	return []Config{
+		Split("sa_25_75", totalKB, 25, widthBits),
+		Split("sa_50_50", totalKB, 50, widthBits),
+		Split("sa_75_25", totalKB, 75, widthBits),
+	}
+}
+
+// gemm is the GEMM view SCALE-Sim maps a layer onto: M output pixels by N
+// filters, reduced over K. Depth-wise layers map channels across the array
+// columns (N = CI) with a per-channel reduction K = FH*FW.
+type gemm struct {
+	m, n, k int64
+	// ohs, ows are the stripped output dims (SCALE-Sim topology files carry
+	// no padding column, so the baseline sees the unpadded geometry).
+	ohs, ows  int64
+	depthwise bool
+}
+
+// strippedGeometry returns the layer geometry as the baseline sees it: no
+// padding, output (IH-FH)/S+1.
+func strippedGeometry(l *layer.Layer) gemm {
+	ohs := int64((l.IH-l.FH)/l.S + 1)
+	ows := int64((l.IW-l.FW)/l.S + 1)
+	g := gemm{m: ohs * ows, ohs: ohs, ows: ows}
+	if l.Kind == layer.DepthwiseConv {
+		g.n = int64(l.CI)
+		g.k = int64(l.FH) * int64(l.FW)
+		g.depthwise = true
+		return g
+	}
+	g.n = int64(l.F)
+	g.k = int64(l.FH) * int64(l.FW) * int64(l.CI)
+	return g
+}
+
+// LayerResult reports the baseline's per-layer behaviour.
+type LayerResult struct {
+	Layer      string
+	Cycles     int64 // zero-stall compute cycles (paper Figure 8 baseline)
+	DRAMIfmap  int64 // elements read for the ifmap
+	DRAMFilter int64 // elements read for the filters
+	DRAMOfmap  int64 // elements written for the ofmap
+	RowFolds   int64
+	ColFolds   int64
+	// Utilization is the PE mapping efficiency of the fold decomposition.
+	Utilization float64
+}
+
+// DRAMTotal returns the total per-layer off-chip traffic in elements.
+func (r LayerResult) DRAMTotal() int64 { return r.DRAMIfmap + r.DRAMFilter + r.DRAMOfmap }
+
+// NetworkResult aggregates a whole network.
+type NetworkResult struct {
+	Config Config
+	Layers []LayerResult
+}
+
+// Cycles returns the network's total zero-stall cycles.
+func (n *NetworkResult) Cycles() int64 {
+	var t int64
+	for i := range n.Layers {
+		t += n.Layers[i].Cycles
+	}
+	return t
+}
+
+// DRAMTotal returns the network's total off-chip traffic in elements.
+func (n *NetworkResult) DRAMTotal() int64 {
+	var t int64
+	for i := range n.Layers {
+		t += n.Layers[i].DRAMTotal()
+	}
+	return t
+}
+
+// DRAMBytes returns the network's total off-chip traffic in bytes.
+func (n *NetworkResult) DRAMBytes() int64 {
+	return n.DRAMTotal() * int64(n.Config.DataWidthBits) / 8
+}

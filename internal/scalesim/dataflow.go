@@ -1,0 +1,100 @@
+package scalesim
+
+import (
+	"fmt"
+
+	"scratchmem/internal/layer"
+)
+
+// Dataflow selects how the GEMM maps onto the array (paper §2.3 background:
+// weight-, input- and output-stationary; SCALE-Sim supports the same
+// three). The zero value is output-stationary, the paper's baseline.
+type Dataflow int
+
+const (
+	// OutputStationary pins partial sums in the PEs; operands stream.
+	OutputStationary Dataflow = iota
+	// WeightStationary pins a KxN tile of weights; inputs and partial sums
+	// stream through.
+	WeightStationary
+	// InputStationary pins a KxM tile of the im2col input; weights and
+	// partial sums stream through.
+	InputStationary
+)
+
+// String names the dataflow the way SCALE-Sim configs do.
+func (d Dataflow) String() string {
+	switch d {
+	case OutputStationary:
+		return "os"
+	case WeightStationary:
+		return "ws"
+	case InputStationary:
+		return "is"
+	default:
+		return fmt.Sprintf("Dataflow(%d)", int(d))
+	}
+}
+
+// ParseDataflow converts "os"/"ws"/"is".
+func ParseDataflow(s string) (Dataflow, error) {
+	switch s {
+	case "os":
+		return OutputStationary, nil
+	case "ws":
+		return WeightStationary, nil
+	case "is":
+		return InputStationary, nil
+	}
+	return 0, fmt.Errorf("scalesim: unknown dataflow %q (want os, ws or is)", s)
+}
+
+// simulateWS models the weight-stationary mapping: the array pins R rows of
+// the reduction by C filter columns per fold (ceil(K/R) x ceil(N/C) folds),
+// streams all M output pixels through each fold, and — because the
+// reduction is split across folds — spills and re-loads partial sums once
+// per extra K-chunk.
+func simulateWS(l *layer.Layer, cfg Config, g gemm) LayerResult {
+	r := LayerResult{Layer: l.Name}
+	kFolds := ceilDiv(g.k, int64(cfg.Rows))
+	nFolds := ceilDiv(g.n, int64(cfg.Cols))
+	r.RowFolds = kFolds
+	r.ColFolds = nFolds
+	// R cycles of weight preload plus the M-deep streaming wavefront.
+	r.Cycles = kFolds * nFolds * (g.m + 2*int64(cfg.Rows) + int64(cfg.Cols) - 2)
+	r.Utilization = float64(g.k*g.n) / float64(kFolds*int64(cfg.Rows)*nFolds*int64(cfg.Cols))
+
+	si := usedIfmapElems(l, g)
+	sf := g.k * g.n
+	// Weights are pinned: each weight visits the array exactly once.
+	r.DRAMFilter = sf
+	// The input streams once per filter-column fold group, pinned-fraction
+	// reuse applying as usual.
+	r.DRAMIfmap = passTraffic(si, cfg.IfmapActiveElems(), nFolds)
+	// Partial sums: one write per K-chunk plus a read-back for every chunk
+	// after the first.
+	r.DRAMOfmap = g.m * g.n * (2*kFolds - 1)
+	return r
+}
+
+// simulateIS models the input-stationary mapping: a KxM input tile is
+// pinned per fold (ceil(K/R) x ceil(M/C) folds), all N filters stream
+// through it, and partial sums spill per extra K-chunk.
+func simulateIS(l *layer.Layer, cfg Config, g gemm) LayerResult {
+	r := LayerResult{Layer: l.Name}
+	kFolds := ceilDiv(g.k, int64(cfg.Rows))
+	mFolds := ceilDiv(g.m, int64(cfg.Cols))
+	r.RowFolds = kFolds
+	r.ColFolds = mFolds
+	r.Cycles = kFolds * mFolds * (g.n + 2*int64(cfg.Rows) + int64(cfg.Cols) - 2)
+	r.Utilization = float64(g.k*g.m) / float64(kFolds*int64(cfg.Rows)*mFolds*int64(cfg.Cols))
+
+	si := usedIfmapElems(l, g)
+	sf := g.k * g.n
+	// Inputs pinned: the ifmap visits the array once.
+	r.DRAMIfmap = si
+	// Filters re-stream once per pinned input fold group.
+	r.DRAMFilter = passTraffic(sf, cfg.FilterActiveElems(), mFolds)
+	r.DRAMOfmap = g.m * g.n * (2*kFolds - 1)
+	return r
+}

@@ -1,0 +1,122 @@
+package scalesim
+
+import (
+	"testing"
+
+	"scratchmem/internal/layer"
+	"scratchmem/internal/model"
+)
+
+func TestDataflowParse(t *testing.T) {
+	for _, d := range []Dataflow{OutputStationary, WeightStationary, InputStationary} {
+		got, err := ParseDataflow(d.String())
+		if err != nil || got != d {
+			t.Errorf("round trip %v: got %v, err %v", d, got, err)
+		}
+	}
+	if _, err := ParseDataflow("rs"); err == nil {
+		t.Error("unknown dataflow accepted")
+	}
+	if s := Dataflow(9).String(); s == "" {
+		t.Error("empty string for unknown dataflow")
+	}
+}
+
+// TestWSMinimalFilterTraffic: weight-stationary pins every weight exactly
+// once regardless of buffer sizes.
+func TestWSMinimalFilterTraffic(t *testing.T) {
+	l := layer.MustNew("c", layer.Conv, 14, 14, 256, 3, 3, 512, 1, 0)
+	c := Split("tiny", 16, 50, 8)
+	c.Flow = WeightStationary
+	r := Simulate(&l, c)
+	if r.DRAMFilter != l.FilterElems() {
+		t.Errorf("WS filter traffic = %d, want %d", r.DRAMFilter, l.FilterElems())
+	}
+	// Deep reduction (K = 2304) spills partial sums heavily.
+	g := strippedGeometry(&l)
+	kFolds := (g.k + 15) / 16
+	if want := g.m * g.n * (2*kFolds - 1); r.DRAMOfmap != want {
+		t.Errorf("WS psum traffic = %d, want %d", r.DRAMOfmap, want)
+	}
+	if r.DRAMOfmap <= g.m*g.n {
+		t.Error("WS should amplify ofmap traffic on deep reductions")
+	}
+}
+
+// TestISMinimalIfmapTraffic: input-stationary streams the ifmap once.
+func TestISMinimalIfmapTraffic(t *testing.T) {
+	l := layer.MustNew("c", layer.Conv, 28, 28, 64, 3, 3, 128, 1, 0)
+	c := Split("tiny", 16, 50, 8)
+	c.Flow = InputStationary
+	r := Simulate(&l, c)
+	if want := usedIfmapElems(&l, strippedGeometry(&l)); r.DRAMIfmap != want {
+		t.Errorf("IS ifmap traffic = %d, want %d", r.DRAMIfmap, want)
+	}
+}
+
+// TestOSBestPsums: for convolutions with deep reductions the output-
+// stationary mapping moves the fewest ofmap bytes — the reason the paper's
+// baseline (and its own schemes) use OS.
+func TestOSBestPsums(t *testing.T) {
+	l := layer.MustNew("c", layer.Conv, 14, 14, 256, 3, 3, 256, 1, 1)
+	for _, flow := range []Dataflow{WeightStationary, InputStationary} {
+		c := Split("s", 64, 50, 8)
+		c.Flow = flow
+		r := Simulate(&l, c)
+		cOS := Split("s", 64, 50, 8)
+		os := Simulate(&l, cOS)
+		if os.DRAMOfmap >= r.DRAMOfmap {
+			t.Errorf("OS ofmap %d not below %v ofmap %d", os.DRAMOfmap, flow, r.DRAMOfmap)
+		}
+	}
+}
+
+// TestDepthwiseIgnoresDataflow: DW layers keep the channel-parallel mapping
+// under every dataflow setting.
+func TestDepthwiseIgnoresDataflow(t *testing.T) {
+	l := layer.MustNew("dw", layer.DepthwiseConv, 28, 28, 64, 3, 3, 1, 1, 0)
+	var ref LayerResult
+	for i, flow := range []Dataflow{OutputStationary, WeightStationary, InputStationary} {
+		c := Split("s", 64, 50, 8)
+		c.Flow = flow
+		r := Simulate(&l, c)
+		if i == 0 {
+			ref = r
+			continue
+		}
+		if r != ref {
+			t.Errorf("%v changed the depth-wise result", flow)
+		}
+	}
+}
+
+// TestDataflowNetworkComparison: across a whole filter-heavy network, WS
+// wins on filter traffic, IS on ifmap traffic, OS on ofmap traffic.
+func TestDataflowNetworkComparison(t *testing.T) {
+	n, _ := model.Builtin("ResNet18")
+	sums := map[Dataflow][3]int64{}
+	for _, flow := range []Dataflow{OutputStationary, WeightStationary, InputStationary} {
+		c := Split("s", 64, 50, 8)
+		c.Flow = flow
+		res, err := SimulateNetwork(n, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var iF, fF, oF int64
+		for _, lr := range res.Layers {
+			iF += lr.DRAMIfmap
+			fF += lr.DRAMFilter
+			oF += lr.DRAMOfmap
+		}
+		sums[flow] = [3]int64{iF, fF, oF}
+	}
+	if sums[WeightStationary][1] > sums[OutputStationary][1] || sums[WeightStationary][1] > sums[InputStationary][1] {
+		t.Errorf("WS filter traffic not minimal: %v", sums)
+	}
+	if sums[InputStationary][0] > sums[OutputStationary][0] || sums[InputStationary][0] > sums[WeightStationary][0] {
+		t.Errorf("IS ifmap traffic not minimal: %v", sums)
+	}
+	if sums[OutputStationary][2] > sums[WeightStationary][2] || sums[OutputStationary][2] > sums[InputStationary][2] {
+		t.Errorf("OS ofmap traffic not minimal: %v", sums)
+	}
+}

@@ -1,0 +1,153 @@
+package scalesim
+
+import (
+	"fmt"
+
+	"scratchmem/internal/layer"
+)
+
+// Trace replays the baseline's fold loop (row folds outer, column folds
+// inner) at element granularity for a dense (non-depth-wise) layer. Each
+// SRAM is modelled as an element-addressed buffer with FIFO replacement
+// that never evicts the working set of the fold in flight. The trace is the
+// fidelity reference for the analytical pass model: in the regime where an
+// operand fits its buffer both charge exactly one load per element, and in
+// under-provisioned regimes both amplify traffic (the trace via actual
+// evictions, the model via its spill-per-pass approximation). SCALE-Sim
+// itself is a trace simulator — this path is why the paper reports hours of
+// baseline runtime against a minute for the policy estimators. Intended for
+// small layers (cost is O(M*K) memory touches).
+func Trace(l *layer.Layer, cfg Config) (LayerResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return LayerResult{}, err
+	}
+	if l.Kind == layer.DepthwiseConv {
+		return LayerResult{}, fmt.Errorf("scalesim: trace mode does not support depth-wise layers")
+	}
+	g := strippedGeometry(l)
+	r := LayerResult{Layer: l.Name}
+	r.RowFolds = ceilDiv(g.m, int64(cfg.Rows))
+	r.ColFolds = ceilDiv(g.n, int64(cfg.Cols))
+	r.Cycles = r.RowFolds * r.ColFolds * foldCycles(cfg.Rows, cfg.Cols, g.k)
+	r.Utilization = float64(g.m*g.n) / float64(r.RowFolds*int64(cfg.Rows)*r.ColFolds*int64(cfg.Cols))
+	r.DRAMOfmap = g.m * g.n
+
+	ifmapBuf := newSRAM(cfg.IfmapActiveElems())
+	filterBuf := newSRAM(cfg.FilterActiveElems())
+
+	for rf := int64(0); rf < r.RowFolds; rf++ {
+		ws := foldIfmapOrder(l, g, rf, int64(cfg.Rows))
+		for cf := int64(0); cf < r.ColFolds; cf++ {
+			r.DRAMIfmap += ifmapBuf.access(ws)
+			r.DRAMFilter += filterBuf.access(foldFilterOrder(g, cf, int64(cfg.Cols)))
+		}
+	}
+	return r, nil
+}
+
+// sram models one element-addressed scratchpad with FIFO replacement.
+type sram struct {
+	cap      int64
+	resident map[int64]struct{}
+	fifo     []int64
+}
+
+func newSRAM(capacity int64) *sram {
+	return &sram{cap: capacity, resident: make(map[int64]struct{})}
+}
+
+// access touches every element id in ws (deduplicated, in order), fetching
+// misses from DRAM, and returns the number of fetched elements. Elements of
+// the working set in flight are never evicted; if the working set alone
+// exceeds capacity, it streams through without residency.
+func (s *sram) access(ws []int64) (fetched int64) {
+	if int64(len(ws)) > s.cap {
+		// Streaming: count cold misses against current residency, then drop
+		// everything (the stream flushed the buffer).
+		for _, id := range ws {
+			if _, ok := s.resident[id]; !ok {
+				fetched++
+			}
+		}
+		s.resident = make(map[int64]struct{})
+		s.fifo = s.fifo[:0]
+		return fetched
+	}
+	inWS := make(map[int64]struct{}, len(ws))
+	for _, id := range ws {
+		inWS[id] = struct{}{}
+	}
+	for _, id := range ws {
+		if _, ok := s.resident[id]; ok {
+			continue
+		}
+		fetched++
+		// Make room, never evicting the working set in flight.
+		for int64(len(s.resident)) >= s.cap {
+			evicted := false
+			for i, old := range s.fifo {
+				if _, needed := inWS[old]; !needed {
+					delete(s.resident, old)
+					s.fifo = append(s.fifo[:i], s.fifo[i+1:]...)
+					evicted = true
+					break
+				}
+			}
+			if !evicted {
+				break // everything resident is part of the working set
+			}
+		}
+		s.resident[id] = struct{}{}
+		s.fifo = append(s.fifo, id)
+	}
+	return fetched
+}
+
+// foldIfmapOrder returns the deduplicated, deterministic element-id order in
+// which row fold rf touches the ifmap.
+func foldIfmapOrder(l *layer.Layer, g gemm, rf, rows int64) []int64 {
+	seen := make(map[int64]struct{})
+	var order []int64
+	p0 := rf * rows
+	p1 := p0 + rows
+	if p1 > g.m {
+		p1 = g.m
+	}
+	iw, ci := int64(l.IW), int64(l.CI)
+	for p := p0; p < p1; p++ {
+		oh, ow := p/g.ows, p%g.ows
+		for kh := int64(0); kh < int64(l.FH); kh++ {
+			for kw := int64(0); kw < int64(l.FW); kw++ {
+				h := oh*int64(l.S) + kh
+				w := ow*int64(l.S) + kw
+				base := (h*iw + w) * ci
+				for c := int64(0); c < ci; c++ {
+					id := base + c
+					if _, ok := seen[id]; !ok {
+						seen[id] = struct{}{}
+						order = append(order, id)
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
+// foldFilterOrder returns the element ids of the filters column fold cf
+// sweeps (each column holds one filter; ids are disjoint from ifmap ids by
+// construction of separate SRAMs).
+func foldFilterOrder(g gemm, cf, cols int64) []int64 {
+	f0 := cf * cols
+	f1 := f0 + cols
+	if f1 > g.n {
+		f1 = g.n
+	}
+	order := make([]int64, 0, (f1-f0)*g.k)
+	for f := f0; f < f1; f++ {
+		for k := int64(0); k < g.k; k++ {
+			order = append(order, f*g.k+k)
+		}
+	}
+	return order
+}

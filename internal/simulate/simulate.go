@@ -1,0 +1,128 @@
+// Package simulate times a whole execution plan end-to-end: every layer's
+// tile schedule is materialised by the dry-run engine and then played
+// through a timing backend — the ideal fixed-bandwidth DMA the paper
+// assumes, or the banked DRAM channel — with double-buffered overlap for
+// the layers whose policy prefetches. It is the executable counterpart of
+// the planner's estimate_latency: the two must agree within the pipeline
+// model's tolerance, which the tests enforce.
+package simulate
+
+import (
+	"fmt"
+
+	"scratchmem/internal/core"
+	"scratchmem/internal/dram"
+	"scratchmem/internal/engine"
+	"scratchmem/internal/trace"
+)
+
+// Backend selects the off-chip timing model.
+type Backend int
+
+const (
+	// IdealBandwidth moves bytes at the configuration's flat DRAM rate
+	// (the paper's assumption).
+	IdealBandwidth Backend = iota
+	// BankedDRAM replays the DMA stream through internal/dram's open-row
+	// channel.
+	BankedDRAM
+)
+
+// Options configure a simulation.
+type Options struct {
+	Backend Backend
+	// DRAM configures the banked backend (dram.Default() when zero).
+	DRAM dram.Config
+}
+
+// LayerTiming is the measured execution of one layer.
+type LayerTiming struct {
+	Layer          string
+	Policy         string
+	Cycles         int64
+	EstimateCycles int64
+	AccessElems    int64
+}
+
+// Result is the end-to-end simulation of a plan.
+type Result struct {
+	Layers []LayerTiming
+	// Cycles is the measured total; EstimateCycles the planner's total.
+	Cycles         int64
+	EstimateCycles int64
+	// DRAMHits / DRAMMisses are populated by the banked backend.
+	DRAMHits, DRAMMisses int64
+}
+
+// Run times a plan. Layers execute back to back (the paper serialises
+// layers); within a layer, prefetching policies overlap DMA with compute
+// and the others serialise, mirroring the estimator's model.
+func Run(p *core.Plan, o Options) (*Result, error) {
+	res := &Result{}
+	dcfg := o.DRAM
+	if o.Backend == BankedDRAM && dcfg == (dram.Config{}) {
+		dcfg = dram.Default()
+	}
+	for i := range p.Layers {
+		lp := &p.Layers[i]
+		var log *trace.Log
+		if o.Backend == BankedDRAM {
+			log = &trace.Log{}
+		}
+		er, err := engine.DryRun(&lp.Layer, &lp.Est, p.Cfg, log)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: %s/%s: %w", p.Model, lp.Layer.Name, err)
+		}
+		var cycles int64
+		switch o.Backend {
+		case IdealBandwidth:
+			if lp.Est.Opts.Prefetch {
+				cycles = engine.PipelinedCycles(er.Phases, p.Cfg)
+			} else {
+				cycles = engine.SerialCycles(er.Phases, p.Cfg)
+			}
+		case BankedDRAM:
+			dmaCycles, ch, err := dram.Replay(log, p.Cfg.DataWidthBits, dcfg)
+			if err != nil {
+				return nil, err
+			}
+			hits, misses, _ := ch.Stats()
+			res.DRAMHits += hits
+			res.DRAMMisses += misses
+			var macs int64
+			for _, ph := range er.Phases {
+				macs += ph.MACs
+			}
+			compute := (macs + p.Cfg.MACsPerCycle() - 1) / p.Cfg.MACsPerCycle()
+			if lp.Est.Opts.Prefetch {
+				// Overlap: the slower of the two engines dominates, plus the
+				// pipeline fill the estimator charges.
+				cycles = max64(compute, dmaCycles)
+				if fill := lp.Est.LatencyCycles - max64(lp.Est.ComputeCycles, lp.Est.TransferCycles); fill > 0 {
+					cycles += fill
+				}
+			} else {
+				cycles = compute + dmaCycles
+			}
+		default:
+			return nil, fmt.Errorf("simulate: unknown backend %d", o.Backend)
+		}
+		res.Layers = append(res.Layers, LayerTiming{
+			Layer:          lp.Layer.Name,
+			Policy:         lp.Est.Policy.Short(),
+			Cycles:         cycles,
+			EstimateCycles: lp.Est.LatencyCycles,
+			AccessElems:    er.AccessElems(),
+		})
+		res.Cycles += cycles
+		res.EstimateCycles += lp.Est.LatencyCycles
+	}
+	return res, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"scratchmem/internal/core"
+	"scratchmem/internal/model"
+)
+
+// TestIdealMatchesEstimates: end-to-end measured latency on the ideal
+// backend tracks the planner's estimate closely for every model at both
+// ends of the buffer range (the per-phase pipeline is finer than the
+// estimator's fill/overlap/drain model, so allow a modest band).
+func TestIdealMatchesEstimates(t *testing.T) {
+	for _, name := range model.BuiltinNames() {
+		for _, kb := range []int{64, 1024} {
+			for _, obj := range []core.Objective{core.MinAccesses, core.MinLatency} {
+				n, _ := model.Builtin(name)
+				p, err := core.NewPlanner(kb, obj).Heterogeneous(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := Run(p, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.EstimateCycles != p.LatencyCycles() {
+					t.Errorf("%s @%dkB: estimate mismatch %d != %d",
+						name, kb, r.EstimateCycles, p.LatencyCycles())
+				}
+				ratio := float64(r.Cycles) / float64(r.EstimateCycles)
+				if math.Abs(ratio-1) > 0.15 {
+					t.Errorf("%s @%dkB %s: simulated %d vs estimated %d (ratio %.3f)",
+						name, kb, obj, r.Cycles, r.EstimateCycles, ratio)
+				}
+			}
+		}
+	}
+}
+
+// TestPerLayerAgreement: each layer's measured serial execution equals its
+// estimate exactly under the access objective without prefetching.
+func TestPerLayerAgreement(t *testing.T) {
+	n, _ := model.Builtin("ResNet18")
+	pl := core.NewPlanner(64, core.MinAccesses)
+	pl.DisablePrefetch = true
+	p, err := pl.Heterogeneous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lt := range r.Layers {
+		if lt.Cycles != lt.EstimateCycles {
+			t.Errorf("%s (%s): simulated %d != estimated %d",
+				lt.Layer, lt.Policy, lt.Cycles, lt.EstimateCycles)
+		}
+	}
+}
+
+// TestBankedDRAMSlower: with serialised (no-prefetch) schedules the banked
+// backend can only add cycles over the ideal one, and reports hit/miss
+// statistics.
+func TestBankedDRAMSlower(t *testing.T) {
+	n, _ := model.Builtin("MobileNet")
+	pl := core.NewPlanner(128, core.MinLatency)
+	pl.DisablePrefetch = true
+	p, err := pl.Heterogeneous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	banked, err := Run(p, Options{Backend: BankedDRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banked.Cycles < ideal.Cycles {
+		t.Errorf("banked %d cycles below ideal %d", banked.Cycles, ideal.Cycles)
+	}
+	if banked.Cycles > 2*ideal.Cycles {
+		t.Errorf("banked %d cycles implausibly above ideal %d", banked.Cycles, ideal.Cycles)
+	}
+	if banked.DRAMHits+banked.DRAMMisses == 0 {
+		t.Error("banked backend reported no DRAM activity")
+	}
+	if ideal.DRAMHits != 0 || ideal.DRAMMisses != 0 {
+		t.Error("ideal backend reported DRAM statistics")
+	}
+}
+
+func TestUnknownBackend(t *testing.T) {
+	n, _ := model.Builtin("TinyCNN")
+	p, err := core.NewPlanner(32, core.MinAccesses).Heterogeneous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, Options{Backend: Backend(9)}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestBankedWithPrefetch exercises the overlap path of the banked backend.
+func TestBankedWithPrefetch(t *testing.T) {
+	n, _ := model.Builtin("TinyCNN")
+	p, err := core.NewPlanner(64, core.MinLatency).Heterogeneous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefetches := false
+	for i := range p.Layers {
+		prefetches = prefetches || p.Layers[i].Est.Opts.Prefetch
+	}
+	if !prefetches {
+		t.Fatal("latency plan did not prefetch; test premise broken")
+	}
+	r, err := Run(p, Options{Backend: BankedDRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlapped execution can never beat the pure compute bound.
+	var compute int64
+	for i := range p.Layers {
+		compute += p.Layers[i].Est.ComputeCycles
+	}
+	if r.Cycles < compute {
+		t.Errorf("banked prefetch run %d below compute bound %d", r.Cycles, compute)
+	}
+	if r.DRAMMisses == 0 {
+		t.Error("no DRAM misses recorded")
+	}
+}

@@ -1,0 +1,55 @@
+// Package stats provides the small aggregation helpers the experiment
+// reports use: reductions, geometric means and coverage percentages, with
+// the conventions of the paper's result sections (a positive "benefit" is
+// an improvement, a negative one a penalty).
+package stats
+
+import "math"
+
+// Reduction returns how much `new` improves on `base` as a fraction of
+// base: 0.8 means 80% lower. Negative values are penalties. Zero base
+// yields 0.
+func Reduction(base, new int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 1 - float64(new)/float64(base)
+}
+
+// Benefit is Reduction expressed in percent.
+func Benefit(base, new int64) float64 { return 100 * Reduction(base, new) }
+
+// GeoMean returns the geometric mean of strictly positive values; zero if
+// the slice is empty or contains a non-positive value.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vals)))
+}
+
+// GeoMeanReduction returns the geometric-mean reduction across paired
+// (base, new) measurements: 1 - geomean(new_i/base_i).
+func GeoMeanReduction(base, new []int64) float64 {
+	if len(base) != len(new) || len(base) == 0 {
+		return 0
+	}
+	ratios := make([]float64, len(base))
+	for i := range base {
+		if base[i] <= 0 || new[i] <= 0 {
+			return 0
+		}
+		ratios[i] = float64(new[i]) / float64(base[i])
+	}
+	return 1 - GeoMean(ratios)
+}
+
+// Percent renders a fraction in [0,1] as percent.
+func Percent(f float64) float64 { return 100 * f }

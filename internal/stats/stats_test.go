@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestReduction(t *testing.T) {
+	if !almost(Reduction(100, 20), 0.8) {
+		t.Errorf("Reduction(100,20) = %v", Reduction(100, 20))
+	}
+	if !almost(Reduction(100, 133), -0.33) {
+		t.Errorf("Reduction(100,133) = %v", Reduction(100, 133))
+	}
+	if Reduction(0, 5) != 0 {
+		t.Error("zero base should yield 0")
+	}
+	if !almost(Benefit(100, 20), 80) {
+		t.Errorf("Benefit = %v", Benefit(100, 20))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{2, 8}), 4) {
+		t.Errorf("GeoMean(2,8) = %v", GeoMean([]float64{2, 8}))
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean should be 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("non-positive geomean should be 0")
+	}
+}
+
+func TestGeoMeanReduction(t *testing.T) {
+	// Ratios 0.5 and 0.5 -> geomean 0.5 -> reduction 0.5.
+	if got := GeoMeanReduction([]int64{10, 100}, []int64{5, 50}); !almost(got, 0.5) {
+		t.Errorf("GeoMeanReduction = %v", got)
+	}
+	if GeoMeanReduction([]int64{1}, []int64{1, 2}) != 0 {
+		t.Error("length mismatch should yield 0")
+	}
+	if GeoMeanReduction([]int64{0}, []int64{1}) != 0 {
+		t.Error("non-positive values should yield 0")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if !almost(Percent(0.93), 93) {
+		t.Errorf("Percent = %v", Percent(0.93))
+	}
+}

@@ -1,0 +1,195 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"scratchmem/internal/layer"
+	"scratchmem/internal/scalesim"
+	"scratchmem/internal/tensor"
+)
+
+func randomMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = int32(r.Intn(16) - 8)
+	}
+	return m
+}
+
+// TestFoldFormula: a full RxC fold, measured cycle by cycle, costs exactly
+// 2R + C + K - 2 — the closed form the analytical baseline (and SCALE-Sim)
+// charges.
+func TestFoldFormula(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, dims := range []struct{ R, C, K int }{
+		{16, 16, 18}, {16, 16, 1}, {4, 8, 5}, {8, 4, 32}, {1, 1, 7},
+	} {
+		ar := Array{Rows: dims.R, Cols: dims.C}
+		a := randomMatrix(r, dims.R, dims.K)
+		b := randomMatrix(r, dims.K, dims.C)
+		got, res, err := ar.RunFold(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := ar.FoldCycles(int64(dims.K)); res.Cycles != want {
+			t.Errorf("R=%d C=%d K=%d: measured %d cycles, formula %d",
+				dims.R, dims.C, dims.K, res.Cycles, want)
+		}
+		if wantMACs := int64(dims.R * dims.C * dims.K); res.ActiveMACs != wantMACs {
+			t.Errorf("R=%d C=%d K=%d: %d MACs, want %d", dims.R, dims.C, dims.K, res.ActiveMACs, wantMACs)
+		}
+		if ref := MatMul(a, b); !equal(got, ref) {
+			t.Errorf("R=%d C=%d K=%d: wavefront product differs from reference", dims.R, dims.C, dims.K)
+		}
+	}
+}
+
+// TestPartialFoldCheaper: tiles smaller than the array finish no later than
+// the full-fold formula (the analytical model is conservative for ragged
+// folds).
+func TestPartialFoldCheaper(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ar := Array{Rows: 16, Cols: 16}
+	a := randomMatrix(r, 5, 9)
+	b := randomMatrix(r, 9, 3)
+	got, res, err := ar.RunFold(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles > ar.FoldCycles(9) {
+		t.Errorf("partial fold %d cycles > formula %d", res.Cycles, ar.FoldCycles(9))
+	}
+	if !equal(got, MatMul(a, b)) {
+		t.Error("partial fold product wrong")
+	}
+}
+
+// TestRunGEMMMatchesReference: multi-fold GEMMs produce the exact product
+// and the per-fold cycle accounting sums as expected for aligned shapes.
+func TestRunGEMMMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ar := Array{Rows: 8, Cols: 8}
+	for _, dims := range []struct{ M, K, N int }{
+		{8, 10, 8}, {16, 5, 24}, {13, 7, 9}, {1, 64, 1},
+	} {
+		a := randomMatrix(r, dims.M, dims.K)
+		b := randomMatrix(r, dims.K, dims.N)
+		got, res, err := ar.RunGEMM(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equal(got, MatMul(a, b)) {
+			t.Errorf("M=%d K=%d N=%d: product wrong", dims.M, dims.K, dims.N)
+		}
+		if res.ActiveMACs != int64(dims.M*dims.K*dims.N) {
+			t.Errorf("M=%d K=%d N=%d: %d MACs, want %d",
+				dims.M, dims.K, dims.N, res.ActiveMACs, dims.M*dims.K*dims.N)
+		}
+	}
+	// Aligned shape: measured cycles equal folds x formula.
+	a := randomMatrix(r, 16, 12)
+	b := randomMatrix(r, 12, 16)
+	_, res, err := ar.RunGEMM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * ar.FoldCycles(12); res.Cycles != want {
+		t.Errorf("aligned GEMM cycles %d, want %d", res.Cycles, want)
+	}
+}
+
+// TestMatchesScalesimBaseline: the wavefront simulator and the analytical
+// baseline agree on the zero-stall cycles of a whole (aligned, unpadded)
+// convolution layer mapped as im2col GEMM.
+func TestMatchesScalesimBaseline(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	l := layer.MustNew("c", layer.Conv, 10, 18, 3, 3, 3, 32, 1, 0) // M = 8*16 = 128, N = 32
+	in := tensor.New(l.IH, l.IW, l.CI).Random(r)
+	w := tensor.NewFilters(l.FH, l.FW, l.CI, l.F).Random(r)
+
+	// Build the im2col operand matrices.
+	m := l.OH() * l.OW()
+	k := l.FH * l.FW * l.CI
+	a := NewMatrix(m, k)
+	for p := 0; p < m; p++ {
+		oh, ow := p/l.OW(), p%l.OW()
+		kk := 0
+		for kh := 0; kh < l.FH; kh++ {
+			for kw := 0; kw < l.FW; kw++ {
+				for c := 0; c < l.CI; c++ {
+					a.Set(p, kk, in.At(oh*l.S+kh, ow*l.S+kw, c))
+					kk++
+				}
+			}
+		}
+	}
+	b := NewMatrix(k, l.F)
+	for f := 0; f < l.F; f++ {
+		kk := 0
+		for kh := 0; kh < l.FH; kh++ {
+			for kw := 0; kw < l.FW; kw++ {
+				for c := 0; c < l.CI; c++ {
+					b.Set(kk, f, w.At(f, kh, kw, c))
+					kk++
+				}
+			}
+		}
+	}
+
+	ar := Array{Rows: 16, Cols: 16}
+	out, res, err := ar.RunGEMM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := scalesim.Simulate(&l, scalesim.Split("sa_50_50", 1024, 50, 8))
+	if res.Cycles != base.Cycles {
+		t.Errorf("wavefront cycles %d != analytical baseline %d", res.Cycles, base.Cycles)
+	}
+	// And the GEMM result equals the convolution.
+	ref := tensor.Conv2D(in, w, l.S, l.P)
+	for p := 0; p < m; p++ {
+		oh, ow := p/l.OW(), p%l.OW()
+		for f := 0; f < l.F; f++ {
+			if out.At(p, f) != ref.At(oh, ow, f) {
+				t.Fatalf("output (%d,%d,%d): %d != %d", oh, ow, f, out.At(p, f), ref.At(oh, ow, f))
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ar := Array{Rows: 4, Cols: 4}
+	a := NewMatrix(8, 2)
+	b := NewMatrix(2, 2)
+	if _, _, err := ar.RunFold(a, b); err == nil {
+		t.Error("oversized tile accepted")
+	}
+	if _, _, err := ar.RunFold(NewMatrix(2, 3), NewMatrix(4, 2)); err == nil {
+		t.Error("reduction mismatch accepted")
+	}
+	if _, _, err := (Array{}).RunFold(NewMatrix(1, 1), NewMatrix(1, 1)); err == nil {
+		t.Error("zero array accepted")
+	}
+	if _, _, err := ar.RunGEMM(NewMatrix(2, 3), NewMatrix(4, 2)); err == nil {
+		t.Error("GEMM mismatch accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MatMul mismatch did not panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(4, 2))
+}
+
+func equal(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+// Package tensor provides the small dense-tensor arithmetic used to verify
+// the memory-management engine: HWC activation tensors, filter banks and
+// reference convolution/fully-connected kernels. Values are int32 (wide
+// enough to hold int8 x int8 accumulations exactly), so every execution path
+// must agree bit-for-bit with the references here.
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tensor is an H x W x C activation tensor in HWC layout.
+type Tensor struct {
+	H, W, C int
+	Data    []int32
+}
+
+// New allocates a zeroed tensor.
+func New(h, w, c int) *Tensor {
+	if h <= 0 || w <= 0 || c <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%dx%d", h, w, c))
+	}
+	return &Tensor{H: h, W: w, C: c, Data: make([]int32, h*w*c)}
+}
+
+// At returns the element at (h, w, c).
+func (t *Tensor) At(h, w, c int) int32 {
+	return t.Data[(h*t.W+w)*t.C+c]
+}
+
+// Set writes the element at (h, w, c).
+func (t *Tensor) Set(h, w, c int, v int32) {
+	t.Data[(h*t.W+w)*t.C+c] = v
+}
+
+// Add accumulates v into the element at (h, w, c).
+func (t *Tensor) Add(h, w, c int, v int32) {
+	t.Data[(h*t.W+w)*t.C+c] += v
+}
+
+// AtPadded reads (h, w, c) from the tensor extended with a zero halo of
+// `pad` on each spatial side; coordinates are in padded space.
+func (t *Tensor) AtPadded(h, w, c, pad int) int32 {
+	h -= pad
+	w -= pad
+	if h < 0 || h >= t.H || w < 0 || w >= t.W {
+		return 0
+	}
+	return t.At(h, w, c)
+}
+
+// Equal reports whether two tensors have identical shape and contents.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if t.H != o.H || t.W != o.W || t.C != o.C {
+		return false
+	}
+	for i, v := range t.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element using f(h, w, c).
+func (t *Tensor) Fill(f func(h, w, c int) int32) {
+	for h := 0; h < t.H; h++ {
+		for w := 0; w < t.W; w++ {
+			for c := 0; c < t.C; c++ {
+				t.Set(h, w, c, f(h, w, c))
+			}
+		}
+	}
+}
+
+// Random fills the tensor with values in [-8, 8) from r (int8-scale inputs,
+// keeping int32 accumulators far from overflow).
+func (t *Tensor) Random(r *rand.Rand) *Tensor {
+	for i := range t.Data {
+		t.Data[i] = int32(r.Intn(16) - 8)
+	}
+	return t
+}
+
+// Filters is a bank of F filters of shape FH x FW x CI, laid out
+// [f][kh][kw][c]. Depth-wise banks use F == CI with CI == 1 semantics per
+// filter and are stored as F = CI filters of FH x FW x 1.
+type Filters struct {
+	FH, FW, CI, F int
+	Data          []int32
+}
+
+// NewFilters allocates a zeroed filter bank.
+func NewFilters(fh, fw, ci, f int) *Filters {
+	if fh <= 0 || fw <= 0 || ci <= 0 || f <= 0 {
+		panic(fmt.Sprintf("tensor: invalid filter shape %dx%dx%dx%d", fh, fw, ci, f))
+	}
+	return &Filters{FH: fh, FW: fw, CI: ci, F: f, Data: make([]int32, fh*fw*ci*f)}
+}
+
+// At returns filter f's weight at (kh, kw, c).
+func (fl *Filters) At(f, kh, kw, c int) int32 {
+	return fl.Data[((f*fl.FH+kh)*fl.FW+kw)*fl.CI+c]
+}
+
+// Set writes filter f's weight at (kh, kw, c).
+func (fl *Filters) Set(f, kh, kw, c int, v int32) {
+	fl.Data[((f*fl.FH+kh)*fl.FW+kw)*fl.CI+c] = v
+}
+
+// Random fills the bank with values in [-4, 4).
+func (fl *Filters) Random(r *rand.Rand) *Filters {
+	for i := range fl.Data {
+		fl.Data[i] = int32(r.Intn(8) - 4)
+	}
+	return fl
+}
+
+// Conv2D is the reference dense convolution: stride s, symmetric zero
+// padding p. The output has shape OH x OW x F.
+func Conv2D(in *Tensor, fl *Filters, s, p int) *Tensor {
+	if fl.CI != in.C {
+		panic(fmt.Sprintf("tensor: channel mismatch %d != %d", fl.CI, in.C))
+	}
+	oh := (in.H-fl.FH+2*p)/s + 1
+	ow := (in.W-fl.FW+2*p)/s + 1
+	out := New(oh, ow, fl.F)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			for f := 0; f < fl.F; f++ {
+				var acc int32
+				for kh := 0; kh < fl.FH; kh++ {
+					for kw := 0; kw < fl.FW; kw++ {
+						for c := 0; c < in.C; c++ {
+							acc += in.AtPadded(y*s+kh, x*s+kw, c, p) * fl.At(f, kh, kw, c)
+						}
+					}
+				}
+				out.Set(y, x, f, acc)
+			}
+		}
+	}
+	return out
+}
+
+// DepthwiseConv2D is the reference depth-wise convolution: filter bank of
+// in.C filters, each FH x FW x 1, producing OH x OW x C.
+func DepthwiseConv2D(in *Tensor, fl *Filters, s, p int) *Tensor {
+	if fl.F != in.C || fl.CI != 1 {
+		panic(fmt.Sprintf("tensor: depth-wise bank must be C=%d filters of depth 1, got F=%d CI=%d",
+			in.C, fl.F, fl.CI))
+	}
+	oh := (in.H-fl.FH+2*p)/s + 1
+	ow := (in.W-fl.FW+2*p)/s + 1
+	out := New(oh, ow, in.C)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			for c := 0; c < in.C; c++ {
+				var acc int32
+				for kh := 0; kh < fl.FH; kh++ {
+					for kw := 0; kw < fl.FW; kw++ {
+						acc += in.AtPadded(y*s+kh, x*s+kw, c, p) * fl.At(c, kh, kw, 0)
+					}
+				}
+				out.Set(y, x, c, acc)
+			}
+		}
+	}
+	return out
+}
+
+// FullyConnected is the reference FC layer: in is a 1x1xCI tensor, weights
+// a bank of F 1x1xCI filters; the output is 1x1xF.
+func FullyConnected(in *Tensor, fl *Filters) *Tensor {
+	if in.H != 1 || in.W != 1 {
+		panic("tensor: FC input must be 1x1xC")
+	}
+	return Conv2D(in, fl, 1, 0)
+}

@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestConv2DHand verifies the reference convolution on a hand-computed
+// example: 3x3x1 input, 2x2 filter, stride 1, no padding.
+func TestConv2DHand(t *testing.T) {
+	in := New(3, 3, 1)
+	in.Fill(func(h, w, c int) int32 { return int32(h*3 + w + 1) }) // 1..9
+	fl := NewFilters(2, 2, 1, 1)
+	fl.Set(0, 0, 0, 0, 1)
+	fl.Set(0, 0, 1, 0, 2)
+	fl.Set(0, 1, 0, 0, 3)
+	fl.Set(0, 1, 1, 0, 4)
+	out := Conv2D(in, fl, 1, 0)
+	// Window [1 2; 4 5] . [1 2; 3 4] = 1+4+12+20 = 37, etc.
+	want := [][]int32{{37, 47}, {67, 77}}
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			if got := out.At(y, x, 0); got != want[y][x] {
+				t.Errorf("out[%d][%d] = %d, want %d", y, x, got, want[y][x])
+			}
+		}
+	}
+}
+
+// TestConv2DPadding verifies zero padding: a 1x1 input with a 3x3 filter and
+// p=1 yields just the centre tap product.
+func TestConv2DPadding(t *testing.T) {
+	in := New(1, 1, 2)
+	in.Set(0, 0, 0, 5)
+	in.Set(0, 0, 1, -3)
+	fl := NewFilters(3, 3, 2, 1)
+	fl.Set(0, 1, 1, 0, 2)   // centre tap, channel 0
+	fl.Set(0, 1, 1, 1, 4)   // centre tap, channel 1
+	fl.Set(0, 0, 0, 0, 100) // corner tap hits padding only
+	out := Conv2D(in, fl, 1, 1)
+	if out.H != 1 || out.W != 1 {
+		t.Fatalf("out shape %dx%d, want 1x1", out.H, out.W)
+	}
+	if got := out.At(0, 0, 0); got != 5*2+(-3)*4 {
+		t.Errorf("out = %d, want %d", got, 5*2-12)
+	}
+}
+
+// TestConv2DStride verifies strided window placement.
+func TestConv2DStride(t *testing.T) {
+	in := New(4, 4, 1)
+	in.Fill(func(h, w, c int) int32 { return int32(h*4 + w) })
+	fl := NewFilters(2, 2, 1, 1)
+	fl.Set(0, 0, 0, 0, 1) // identity on top-left of window
+	out := Conv2D(in, fl, 2, 0)
+	if out.H != 2 || out.W != 2 {
+		t.Fatalf("out shape %dx%d, want 2x2", out.H, out.W)
+	}
+	wants := [][]int32{{0, 2}, {8, 10}}
+	for y := range wants {
+		for x := range wants[y] {
+			if got := out.At(y, x, 0); got != wants[y][x] {
+				t.Errorf("out[%d][%d] = %d, want %d", y, x, got, wants[y][x])
+			}
+		}
+	}
+}
+
+// TestDepthwiseHand verifies the depth-wise reference: channels do not mix.
+func TestDepthwiseHand(t *testing.T) {
+	in := New(2, 2, 2)
+	in.Fill(func(h, w, c int) int32 {
+		if c == 0 {
+			return 1
+		}
+		return 10
+	})
+	fl := NewFilters(2, 2, 1, 2)
+	for kh := 0; kh < 2; kh++ {
+		for kw := 0; kw < 2; kw++ {
+			fl.Set(0, kh, kw, 0, 1) // channel 0: sum of window
+			fl.Set(1, kh, kw, 0, 2) // channel 1: 2x sum of window
+		}
+	}
+	out := DepthwiseConv2D(in, fl, 1, 0)
+	if got := out.At(0, 0, 0); got != 4 {
+		t.Errorf("channel 0 = %d, want 4", got)
+	}
+	if got := out.At(0, 0, 1); got != 80 {
+		t.Errorf("channel 1 = %d, want 80", got)
+	}
+}
+
+// TestFullyConnected verifies FC as a dot product per output.
+func TestFullyConnected(t *testing.T) {
+	in := New(1, 1, 3)
+	in.Set(0, 0, 0, 1)
+	in.Set(0, 0, 1, 2)
+	in.Set(0, 0, 2, 3)
+	fl := NewFilters(1, 1, 3, 2)
+	for c := 0; c < 3; c++ {
+		fl.Set(0, 0, 0, c, int32(c+1)) // 1,2,3 -> dot = 14
+		fl.Set(1, 0, 0, c, 1)          // sum = 6
+	}
+	out := FullyConnected(in, fl)
+	if got := out.At(0, 0, 0); got != 14 {
+		t.Errorf("fc[0] = %d, want 14", got)
+	}
+	if got := out.At(0, 0, 1); got != 6 {
+		t.Errorf("fc[1] = %d, want 6", got)
+	}
+}
+
+// TestDepthwiseMatchesPerChannelConv: depth-wise equals CI independent 1-ch
+// dense convolutions.
+func TestDepthwiseMatchesPerChannelConv(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	in := New(6, 5, 3).Random(r)
+	fl := NewFilters(3, 3, 1, 3).Random(r)
+	got := DepthwiseConv2D(in, fl, 1, 1)
+	for c := 0; c < 3; c++ {
+		sub := New(6, 5, 1)
+		sub.Fill(func(h, w, _ int) int32 { return in.At(h, w, c) })
+		subFl := NewFilters(3, 3, 1, 1)
+		for kh := 0; kh < 3; kh++ {
+			for kw := 0; kw < 3; kw++ {
+				subFl.Set(0, kh, kw, 0, fl.At(c, kh, kw, 0))
+			}
+		}
+		ref := Conv2D(sub, subFl, 1, 1)
+		for h := 0; h < got.H; h++ {
+			for w := 0; w < got.W; w++ {
+				if got.At(h, w, c) != ref.At(h, w, 0) {
+					t.Fatalf("channel %d (%d,%d): %d != %d", c, h, w, got.At(h, w, c), ref.At(h, w, 0))
+				}
+			}
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := New(3, 4, 2).Random(r)
+	b := New(3, 4, 2)
+	copy(b.Data, a.Data)
+	if !a.Equal(b) {
+		t.Error("identical tensors not equal")
+	}
+	b.Add(1, 2, 1, 1)
+	if a.Equal(b) {
+		t.Error("differing tensors compare equal")
+	}
+	if a.Equal(New(4, 3, 2)) {
+		t.Error("different shapes compare equal")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("New", func() { New(0, 1, 1) })
+	mustPanic("NewFilters", func() { NewFilters(1, 1, 0, 1) })
+	mustPanic("Conv2D mismatch", func() {
+		Conv2D(New(3, 3, 2), NewFilters(2, 2, 3, 1), 1, 0)
+	})
+	mustPanic("DW mismatch", func() {
+		DepthwiseConv2D(New(3, 3, 2), NewFilters(2, 2, 1, 3), 1, 0)
+	})
+	mustPanic("FC shape", func() {
+		FullyConnected(New(2, 1, 3), NewFilters(1, 1, 3, 2))
+	})
+}
+
+func TestAtPaddedHalo(t *testing.T) {
+	in := New(2, 2, 1)
+	in.Set(0, 0, 0, 7)
+	if got := in.AtPadded(0, 0, 0, 1); got != 0 {
+		t.Errorf("halo read = %d, want 0", got)
+	}
+	if got := in.AtPadded(1, 1, 0, 1); got != 7 {
+		t.Errorf("interior read = %d, want 7", got)
+	}
+}

@@ -1,0 +1,97 @@
+// Package trace defines the event records the execution engine emits — one
+// per DMA transfer or compute burst — and writers that render them as CSV,
+// in the spirit of SCALE-Sim's trace files. Traces make a plan's data
+// movement auditable: the per-data-type sums of a trace must equal the
+// analytical estimates, which the integration tests assert.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// LoadIfmap is a DRAM-to-GLB ifmap transfer.
+	LoadIfmap Kind = iota
+	// LoadFilter is a DRAM-to-GLB weight transfer.
+	LoadFilter
+	// StoreOfmap is a GLB-to-DRAM output transfer.
+	StoreOfmap
+	// Compute is a MAC burst on the PE array.
+	Compute
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case LoadIfmap:
+		return "load_ifmap"
+	case LoadFilter:
+		return "load_filter"
+	case StoreOfmap:
+		return "store_ofmap"
+	case Compute:
+		return "compute"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one step of an executed schedule.
+type Event struct {
+	// Layer names the layer the event belongs to.
+	Layer string
+	// Step is the schedule position within the layer.
+	Step int
+	// Kind classifies the event.
+	Kind Kind
+	// Elems is the transfer size in elements (loads/stores) or the MAC
+	// count (compute).
+	Elems int64
+}
+
+// Log accumulates events.
+type Log struct {
+	Events []Event
+}
+
+// Add appends an event, dropping empty ones.
+func (l *Log) Add(layer string, step int, kind Kind, elems int64) {
+	if elems <= 0 {
+		return
+	}
+	l.Events = append(l.Events, Event{Layer: layer, Step: step, Kind: kind, Elems: elems})
+}
+
+// Totals sums the log per kind.
+func (l *Log) Totals() map[Kind]int64 {
+	t := make(map[Kind]int64, 4)
+	for _, e := range l.Events {
+		t[e.Kind] += e.Elems
+	}
+	return t
+}
+
+// WriteCSV renders the log as CSV with a header row.
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"layer", "step", "kind", "elems"}); err != nil {
+		return err
+	}
+	for _, e := range l.Events {
+		rec := []string{e.Layer, strconv.Itoa(e.Step), e.Kind.String(), strconv.FormatInt(e.Elems, 10)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Len returns the number of events.
+func (l *Log) Len() int { return len(l.Events) }

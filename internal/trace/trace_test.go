@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogTotalsAndCSV(t *testing.T) {
+	var l Log
+	l.Add("conv1", 0, LoadIfmap, 100)
+	l.Add("conv1", 0, LoadFilter, 50)
+	l.Add("conv1", 1, Compute, 4000)
+	l.Add("conv1", 2, StoreOfmap, 30)
+	l.Add("conv1", 3, LoadIfmap, 0) // dropped
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	tot := l.Totals()
+	if tot[LoadIfmap] != 100 || tot[LoadFilter] != 50 || tot[Compute] != 4000 || tot[StoreOfmap] != 30 {
+		t.Errorf("totals = %v", tot)
+	}
+	var sb strings.Builder
+	if err := l.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"layer,step,kind,elems", "conv1,0,load_ifmap,100", "conv1,1,compute,4000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		LoadIfmap: "load_ifmap", LoadFilter: "load_filter",
+		StoreOfmap: "store_ofmap", Compute: "compute",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind string")
+	}
+}

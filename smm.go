@@ -1,0 +1,204 @@
+// Package scratchmem is a Go reproduction of "Scratchpad Memory Management
+// for Deep Learning Accelerators" (Zouzoula, Maleki, Azhar, Trancoso —
+// ICPP 2024): a software memory-management technique for DL accelerators
+// with a unified on-chip scratchpad (global buffer) that selects, per layer,
+// among six reuse policies (intra-layer reuse and policies 1-5, each with an
+// optional prefetching variant) to minimise either off-chip traffic or
+// latency under the buffer-size constraint.
+//
+// The package is a thin façade over the implementation packages:
+//
+//   - internal/core     — the analyser (paper Algorithm 1), Hom/Het plans,
+//     inter-layer reuse
+//   - internal/policy   — the per-policy memory/access/latency estimators
+//   - internal/model    — the six Table-2 networks + JSON / SCALE-Sim
+//     topology formats
+//   - internal/engine   — a functional executor validating plans down to
+//     int32 arithmetic
+//   - internal/scalesim — the SCALE-Sim-style separate-buffer baseline
+//
+// Quick start:
+//
+//	net, _ := scratchmem.BuiltinModel("ResNet18")
+//	plan, _ := scratchmem.PlanModel(net, scratchmem.PlanOptions{
+//		GLBKiloBytes: 64,
+//		Objective:    scratchmem.MinAccesses,
+//	})
+//	fmt.Println(plan.AccessBytes(), plan.PolicyMix())
+package scratchmem
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"scratchmem/internal/core"
+	"scratchmem/internal/dse"
+	"scratchmem/internal/model"
+	"scratchmem/internal/policy"
+	"scratchmem/internal/program"
+	"scratchmem/internal/scalesim"
+	"scratchmem/internal/simulate"
+)
+
+// Re-exported core types. External users name them through these aliases.
+type (
+	// Network is an ordered list of layers executed one by one.
+	Network = model.Network
+	// Plan is a per-layer execution plan (a "management scheme").
+	Plan = core.Plan
+	// Config is the accelerator specification fed to the estimators.
+	Config = policy.Config
+	// Objective selects the optimisation target.
+	Objective = core.Objective
+	// PolicyID identifies one of the paper's memory-management policies.
+	PolicyID = policy.ID
+	// BaselineConfig describes a separate-buffer SCALE-Sim-style baseline.
+	BaselineConfig = scalesim.Config
+	// BaselineResult aggregates a baseline simulation of a network.
+	BaselineResult = scalesim.NetworkResult
+)
+
+// Objectives.
+const (
+	// MinAccesses minimises off-chip traffic (paper Algorithm 1).
+	MinAccesses = core.MinAccesses
+	// MinLatency minimises estimated latency.
+	MinLatency = core.MinLatency
+)
+
+// Policy identifiers, in paper order.
+const (
+	IntraLayerReuse     = policy.IntraLayer
+	Policy1IfmapReuse   = policy.P1IfmapReuse
+	Policy2FilterReuse  = policy.P2FilterReuse
+	Policy3PerChannel   = policy.P3PerChannel
+	Policy4PartialIfmap = policy.P4PartialIfmap
+	Policy5PartialPerCh = policy.P5PartialPerChannel
+)
+
+// DefaultConfig returns the paper's accelerator setup (16x16 PEs, 8-bit
+// data, 16 B/cycle DRAM bandwidth, padding counted) for a GLB of the given
+// size in kB.
+func DefaultConfig(glbKB int) Config { return policy.Default(glbKB) }
+
+// BuiltinModel returns one of the built-in networks by name
+// (case-insensitive): the six Table-2 models plus "TinyCNN".
+func BuiltinModel(name string) (*Network, error) { return model.Builtin(name) }
+
+// BuiltinModels returns the six networks of the paper's Table 2.
+func BuiltinModels() []*Network { return model.Builtins() }
+
+// LoadModel reads a network description from disk. Files ending in .csv are
+// parsed as SCALE-Sim topology files; everything else as the JSON format.
+func LoadModel(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		base := path[strings.LastIndexByte(path, '/')+1:]
+		return model.ReadTopologyCSV(strings.TrimSuffix(base, ".csv"), f)
+	}
+	return model.ReadJSON(f)
+}
+
+// SaveModel writes a network description; .csv selects the SCALE-Sim
+// topology format, anything else JSON.
+func SaveModel(n *Network, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		return n.WriteTopologyCSV(f)
+	}
+	return n.WriteJSON(f)
+}
+
+// PlanOptions parameterise PlanModel.
+type PlanOptions struct {
+	// GLBKiloBytes is the unified scratchpad size (required unless Config
+	// is set).
+	GLBKiloBytes int
+	// Config overrides the whole accelerator specification; when non-zero
+	// it takes precedence over GLBKiloBytes.
+	Config Config
+	// Objective selects MinAccesses (default) or MinLatency.
+	Objective Objective
+	// Homogeneous applies the single best policy to every layer (the
+	// paper's Hom scheme) instead of a per-layer choice (Het).
+	Homogeneous bool
+	// DisablePrefetch removes the "+p" policy variants.
+	DisablePrefetch bool
+	// InterLayerReuse lets a layer's ofmap stay resident to feed the next
+	// layer (§5.4).
+	InterLayerReuse bool
+}
+
+func (o PlanOptions) config() (Config, error) {
+	cfg := o.Config
+	if cfg == (Config{}) {
+		if o.GLBKiloBytes <= 0 {
+			return Config{}, fmt.Errorf("scratchmem: PlanOptions needs GLBKiloBytes or Config")
+		}
+		cfg = policy.Default(o.GLBKiloBytes)
+	}
+	return cfg, cfg.Validate()
+}
+
+// PlanModel runs the paper's memory-management technique on a network and
+// returns the execution plan.
+func PlanModel(n *Network, o PlanOptions) (*Plan, error) {
+	cfg, err := o.config()
+	if err != nil {
+		return nil, err
+	}
+	pl := &core.Planner{
+		Cfg:             cfg,
+		Objective:       o.Objective,
+		DisablePrefetch: o.DisablePrefetch,
+		InterLayer:      o.InterLayerReuse,
+	}
+	if o.Homogeneous {
+		return pl.BestHomogeneous(n)
+	}
+	return pl.Heterogeneous(n)
+}
+
+// BaselineSplits returns the paper's three fixed-partition baseline
+// configurations (25-75, 50-50, 75-25) for a GLB of the given size.
+func BaselineSplits(glbKB, widthBits int) []BaselineConfig {
+	return scalesim.PaperSplits(glbKB, widthBits)
+}
+
+// SimulateBaseline runs the SCALE-Sim-style baseline over a network.
+func SimulateBaseline(n *Network, cfg BaselineConfig) (*BaselineResult, error) {
+	return scalesim.SimulateNetwork(n, cfg)
+}
+
+// CompileProgram lowers a plan into a serialisable command stream by
+// dry-running every layer's tile schedule (see internal/program).
+func CompileProgram(p *Plan) (*program.Program, error) { return program.Compile(p) }
+
+// Program is the command-stream artefact a compiler backend would consume.
+type Program = program.Program
+
+// SimulatePlan times a plan end-to-end on the ideal fixed-bandwidth
+// backend, returning (measured cycles, planner-estimated cycles).
+func SimulatePlan(p *Plan) (measured, estimated int64, err error) {
+	r, err := simulate.Run(p, simulate.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.Cycles, r.EstimateCycles, nil
+}
+
+// DSEAccessElems runs the exhaustive tile-size search over a network and
+// returns its optimum off-chip traffic — the reference the policy plans are
+// measured against (internal/dse).
+func DSEAccessElems(n *Network, cfg Config) (elems int64, feasible bool) {
+	return dse.NetworkAccessElems(n, cfg)
+}

@@ -1,0 +1,173 @@
+package scratchmem
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	net, err := BuiltinModel("ResNet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanModel(net, PlanOptions{GLBKiloBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible() || plan.AccessBytes() <= 0 {
+		t.Fatalf("bad plan: feasible=%v bytes=%d", plan.Feasible(), plan.AccessBytes())
+	}
+	// Beat the best baseline split, as the paper's headline claims.
+	best := int64(0)
+	for _, bc := range BaselineSplits(64, 8) {
+		r, err := SimulateBaseline(net, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := r.DRAMBytes(); best == 0 || b < best {
+			best = b
+		}
+	}
+	if plan.AccessBytes() >= best {
+		t.Errorf("plan %d B not better than baseline %d B", plan.AccessBytes(), best)
+	}
+}
+
+func TestPlanModelVariants(t *testing.T) {
+	net, _ := BuiltinModel("MobileNet")
+	het, err := PlanModel(net, PlanOptions{GLBKiloBytes: 128, Objective: MinLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hom, err := PlanModel(net, PlanOptions{GLBKiloBytes: 128, Objective: MinLatency, Homogeneous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if het.LatencyCycles() > hom.LatencyCycles() {
+		t.Errorf("het latency %d > hom %d", het.LatencyCycles(), hom.LatencyCycles())
+	}
+	inter, err := PlanModel(net, PlanOptions{GLBKiloBytes: 1024, InterLayerReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := PlanModel(net, PlanOptions{GLBKiloBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.AccessElems() > base.AccessElems() {
+		t.Error("inter-layer reuse increased traffic")
+	}
+	noPf, err := PlanModel(net, PlanOptions{GLBKiloBytes: 128, DisablePrefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noPf.PrefetchCoverage() != 0 {
+		t.Error("DisablePrefetch plan still prefetches")
+	}
+}
+
+func TestPlanModelErrors(t *testing.T) {
+	net, _ := BuiltinModel("TinyCNN")
+	if _, err := PlanModel(net, PlanOptions{}); err == nil {
+		t.Error("missing GLB size accepted")
+	}
+	cfg := DefaultConfig(64)
+	cfg.DataWidthBits = 0
+	if _, err := PlanModel(net, PlanOptions{Config: cfg}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestModelFileRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	net, _ := BuiltinModel("TinyCNN")
+
+	jsonPath := filepath.Join(dir, "tiny.json")
+	if err := SaveModel(net, jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Layers) != len(net.Layers) {
+		t.Errorf("JSON round trip lost layers: %d != %d", len(back.Layers), len(net.Layers))
+	}
+
+	csvPath := filepath.Join(dir, "tiny.csv")
+	if err := SaveModel(net, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	back, err = LoadModel(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Layers) != len(net.Layers) {
+		t.Errorf("CSV round trip lost layers: %d != %d", len(back.Layers), len(net.Layers))
+	}
+	if back.Name != "tiny" {
+		t.Errorf("CSV model name = %q, want basename", back.Name)
+	}
+
+	if _, err := LoadModel(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(filepath.Join(dir, "bad.json")); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+func TestBuiltinModels(t *testing.T) {
+	if got := len(BuiltinModels()); got != 6 {
+		t.Errorf("BuiltinModels = %d, want 6", got)
+	}
+	if _, err := BuiltinModel("nope"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestProgramAndSimulationFacade(t *testing.T) {
+	net, _ := BuiltinModel("TinyCNN")
+	plan, err := PlanModel(net, PlanOptions{GLBKiloBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := CompileProgram(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.AccessElems() != plan.AccessElems() {
+		t.Errorf("program traffic %d != plan %d", prog.AccessElems(), plan.AccessElems())
+	}
+	measured, estimated, err := SimulatePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estimated != plan.LatencyCycles() {
+		t.Errorf("estimated %d != plan %d", estimated, plan.LatencyCycles())
+	}
+	if measured <= 0 {
+		t.Errorf("measured cycles = %d", measured)
+	}
+}
+
+func TestDSEFacade(t *testing.T) {
+	net, _ := BuiltinModel("ResNet18")
+	cfg := DefaultConfig(64)
+	opt, ok := DSEAccessElems(net, cfg)
+	if !ok {
+		t.Fatal("DSE infeasible at 64kB")
+	}
+	plan, err := PlanModel(net, PlanOptions{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := float64(plan.AccessElems())/float64(opt) - 1
+	if gap < -1e-9 || gap > 0.15 {
+		t.Errorf("Het is %.2f%% from the DSE optimum", 100*gap)
+	}
+}
