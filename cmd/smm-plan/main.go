@@ -41,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		hom        = fs.Bool("hom", false, "use the best homogeneous scheme instead of the heterogeneous one")
 		interlayer = fs.Bool("interlayer", false, "enable inter-layer reuse")
 		noPrefetch = fs.Bool("no-prefetch", false, "disable the prefetching policy variants")
+		jsonOut    = fs.Bool("json", false, "emit the plan as JSON (the same document smm-serve's /v1/plan returns) instead of the table")
 		showLayers = fs.Bool("layers", true, "print the per-layer policy table")
 		export     = fs.String("export", "", "compile the plan to a command-stream JSON at this path")
 		sim        = fs.Bool("simulate", false, "time the plan end-to-end on the ideal and banked-DRAM backends")
@@ -63,7 +64,9 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg := scratchmem.DefaultConfig(*glbKB)
 	cfg.DataWidthBits = *width
-	cfg.Batch = *batch
+	if *batch > 1 { // 0 and 1 both mean single inference; keep the config canonical
+		cfg.Batch = *batch
+	}
 	plan, err := scratchmem.PlanModel(net, scratchmem.PlanOptions{
 		Config:          cfg,
 		Objective:       obj,
@@ -73,6 +76,10 @@ func run(args []string, out io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	if *jsonOut {
+		return scratchmem.PlanDocument(plan).Encode(out)
 	}
 
 	fmt.Fprintf(out, "%s: %s scheme, objective %s, GLB %d kB, %d-bit\n",

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +11,7 @@ import (
 
 	scratchmem "scratchmem"
 	"scratchmem/internal/program"
+	"scratchmem/internal/server"
 )
 
 func TestRunBuiltinModel(t *testing.T) {
@@ -60,6 +64,51 @@ func TestRunModelFromFile(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "TinyCNN") {
 		t.Error("file model not loaded")
+	}
+}
+
+// TestRunJSONGolden pins the -json document format. Regenerate with:
+//
+//	go run ./cmd/smm-plan -model TinyCNN -glb 32 -json > cmd/smm-plan/testdata/tinycnn_glb32.golden.json
+func TestRunJSONGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "TinyCNN", "-glb", "32", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "tinycnn_glb32.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("-json output diverged from golden file:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+	var doc scratchmem.PlanDoc
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("-json output is not a valid PlanDoc: %v", err)
+	}
+}
+
+// TestRunJSONMatchesServer asserts the CLI and the /v1/plan endpoint emit
+// byte-identical documents for the same request.
+func TestRunJSONMatchesServer(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "TinyCNN", "-glb", "32", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/plan", "application/json",
+		strings.NewReader(`{"model": "TinyCNN", "glb_kb": 32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("server: status %d: %s", resp.StatusCode, body)
+	}
+	if sb.String() != string(body) {
+		t.Errorf("CLI -json and server /v1/plan bodies differ:\ncli:\n%s\nserver:\n%s", sb.String(), body)
 	}
 }
 

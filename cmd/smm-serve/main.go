@@ -1,0 +1,105 @@
+// Command smm-serve runs the planning-as-a-service HTTP server: the
+// paper's analyser (Algorithm 1), the end-to-end simulators and the DSE
+// search behind a JSON API with a content-addressed plan cache
+// (internal/server, internal/plancache).
+//
+// Usage:
+//
+//	smm-serve -addr :8080 -workers 8 -cache 512 -timeout 30s
+//
+// Endpoints:
+//
+//	POST /v1/plan      {"model": "ResNet18", "glb_kb": 64}
+//	POST /v1/simulate  {"model": "TinyCNN", "glb_kb": 32}            (plan timing)
+//	POST /v1/simulate  {..., "baseline": {"split_percent": 50}}      (SCALE-Sim baseline)
+//	POST /v1/dse       {"model": "TinyCNN", "glb_kb": 32}
+//	GET  /v1/models
+//	GET  /healthz
+//	GET  /metrics
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scratchmem/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "smm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until ctx is cancelled (a signal) or
+// the listener fails; it then drains in-flight requests and returns.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("smm-serve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "max concurrent planner/simulator executions (0 = GOMAXPROCS)")
+		cache   = fs.Int("cache", server.DefaultCacheEntries, "plan-cache capacity in entries (negative disables storage)")
+		timeout = fs.Duration("timeout", server.DefaultTimeout, "per-request deadline")
+		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		CacheEntries: *cache,
+		Timeout:      *timeout,
+	})
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		// The handlers enforce their own deadline; give writes headroom
+		// beyond it so a slow client cannot truncate a computed response.
+		WriteTimeout: *timeout + 5*time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "smm-serve: listening on %s (workers %d, cache %d entries, timeout %s)\n",
+		ln.Addr(), *workers, *cache, *timeout)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "smm-serve: shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	cs := srv.CacheStats()
+	fmt.Fprintf(out, "smm-serve: bye (cache: %d hits, %d misses, %d coalesced, %d evictions)\n",
+		cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions)
+	return nil
+}

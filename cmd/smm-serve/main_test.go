@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer so the test can poll run's output
+// while the server goroutine writes to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+var listenRe = regexp.MustCompile(`listening on ([^\s(]+)`)
+
+// TestServeLifecycle boots the real binary path on an ephemeral port,
+// exercises a plan round trip and the cache-hit counter, then shuts down
+// via context cancellation (the signal path).
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-timeout", "30s"}, out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	body := `{"model": "TinyCNN", "glb_kb": 32}`
+	for i, want := range []string{"miss", "hit"} {
+		resp, err := http.Post(base+"/v1/plan", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan %d: status %d: %s", i, resp.StatusCode, b)
+		}
+		if h := resp.Header.Get("X-SMM-Cache"); h != want {
+			t.Errorf("plan %d: X-SMM-Cache = %q, want %q", i, h, want)
+		}
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(mb), "smm_cache_hits_total 1") {
+		t.Errorf("metrics missing cache hit:\n%s", mb)
+	}
+
+	cancel() // the signal path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if s := out.String(); !strings.Contains(s, "draining") || !strings.Contains(s, "1 hits") {
+		t.Errorf("shutdown log incomplete:\n%s", s)
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run(context.Background(), []string{"-addr"}, out); err == nil {
+		t.Error("dangling flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:99999"}, out); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

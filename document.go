@@ -1,0 +1,151 @@
+package scratchmem
+
+import (
+	"encoding/json"
+	"io"
+
+	"scratchmem/internal/policy"
+)
+
+// ConfigDoc is the JSON form of a Config, shared by the smm-serve API and
+// cmd/smm-plan -json. Field order is fixed, so marshalling is
+// deterministic.
+type ConfigDoc struct {
+	GLBBytes          int64 `json:"glb_bytes"`
+	DataWidthBits     int   `json:"data_width_bits"`
+	OpsPerCycle       int   `json:"ops_per_cycle"`
+	DRAMBytesPerCycle int   `json:"dram_bytes_per_cycle"`
+	IncludePadding    bool  `json:"include_padding"`
+	Batch             int   `json:"batch,omitempty"`
+}
+
+// NewConfigDoc converts an accelerator Config to its document form.
+// Batch 1 is normalised to the zero value (the two mean the same single
+// inference, see Config.BatchSize) so equivalent configs render
+// identically.
+func NewConfigDoc(c Config) ConfigDoc {
+	if c.Batch == 1 {
+		c.Batch = 0
+	}
+	return ConfigDoc{
+		GLBBytes:          c.GLBBytes,
+		DataWidthBits:     c.DataWidthBits,
+		OpsPerCycle:       c.OpsPerCycle,
+		DRAMBytesPerCycle: c.DRAMBytesPerCycle,
+		IncludePadding:    c.IncludePadding,
+		Batch:             c.Batch,
+	}
+}
+
+// ToConfig converts the document form back to a Config.
+func (d ConfigDoc) ToConfig() Config {
+	return Config{
+		GLBBytes:          d.GLBBytes,
+		DataWidthBits:     d.DataWidthBits,
+		OpsPerCycle:       d.OpsPerCycle,
+		DRAMBytesPerCycle: d.DRAMBytesPerCycle,
+		IncludePadding:    d.IncludePadding,
+		Batch:             d.Batch,
+	}
+}
+
+// LayerPlanDoc is one layer's decision in a PlanDoc.
+type LayerPlanDoc struct {
+	Name             string `json:"name"`
+	Policy           string `json:"policy"` // short label: intra, p1..p5, fb
+	Prefetch         bool   `json:"prefetch"`
+	N                int    `json:"n,omitempty"` // P4/P5 filter-block size
+	MemoryBytes      int64  `json:"memory_bytes"`
+	AccessElems      int64  `json:"access_elems"`
+	AccessBytes      int64  `json:"access_bytes"`
+	LatencyCycles    int64  `json:"latency_cycles"`
+	ConsumesResident bool   `json:"consumes_resident,omitempty"`
+	KeepsResident    bool   `json:"keeps_resident,omitempty"`
+}
+
+// PlanTotalsDoc aggregates a plan's whole-network figures.
+type PlanTotalsDoc struct {
+	AccessElems    int64 `json:"access_elems"`
+	AccessBytes    int64 `json:"access_bytes"`
+	LatencyCycles  int64 `json:"latency_cycles"`
+	MaxMemoryBytes int64 `json:"max_memory_bytes"`
+}
+
+// PlanDoc is the canonical serialisable form of a Plan — the document
+// POST /v1/plan returns and cmd/smm-plan -json prints, byte-identical
+// between the two for the same request.
+type PlanDoc struct {
+	Model                string         `json:"model"`
+	Scheme               string         `json:"scheme"`
+	Objective            string         `json:"objective"`
+	Config               ConfigDoc      `json:"config"`
+	Layers               []LayerPlanDoc `json:"layers"`
+	Totals               PlanTotalsDoc  `json:"totals"`
+	PolicyMix            []string       `json:"policy_mix"`
+	PrefetchCoverage     float64        `json:"prefetch_coverage"`
+	InterLayerCoverage   float64        `json:"interlayer_coverage"`
+	ChainableTransitions int            `json:"chainable_transitions"`
+	Feasible             bool           `json:"feasible"`
+}
+
+// PlanDocument converts a Plan into its document form.
+func PlanDocument(p *Plan) *PlanDoc {
+	doc := &PlanDoc{
+		Model:     p.Model,
+		Scheme:    p.Scheme,
+		Objective: p.Objective.String(),
+		Config:    NewConfigDoc(p.Cfg),
+		Layers:    make([]LayerPlanDoc, len(p.Layers)),
+		Totals: PlanTotalsDoc{
+			AccessElems:    p.AccessElems(),
+			AccessBytes:    p.AccessBytes(),
+			LatencyCycles:  p.LatencyCycles(),
+			MaxMemoryBytes: p.MaxMemoryBytes(),
+		},
+		PolicyMix:            p.PolicyMix(),
+		PrefetchCoverage:     p.PrefetchCoverage(),
+		InterLayerCoverage:   p.InterLayerCoverage(),
+		ChainableTransitions: p.ChainableTransitions,
+		Feasible:             p.Feasible(),
+	}
+	for i := range p.Layers {
+		lp := &p.Layers[i]
+		n := 0
+		if lp.Est.Policy == policy.P4PartialIfmap || lp.Est.Policy == policy.P5PartialPerChannel {
+			n = lp.Est.N
+		}
+		doc.Layers[i] = LayerPlanDoc{
+			Name:             lp.Layer.Name,
+			Policy:           lp.Est.Policy.Short(),
+			Prefetch:         lp.Est.Opts.Prefetch,
+			N:                n,
+			MemoryBytes:      lp.Est.MemoryBytes,
+			AccessElems:      lp.Est.AccessElems,
+			AccessBytes:      lp.Est.AccessBytes,
+			LatencyCycles:    lp.Est.LatencyCycles,
+			ConsumesResident: lp.ConsumesResident,
+			KeepsResident:    lp.KeepsResident,
+		}
+	}
+	return doc
+}
+
+// MarshalIndent renders the document the one canonical way (two-space
+// indent, trailing newline) so CLI and server bodies compare byte-equal.
+func (d *PlanDoc) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Encode writes the canonical rendering to w.
+func (d *PlanDoc) Encode(w io.Writer) error {
+	b, err := d.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,136 @@
+package scratchmem
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSaveLoadModelRoundTripBytes asserts the on-disk JSON format
+// re-serialises byte-identically — the property the content-addressed plan
+// cache keys (PlanKey) rest on.
+func TestSaveLoadModelRoundTripBytes(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"TinyCNN", "ResNet18", "MobileNet"} {
+		net, err := BuiltinModel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1 := filepath.Join(dir, name+"-1.json")
+		p2 := filepath.Join(dir, name+"-2.json")
+		if err := SaveModel(net, p1); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadModel(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveModel(back, p2); err != nil {
+			t.Fatal(err)
+		}
+		b1, _ := os.ReadFile(p1)
+		b2, _ := os.ReadFile(p2)
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: SaveModel/LoadModel round trip is not byte-identical", name)
+		}
+	}
+}
+
+func TestPlanKeyDeterministicAndDiscriminating(t *testing.T) {
+	net, err := BuiltinModel("TinyCNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := PlanOptions{GLBKiloBytes: 32}
+	k1, err := PlanKey(net, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k1) != 64 { // hex SHA-256
+		t.Fatalf("key %q is not a sha256 hex digest", k1)
+	}
+	k2, _ := PlanKey(net, base)
+	if k1 != k2 {
+		t.Error("PlanKey is not deterministic")
+	}
+
+	// The same request expressed through an explicit Config hashes
+	// identically: keys are built from the resolved configuration.
+	k3, _ := PlanKey(net, PlanOptions{Config: DefaultConfig(32)})
+	if k3 != k1 {
+		t.Error("GLBKiloBytes and the equivalent explicit Config produce different keys")
+	}
+	// Batch 0 and 1 both mean single inference and must share a key.
+	cfg := DefaultConfig(32)
+	cfg.Batch = 1
+	if k4, _ := PlanKey(net, PlanOptions{Config: cfg}); k4 != k1 {
+		t.Error("batch 0 and batch 1 produce different keys")
+	}
+
+	// Every plan-shaping knob must change the key.
+	variants := []PlanOptions{
+		{GLBKiloBytes: 64},
+		{GLBKiloBytes: 32, Objective: MinLatency},
+		{GLBKiloBytes: 32, Homogeneous: true},
+		{GLBKiloBytes: 32, DisablePrefetch: true},
+		{GLBKiloBytes: 32, InterLayerReuse: true},
+	}
+	seen := map[string]int{k1: -1}
+	for i, o := range variants {
+		k, err := PlanKey(net, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("options %d and %d collide on key %s", prev, i, k)
+		}
+		seen[k] = i
+	}
+
+	// A different network must change the key.
+	other, _ := BuiltinModel("MobileNet")
+	if k, _ := PlanKey(other, base); k == k1 {
+		t.Error("different networks share a key")
+	}
+
+	if _, err := PlanKey(net, PlanOptions{}); err == nil {
+		t.Error("PlanKey accepted options without a GLB size")
+	}
+}
+
+func TestPlanDocumentRendering(t *testing.T) {
+	net, err := BuiltinModel("TinyCNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanModel(net, PlanOptions{GLBKiloBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := PlanDocument(plan)
+	if doc.Model != "TinyCNN" || len(doc.Layers) != len(plan.Layers) {
+		t.Fatalf("document shape wrong: %+v", doc)
+	}
+	if doc.Totals.AccessBytes != plan.AccessBytes() || doc.Totals.LatencyCycles != plan.LatencyCycles() {
+		t.Error("document totals disagree with the plan")
+	}
+	b1, err := doc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := doc.MarshalIndent()
+	if !bytes.Equal(b1, b2) {
+		t.Error("MarshalIndent is not deterministic")
+	}
+	if b1[len(b1)-1] != '\n' {
+		t.Error("canonical rendering must end in a newline")
+	}
+	var sb bytes.Buffer
+	if err := doc.Encode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), b1) {
+		t.Error("Encode differs from MarshalIndent")
+	}
+}

@@ -1,0 +1,53 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The content-addressed plan cache hashes CanonicalJSON, so serialisation
+// must be deterministic and stable under a round trip: write → read → write
+// must reproduce the exact bytes.
+func TestJSONRoundTripByteIdentical(t *testing.T) {
+	for _, n := range Builtins() {
+		var first bytes.Buffer
+		if err := n.WriteJSON(&first); err != nil {
+			t.Fatalf("%s: write: %v", n.Name, err)
+		}
+		back, err := ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: read: %v", n.Name, err)
+		}
+		var second bytes.Buffer
+		if err := back.WriteJSON(&second); err != nil {
+			t.Fatalf("%s: rewrite: %v", n.Name, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("%s: JSON round trip is not byte-identical", n.Name)
+		}
+	}
+}
+
+func TestCanonicalJSONStable(t *testing.T) {
+	for _, n := range Builtins() {
+		a, err := CanonicalJSON(n)
+		if err != nil {
+			t.Fatalf("%s: canonical: %v", n.Name, err)
+		}
+		b, _ := CanonicalJSON(n)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: repeated CanonicalJSON differs", n.Name)
+		}
+		back, err := ReadJSON(bytes.NewReader(a))
+		if err != nil {
+			t.Fatalf("%s: canonical form does not parse: %v", n.Name, err)
+		}
+		c, _ := CanonicalJSON(back)
+		if !bytes.Equal(a, c) {
+			t.Errorf("%s: canonical form not stable under round trip", n.Name)
+		}
+		if bytes.ContainsRune(a, '\n') {
+			t.Errorf("%s: canonical form is not compact", n.Name)
+		}
+	}
+}

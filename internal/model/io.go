@@ -29,8 +29,10 @@ type jsonNetwork struct {
 	Layers []jsonLayer `json:"layers"`
 }
 
-// WriteJSON serialises the network as indented JSON.
-func (n *Network) WriteJSON(w io.Writer) error {
+// toJSON converts a network to its on-disk JSON form. Struct field order is
+// fixed, so every serialisation of the same network is byte-identical — the
+// property the content-addressed cache keys depend on.
+func (n *Network) toJSON() jsonNetwork {
 	jn := jsonNetwork{Name: n.Name, Layers: make([]jsonLayer, len(n.Layers))}
 	for i, l := range n.Layers {
 		jn.Layers[i] = jsonLayer{
@@ -38,9 +40,22 @@ func (n *Network) WriteJSON(w io.Writer) error {
 			IH: l.IH, IW: l.IW, CI: l.CI, FH: l.FH, FW: l.FW, F: l.F, S: l.S, P: l.P,
 		}
 	}
+	return jn
+}
+
+// WriteJSON serialises the network as indented JSON.
+func (n *Network) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jn)
+	return enc.Encode(n.toJSON())
+}
+
+// CanonicalJSON returns the compact deterministic serialisation of a
+// network: the same network always yields the same bytes, and a network
+// reconstructed from those bytes serialises back to them. Content-addressed
+// cache keys (scratchmem.PlanKey) hash this form.
+func CanonicalJSON(n *Network) ([]byte, error) {
+	return json.Marshal(n.toJSON())
 }
 
 // ReadJSON parses a network from its JSON form and validates it.

@@ -3,17 +3,38 @@
 // concurrently. It follows the worker-pool idiom from Effective Go: a fixed
 // number of goroutines draining an index channel, synchronised with a
 // WaitGroup — no shared mutable state beyond the caller's pre-sized result
-// slices.
+// slices. It also provides the context-aware counting Semaphore the HTTP
+// server uses to bound in-flight planner and simulator executions.
 package parallel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
 
+// Panic wraps a panic value recovered from a worker goroutine so the caller
+// can distinguish a propagated worker panic from one of its own.
+type Panic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the time of the panic.
+	Stack []byte
+}
+
+func (p *Panic) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
 // ForEach runs f(i) for every i in [0, n), distributing indices over
 // workers goroutines (GOMAXPROCS when workers <= 0). It returns when all
 // calls completed. f must only write to per-index state.
+//
+// A panic inside f does not kill the process from an anonymous worker
+// goroutine: the first panic is recovered, every remaining index still
+// runs, and after all workers finish the panic is re-raised on the caller's
+// goroutine wrapped in *Panic — so a server handler can convert it into a
+// 500 with recover().
 func ForEach(n, workers int, f func(i int)) {
 	if n <= 0 {
 		return
@@ -25,11 +46,19 @@ func ForEach(n, workers int, f func(i int)) {
 		workers = n
 	}
 	if workers == 1 {
+		// Single-worker calls run on the caller's goroutine; a panic
+		// already propagates there, but wrap it the same way so callers
+		// see one type regardless of worker count.
 		for i := 0; i < n; i++ {
-			f(i)
+			callSafe(f, i, nil)
 		}
 		return
 	}
+	var (
+		once     sync.Once
+		panicked *Panic
+	)
+	record := func(p *Panic) { once.Do(func() { panicked = p }) }
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -37,7 +66,7 @@ func ForEach(n, workers int, f func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				f(i)
+				callSafe(f, i, record)
 			}
 		}()
 	}
@@ -46,6 +75,34 @@ func ForEach(n, workers int, f func(i int)) {
 	}
 	close(idx)
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// callSafe invokes f(i), converting a panic into *Panic. With record nil it
+// re-panics immediately (synchronous path); otherwise it records the panic
+// and returns, so the worker keeps draining indices and the feeder never
+// blocks on a dead pool.
+func callSafe(f func(int), i int, record func(*Panic)) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, ok := r.(*Panic)
+			if !ok {
+				p = &Panic{Value: r, Stack: stack()}
+			}
+			if record == nil {
+				panic(p)
+			}
+			record(p)
+		}
+	}()
+	f(i)
+}
+
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
 }
 
 // Map runs f over [0, n) like ForEach and collects the results in order.

@@ -41,3 +41,53 @@ func TestMapZero(t *testing.T) {
 		t.Errorf("Map(0) returned %d elements", len(got))
 	}
 }
+
+func TestForEachPanicPropagatesToCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n := 50
+		var visited int32
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+				p, ok := r.(*Panic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *Panic", workers, r)
+				}
+				if p.Value != "boom 7" {
+					t.Errorf("workers=%d: panic value %v, want boom 7", workers, p.Value)
+				}
+				if len(p.Stack) == 0 {
+					t.Errorf("workers=%d: panic carries no stack", workers)
+				}
+			}()
+			ForEach(n, workers, func(i int) {
+				atomic.AddInt32(&visited, 1)
+				if i == 7 {
+					panic("boom 7")
+				}
+			})
+		}()
+		// The pool must keep draining after a panic so the feeder never
+		// deadlocks; with multiple workers every index still runs.
+		if workers > 1 && visited != int32(n) {
+			t.Errorf("workers=%d: visited %d of %d indices after panic", workers, visited, n)
+		}
+	}
+}
+
+func TestForEachFirstPanicWins(t *testing.T) {
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %T, want *Panic", r)
+		}
+		if _, isInt := p.Value.(int); !isInt {
+			t.Errorf("panic value %v (%T), want an index", p.Value, p.Value)
+		}
+	}()
+	ForEach(32, 8, func(i int) { panic(i) })
+}

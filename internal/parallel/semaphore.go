@@ -1,0 +1,59 @@
+package parallel
+
+import (
+	"context"
+	"runtime"
+)
+
+// Semaphore is a counting semaphore with the same channel-of-tokens shape
+// as ForEach's worker pool, made context-aware so a server can bound
+// in-flight work without stranding requests past their deadline.
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// NewSemaphore returns a semaphore admitting up to n concurrent holders
+// (GOMAXPROCS when n <= 0).
+func NewSemaphore(n int) *Semaphore {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Semaphore{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx.Err()
+// in the latter case.
+func (s *Semaphore) Acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot if one is immediately free.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by a successful Acquire or TryAcquire.
+func (s *Semaphore) Release() {
+	select {
+	case <-s.slots:
+	default:
+		panic("parallel: Semaphore.Release without a matching Acquire")
+	}
+}
+
+// Cap returns the semaphore's capacity.
+func (s *Semaphore) Cap() int { return cap(s.slots) }
+
+// InUse returns the number of currently-held slots (a racy snapshot, for
+// metrics only).
+func (s *Semaphore) InUse() int { return len(s.slots) }

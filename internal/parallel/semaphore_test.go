@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreBoundsConcurrency(t *testing.T) {
+	const limit, tasks = 3, 20
+	sem := NewSemaphore(limit)
+	if sem.Cap() != limit {
+		t.Fatalf("Cap() = %d, want %d", sem.Cap(), limit)
+	}
+	var cur, peak int32
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sem.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer sem.Release()
+			c := atomic.AddInt32(&cur, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt32(&cur, -1)
+		}()
+	}
+	wg.Wait()
+	if peak > limit {
+		t.Errorf("observed %d concurrent holders, limit %d", peak, limit)
+	}
+	if sem.InUse() != 0 {
+		t.Errorf("InUse() = %d after all released", sem.InUse())
+	}
+}
+
+func TestSemaphoreAcquireRespectsContext(t *testing.T) {
+	sem := NewSemaphore(1)
+	if err := sem.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := sem.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Errorf("Acquire on full semaphore: err = %v, want DeadlineExceeded", err)
+	}
+	sem.Release()
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	sem := NewSemaphore(1)
+	if !sem.TryAcquire() {
+		t.Fatal("TryAcquire failed on empty semaphore")
+	}
+	if sem.TryAcquire() {
+		t.Fatal("TryAcquire succeeded on full semaphore")
+	}
+	sem.Release()
+	if !sem.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release")
+	}
+}
+
+func TestSemaphoreReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unbalanced Release did not panic")
+		}
+	}()
+	NewSemaphore(2).Release()
+}

@@ -1,0 +1,185 @@
+// Package plancache is a bounded, concurrency-safe, content-addressed
+// result cache with single-flight deduplication. Planning (paper
+// Algorithm 1) is a pure function of (network, accelerator config,
+// options), so the HTTP server keys completed plans and simulation results
+// by a canonical SHA-256 hash of the request (scratchmem.PlanKey) and
+// serves repeats as a map lookup. Concurrent requests for the same key
+// collapse onto one computation; the rest wait for its result.
+package plancache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from a stored entry.
+	Hits int64
+	// Misses counts lookups that started a new computation.
+	Misses int64
+	// Coalesced counts lookups that joined an in-flight computation
+	// instead of starting their own (single-flight deduplication).
+	Coalesced int64
+	// Evictions counts entries dropped to stay within capacity.
+	Evictions int64
+	// Entries is the current number of stored entries.
+	Entries int
+	// Capacity is the maximum number of stored entries (0 disables
+	// storage; single-flight deduplication still applies).
+	Capacity int
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// call is one in-flight computation; waiters block on done.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is an LRU keyed by canonical request hashes. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*call
+
+	hits, misses, coalesced, evictions int64
+}
+
+// New returns a cache holding at most capacity entries. capacity <= 0
+// disables storage but keeps single-flight deduplication.
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Get returns the stored value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).val, true
+}
+
+// Do returns the value for key, computing it with fn on a miss. Concurrent
+// calls with the same key run fn exactly once: the first caller becomes the
+// leader, the rest wait for its result. shared reports that the value came
+// from the cache or from another caller's flight rather than from running
+// fn here.
+//
+// The computation runs on its own goroutine and always completes, even if
+// every waiter's ctx expires first — a successful result is still cached
+// for future requests (fn itself may honour ctx to abort early). Errors and
+// panics in fn are returned to all current waiters and are never cached.
+func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, shared bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.val, true, cl.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c.misses++
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				cl.err = fmt.Errorf("plancache: panic computing %s: %v", key, r)
+				cl.val = nil
+			}
+			c.mu.Lock()
+			delete(c.inflight, key)
+			if cl.err == nil {
+				c.storeLocked(key, cl.val)
+			}
+			c.mu.Unlock()
+			close(cl.done)
+		}()
+		cl.val, cl.err = fn()
+	}()
+
+	select {
+	case <-cl.done:
+		return cl.val, false, cl.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// storeLocked inserts key as most recently used and evicts from the cold
+// end while over capacity. Caller holds c.mu.
+func (c *Cache) storeLocked(key string, val any) {
+	if c.capacity == 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.items, cold.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the current number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

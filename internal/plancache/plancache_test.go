@@ -1,0 +1,207 @@
+package plancache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoMissThenHit(t *testing.T) {
+	c := New(4)
+	calls := 0
+	fn := func() (any, error) { calls++; return "v1", nil }
+
+	v, shared, err := c.Do(context.Background(), "k", fn)
+	if err != nil || v != "v1" || shared {
+		t.Fatalf("first Do = (%v, %v, %v), want (v1, false, nil)", v, shared, err)
+	}
+	v, shared, err = c.Do(context.Background(), "k", fn)
+	if err != nil || v != "v1" || !shared {
+		t.Fatalf("second Do = (%v, %v, %v), want (v1, true, nil)", v, shared, err)
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry", s)
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	c := New(4)
+	var calls int32
+	release := make(chan struct{})
+	fn := func() (any, error) {
+		atomic.AddInt32(&calls, 1)
+		<-release
+		return 42, nil
+	}
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "same", fn)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let every goroutine reach Do before releasing the leader.
+	for c.Stats().Coalesced < waiters-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Errorf("fn ran %d times for %d concurrent callers, want 1", n, waiters)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("caller %d got %v, want 42", i, v)
+		}
+	}
+	if s := c.Stats(); s.Coalesced != waiters-1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want %d coalesced, 1 miss", s, waiters-1)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	calls := 0
+	if _, _, err := c.Do(context.Background(), "k", func() (any, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if v, _, err := c.Do(context.Background(), "k", func() (any, error) { calls++; return "ok", nil }); err != nil || v != "ok" {
+		t.Fatalf("retry = (%v, %v), want (ok, nil)", v, err)
+	}
+	if calls != 2 {
+		t.Errorf("fn ran %d times, want 2 (errors must not be cached)", calls)
+	}
+}
+
+func TestDoPanicBecomesError(t *testing.T) {
+	c := New(4)
+	_, _, err := c.Do(context.Background(), "k", func() (any, error) { panic("kaboom") })
+	if err == nil || c.Len() != 0 {
+		t.Fatalf("panic: err = %v, entries = %d; want error and no entry", err, c.Len())
+	}
+}
+
+func TestDoContextExpiryLeavesResultForOthers(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func() (any, error) { close(started); <-release; return "late", nil }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { <-started; cancel() }()
+	if _, _, err := c.Do(ctx, "k", fn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The abandoned computation still completes and lands in the cache.
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned computation never cached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v, ok := c.Get("k")
+	if !ok || v != "late" {
+		t.Errorf("Get = (%v, %v), want (late, true)", v, ok)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	put := func(k string) {
+		if _, _, err := c.Do(context.Background(), k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	if _, ok := c.Get("a"); !ok { // a is now most recently used
+		t.Fatal("a missing")
+	}
+	put("c") // evicts b, the cold entry
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries", s)
+	}
+}
+
+func TestZeroCapacityStillDeduplicates(t *testing.T) {
+	c := New(0)
+	var calls int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Do(context.Background(), "k", func() (any, error) {
+				atomic.AddInt32(&calls, 1)
+				<-release
+				return 1, nil
+			})
+		}()
+	}
+	for c.Stats().Coalesced < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1", calls)
+	}
+	if c.Len() != 0 {
+		t.Errorf("capacity-0 cache stored %d entries", c.Len())
+	}
+	// Nothing stored: the next Do recomputes.
+	c.Do(context.Background(), "k", func() (any, error) { atomic.AddInt32(&calls, 1); return 1, nil })
+	if calls != 2 {
+		t.Errorf("fn ran %d times after second Do, want 2", calls)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%16)
+				v, _, err := c.Do(context.Background(), k, func() (any, error) { return k, nil })
+				if err != nil || v != k {
+					t.Errorf("Do(%s) = (%v, %v)", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("cache grew to %d entries, capacity 8", c.Len())
+	}
+}

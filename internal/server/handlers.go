@@ -1,0 +1,412 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	scratchmem "scratchmem"
+	"scratchmem/internal/core"
+	"scratchmem/internal/model"
+)
+
+// maxBodyBytes bounds request bodies; the largest builtin network is a few
+// kilobytes of JSON, so 8 MiB leaves generous headroom for custom models.
+const maxBodyBytes = 8 << 20
+
+// PlanRequest is the body of POST /v1/plan (and the common half of
+// /v1/simulate and /v1/dse). Exactly one of Model (a builtin name) or
+// Network (an inline network in the scratchmem JSON format) selects the
+// workload; GLBKiloBytes or Config selects the accelerator.
+type PlanRequest struct {
+	Model           string                `json:"model,omitempty"`
+	Network         json.RawMessage       `json:"network,omitempty"`
+	GLBKiloBytes    int                   `json:"glb_kb,omitempty"`
+	Config          *scratchmem.ConfigDoc `json:"config,omitempty"`
+	Objective       string                `json:"objective,omitempty"` // "accesses" (default) or "latency"
+	Homogeneous     bool                  `json:"homogeneous,omitempty"`
+	DisablePrefetch bool                  `json:"disable_prefetch,omitempty"`
+	InterLayerReuse bool                  `json:"interlayer,omitempty"`
+}
+
+// SimulateRequest selects plan simulation (default) or, with Baseline set,
+// the SCALE-Sim-style separate-buffer baseline.
+type SimulateRequest struct {
+	PlanRequest
+	Baseline *BaselineSpec `json:"baseline,omitempty"`
+}
+
+// BaselineSpec names one of the paper's fixed-partition baselines by its
+// ifmap share of GLB − 4 kB (25, 50 or 75).
+type BaselineSpec struct {
+	SplitPercent int `json:"split_percent"`
+}
+
+// SimulateResponse answers a plan simulation.
+type SimulateResponse struct {
+	Model           string `json:"model"`
+	PlanKey         string `json:"plan_key"`
+	MeasuredCycles  int64  `json:"measured_cycles"`
+	EstimatedCycles int64  `json:"estimated_cycles"`
+}
+
+// BaselineResponse answers a baseline simulation.
+type BaselineResponse struct {
+	Model     string `json:"model"`
+	Baseline  string `json:"baseline"`
+	Cycles    int64  `json:"cycles"`
+	DRAMElems int64  `json:"dram_elems"`
+}
+
+// DSEResponse answers POST /v1/dse.
+type DSEResponse struct {
+	Model       string `json:"model"`
+	AccessElems int64  `json:"access_elems"`
+	Feasible    bool   `json:"feasible"`
+}
+
+// ModelInfo is one row of GET /v1/models.
+type ModelInfo struct {
+	Name   string `json:"name"`
+	Layers int    `json:"layers"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// badRequestError marks client errors discovered while resolving a request.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// resolve turns the wire request into the planner's inputs.
+func (pr *PlanRequest) resolve() (*scratchmem.Network, scratchmem.PlanOptions, error) {
+	var opts scratchmem.PlanOptions
+	if (pr.Model == "") == (len(pr.Network) == 0) {
+		return nil, opts, badRequestf("exactly one of \"model\" or \"network\" is required")
+	}
+	var net *scratchmem.Network
+	var err error
+	if pr.Model != "" {
+		net, err = scratchmem.BuiltinModel(pr.Model)
+		if err != nil {
+			return nil, opts, badRequestf("%v", err)
+		}
+	} else {
+		net, err = model.ReadJSON(bytes.NewReader(pr.Network))
+		if err != nil {
+			return nil, opts, badRequestf("invalid \"network\": %v", err)
+		}
+	}
+	switch pr.Objective {
+	case "", "accesses":
+		opts.Objective = scratchmem.MinAccesses
+	case "latency":
+		opts.Objective = scratchmem.MinLatency
+	default:
+		return nil, opts, badRequestf("unknown objective %q (want accesses or latency)", pr.Objective)
+	}
+	if pr.Config != nil {
+		opts.Config = pr.Config.ToConfig()
+	} else if pr.GLBKiloBytes > 0 {
+		opts.Config = scratchmem.DefaultConfig(pr.GLBKiloBytes)
+	} else {
+		return nil, opts, badRequestf("one of \"glb_kb\" or \"config\" is required")
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return nil, opts, badRequestf("invalid config: %v", err)
+	}
+	opts.Homogeneous = pr.Homogeneous
+	opts.DisablePrefetch = pr.DisablePrefetch
+	opts.InterLayerReuse = pr.InterLayerReuse
+	return net, opts, nil
+}
+
+// planEntry is the cached value for one plan key: the plan itself plus the
+// pre-rendered response body, so repeated requests return byte-identical
+// documents without re-marshalling.
+type planEntry struct {
+	plan *scratchmem.Plan
+	body []byte
+}
+
+// decodeBody parses a JSON request body strictly.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequestf("invalid request body: %v", err)
+	}
+	return nil
+}
+
+// requestCtx applies the server's per-request deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.Timeout)
+}
+
+// writeError emits the JSON error envelope and counts it.
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.met.error(code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// fail maps an error from resolving or computing to an HTTP status.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var br *badRequestError
+	var infeasible *core.InfeasibleError
+	switch {
+	case errors.As(err, &br):
+		s.writeError(w, http.StatusBadRequest, br.msg)
+	case errors.As(err, &infeasible):
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	default:
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// cacheHeader reports how the response was produced.
+func cacheHeader(w http.ResponseWriter, shared bool) {
+	if shared {
+		w.Header().Set("X-SMM-Cache", "hit")
+	} else {
+		w.Header().Set("X-SMM-Cache", "miss")
+	}
+}
+
+// planned returns the cached-or-computed planEntry for a request. It is
+// the shared path of /v1/plan and /v1/simulate: cache lookup, single-flight
+// execution under a worker slot, latency observation.
+func (s *Server) planned(ctx context.Context, key string, net *scratchmem.Network, opts scratchmem.PlanOptions) (*planEntry, bool, error) {
+	v, shared, err := s.cache.Do(ctx, "plan:"+key, func() (any, error) {
+		if err := s.sem.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.sem.Release()
+		start := time.Now()
+		p, err := s.planFn(net, opts)
+		s.met.observePlanner(time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+		body, err := scratchmem.PlanDocument(p).MarshalIndent()
+		if err != nil {
+			return nil, err
+		}
+		return &planEntry{plan: p, body: body}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*planEntry), shared, nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	net, opts, err := req.resolve()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	key, err := scratchmem.PlanKey(net, opts)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	entry, shared, err := s.planned(ctx, key, net, opts)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	cacheHeader(w, shared)
+	w.Header().Set("X-SMM-Plan-Key", key)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(entry.body)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	net, opts, err := req.resolve()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	key, err := scratchmem.PlanKey(net, opts)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if req.Baseline != nil {
+		s.simulateBaseline(ctx, w, key, net, opts, req.Baseline)
+		return
+	}
+	// Plan first (cached under its own key), then time it.
+	entry, _, err := s.planned(ctx, key, net, opts)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	v, shared, err := s.cache.Do(ctx, "sim:"+key, func() (any, error) {
+		if err := s.sem.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.sem.Release()
+		measured, estimated, err := s.simFn(entry.plan)
+		if err != nil {
+			return nil, err
+		}
+		return &SimulateResponse{
+			Model:           net.Name,
+			PlanKey:         key,
+			MeasuredCycles:  measured,
+			EstimatedCycles: estimated,
+		}, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	cacheHeader(w, shared)
+	writeJSON(w, v)
+}
+
+// simulateBaseline runs the separate-buffer SCALE-Sim-style baseline.
+func (s *Server) simulateBaseline(ctx context.Context, w http.ResponseWriter, key string, net *scratchmem.Network, opts scratchmem.PlanOptions, spec *BaselineSpec) {
+	cfg := opts.Config
+	glbKB := int(cfg.GLBBytes / 1024)
+	var idx int
+	switch spec.SplitPercent {
+	case 25:
+		idx = 0
+	case 50:
+		idx = 1
+	case 75:
+		idx = 2
+	default:
+		s.fail(w, badRequestf("baseline split_percent must be 25, 50 or 75, got %d", spec.SplitPercent))
+		return
+	}
+	base := scratchmem.BaselineSplits(glbKB, cfg.DataWidthBits)[idx]
+	cacheKey := fmt.Sprintf("base:%s:%d", key, spec.SplitPercent)
+	v, shared, err := s.cache.Do(ctx, cacheKey, func() (any, error) {
+		if err := s.sem.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.sem.Release()
+		res, err := scratchmem.SimulateBaseline(net, base)
+		if err != nil {
+			return nil, err
+		}
+		return &BaselineResponse{
+			Model:     net.Name,
+			Baseline:  base.Name,
+			Cycles:    res.Cycles(),
+			DRAMElems: res.DRAMTotal(),
+		}, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	cacheHeader(w, shared)
+	writeJSON(w, v)
+}
+
+func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	net, opts, err := req.resolve()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// Only (network, config) matter to the search; strip the plan-shaping
+	// options so equivalent DSE requests share a key.
+	key, err := scratchmem.PlanKey(net, scratchmem.PlanOptions{Config: opts.Config})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	v, shared, err := s.cache.Do(ctx, "dse:"+key, func() (any, error) {
+		if err := s.sem.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.sem.Release()
+		elems, feasible := scratchmem.DSEAccessElems(net, opts.Config)
+		return &DSEResponse{Model: net.Name, AccessElems: elems, Feasible: feasible}, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	cacheHeader(w, shared)
+	writeJSON(w, v)
+}
+
+// servedModels are the networks /v1/models advertises: the paper's Table-2
+// six plus the extra builtins.
+var servedModels = []string{
+	"EfficientNetB0", "GoogLeNet", "MnasNet", "MobileNet", "MobileNetV2",
+	"ResNet18", "AlexNet", "VGG16", "TinyCNN",
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	infos := make([]ModelInfo, 0, len(servedModels))
+	for _, name := range servedModels {
+		n, err := scratchmem.BuiltinModel(name)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		infos = append(infos, ModelInfo{Name: n.Name, Layers: len(n.Layers)})
+	}
+	writeJSON(w, infos)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.met.write(w, s.cache.Stats(), s.sem.InUse(), s.sem.Cap())
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"scratchmem/internal/plancache"
+)
+
+// plannerBuckets are the latency-histogram upper bounds in seconds.
+var plannerBuckets = []float64{0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10}
+
+// metrics holds the server's counters. Everything is atomic so handlers
+// never serialise on a metrics lock.
+type metrics struct {
+	requests map[string]*atomic.Int64 // per route, fixed key set at init
+	errors   map[int]*atomic.Int64    // per status code class (4xx/5xx) and 504
+
+	plannerBucket []atomic.Int64 // one per bucket, +Inf overflow last
+	plannerCount  atomic.Int64
+	plannerNanos  atomic.Int64
+}
+
+func newMetrics(routes []string) *metrics {
+	m := &metrics{
+		requests:      make(map[string]*atomic.Int64, len(routes)),
+		errors:        map[int]*atomic.Int64{400: {}, 422: {}, 500: {}, 504: {}},
+		plannerBucket: make([]atomic.Int64, len(plannerBuckets)+1),
+	}
+	for _, r := range routes {
+		m.requests[r] = &atomic.Int64{}
+	}
+	return m
+}
+
+func (m *metrics) request(route string) {
+	if c, ok := m.requests[route]; ok {
+		c.Add(1)
+	}
+}
+
+func (m *metrics) error(code int) {
+	if c, ok := m.errors[code]; ok {
+		c.Add(1)
+	}
+}
+
+// observePlanner records one planner execution's wall time.
+func (m *metrics) observePlanner(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(plannerBuckets, s)
+	m.plannerBucket[i].Add(1)
+	m.plannerCount.Add(1)
+	m.plannerNanos.Add(int64(d))
+}
+
+// write renders the counters as plain-text expvar/Prometheus-style lines.
+func (m *metrics) write(w io.Writer, cs plancache.Stats, inflight, workers int) {
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		fmt.Fprintf(w, "smm_requests_total{path=%q} %d\n", r, m.requests[r].Load())
+	}
+	codes := make([]int, 0, len(m.errors))
+	for c := range m.errors {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "smm_errors_total{code=\"%d\"} %d\n", c, m.errors[c].Load())
+	}
+	fmt.Fprintf(w, "smm_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "smm_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "smm_cache_coalesced_total %d\n", cs.Coalesced)
+	fmt.Fprintf(w, "smm_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "smm_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "smm_cache_capacity %d\n", cs.Capacity)
+	fmt.Fprintf(w, "smm_inflight_executions %d\n", inflight)
+	fmt.Fprintf(w, "smm_worker_slots %d\n", workers)
+	var cum int64
+	for i, ub := range plannerBuckets {
+		cum += m.plannerBucket[i].Load()
+		fmt.Fprintf(w, "smm_planner_latency_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.plannerBucket[len(plannerBuckets)].Load()
+	fmt.Fprintf(w, "smm_planner_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "smm_planner_latency_seconds_sum %g\n", float64(m.plannerNanos.Load())/1e9)
+	fmt.Fprintf(w, "smm_planner_latency_seconds_count %d\n", m.plannerCount.Load())
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

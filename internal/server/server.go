@@ -1,0 +1,118 @@
+// Package server exposes the planner, simulators and design-space search
+// as a JSON-over-HTTP service ("planning as a service"). Planning is a
+// pure function of (network, accelerator config, options), so results are
+// kept in a content-addressed LRU (internal/plancache) keyed by
+// scratchmem.PlanKey: repeated requests become a map lookup, and
+// concurrent identical requests collapse onto a single planner execution
+// (single-flight). Heavy executions are bounded by a counting semaphore
+// (internal/parallel), every request carries a deadline, and the handler
+// set is stdlib-only.
+//
+// Routes:
+//
+//	POST /v1/plan      — run the analyser (paper Algorithm 1), return a PlanDoc
+//	POST /v1/simulate  — time a plan end-to-end, or run the SCALE-Sim baseline
+//	POST /v1/dse       — exhaustive tile-size search (off-chip traffic optimum)
+//	GET  /v1/models    — list the built-in networks
+//	GET  /healthz      — liveness probe
+//	GET  /metrics      — plain-text counters (requests, cache, latency histogram)
+package server
+
+import (
+	"net/http"
+	"time"
+
+	scratchmem "scratchmem"
+	"scratchmem/internal/parallel"
+	"scratchmem/internal/plancache"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Workers caps concurrent planner/simulator/DSE executions
+	// (GOMAXPROCS when <= 0). Waiting requests queue on the semaphore
+	// until their deadline.
+	Workers int
+	// CacheEntries is the plan-cache capacity. 0 selects the default
+	// (DefaultCacheEntries); negative disables storage while keeping
+	// single-flight deduplication.
+	CacheEntries int
+	// Timeout is the per-request deadline (DefaultTimeout when <= 0).
+	Timeout time.Duration
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheEntries = 256
+	DefaultTimeout      = 30 * time.Second
+)
+
+// Server wires the public scratchmem API behind HTTP handlers with a
+// shared result cache. Construct with New.
+type Server struct {
+	cfg   Config
+	cache *plancache.Cache
+	sem   *parallel.Semaphore
+	met   *metrics
+	mux   *http.ServeMux
+
+	// planFn runs the planner; a test seam (defaults to
+	// scratchmem.PlanModel).
+	planFn func(*scratchmem.Network, scratchmem.PlanOptions) (*scratchmem.Plan, error)
+	// simFn times a plan; a test seam (defaults to scratchmem.SimulatePlan).
+	simFn func(*scratchmem.Plan) (measured, estimated int64, err error)
+}
+
+// routes is the fixed set of request-counter labels.
+var routes = []string{"/v1/plan", "/v1/simulate", "/v1/dse", "/v1/models", "/healthz", "/metrics"}
+
+// New builds a Server with its cache, semaphore and handler set.
+func New(cfg Config) *Server {
+	entries := cfg.CacheEntries
+	switch {
+	case entries == 0:
+		entries = DefaultCacheEntries
+	case entries < 0:
+		entries = 0
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	s := &Server{
+		cfg:    cfg,
+		cache:  plancache.New(entries),
+		sem:    parallel.NewSemaphore(cfg.Workers),
+		met:    newMetrics(routes),
+		planFn: scratchmem.PlanModel,
+		simFn:  scratchmem.SimulatePlan,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.counted("/v1/plan", s.handlePlan))
+	mux.HandleFunc("POST /v1/simulate", s.counted("/v1/simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/dse", s.counted("/v1/dse", s.handleDSE))
+	mux.HandleFunc("GET /v1/models", s.counted("/v1/models", s.handleModels))
+	mux.HandleFunc("GET /healthz", s.counted("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.counted("/metrics", s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats exposes the cache counters (for smm-serve's shutdown log).
+func (s *Server) CacheStats() plancache.Stats { return s.cache.Stats() }
+
+// counted wraps a handler with its request counter and converts a worker
+// panic that escapes the handler into a 500 instead of killing the server.
+func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.request(route)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		h(w, r)
+	}
+}

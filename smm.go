@@ -28,6 +28,8 @@
 package scratchmem
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
@@ -147,6 +149,45 @@ func (o PlanOptions) config() (Config, error) {
 		cfg = policy.Default(o.GLBKiloBytes)
 	}
 	return cfg, cfg.Validate()
+}
+
+// PlanKey returns the canonical SHA-256 content hash of a planning request:
+// the hex digest of the network's deterministic JSON form plus the resolved
+// accelerator configuration and every plan option that affects the result.
+// Planning is a pure function of these inputs, so the key addresses a plan
+// cache (internal/plancache, served by smm-serve): equal keys ⇒ equal
+// plans. Requests expressed via GLBKiloBytes and via the equivalent
+// explicit Config hash identically because the key is built from the
+// resolved Config.
+func PlanKey(n *Network, o PlanOptions) (string, error) {
+	cfg, err := o.config()
+	if err != nil {
+		return "", err
+	}
+	canon, err := model.CanonicalJSON(n)
+	if err != nil {
+		return "", err
+	}
+	if cfg.Batch == 1 {
+		cfg.Batch = 0 // same single inference as 0 (Config.BatchSize)
+	}
+	// Fixed-field struct, so json.Marshal emits a deterministic byte
+	// sequence for the non-network half of the request.
+	opts, err := json.Marshal(struct {
+		Cfg             Config
+		Objective       string
+		Homogeneous     bool
+		DisablePrefetch bool
+		InterLayerReuse bool
+	}{cfg, o.Objective.String(), o.Homogeneous, o.DisablePrefetch, o.InterLayerReuse})
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(canon)
+	h.Write([]byte{0}) // domain separator between network and options
+	h.Write(opts)
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }
 
 // PlanModel runs the paper's memory-management technique on a network and
