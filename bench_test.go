@@ -7,6 +7,7 @@ package scratchmem
 // the functional engine follow.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -266,6 +267,36 @@ func BenchmarkPlannerHet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pl.Heterogeneous(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanModel is the context-free façade path on the reference
+// configuration (ResNet18 @ 64 kB); its _Ctx twin below measures the same
+// work through the context-aware path. Compare them to verify that ctx
+// plumbing (one ctx.Err() poll per layer, nil progress hook) costs within
+// noise of the legacy path — the estimator math itself never sees a context.
+func BenchmarkPlanModel(b *testing.B) {
+	n, _ := model.Builtin("ResNet18")
+	opts := PlanOptions{GLBKiloBytes: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanModel(n, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanModel_Ctx is BenchmarkPlanModel through PlanModelCtx with a
+// background context and nil progress hook.
+func BenchmarkPlanModel_Ctx(b *testing.B) {
+	n, _ := model.Builtin("ResNet18")
+	opts := PlanOptions{GLBKiloBytes: 64}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanModelCtx(ctx, n, opts, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,25 +12,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	scratchmem "scratchmem"
+	"scratchmem/internal/cli"
 	"scratchmem/internal/layer"
 	"scratchmem/internal/report"
 	"scratchmem/internal/scalesim"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "scale-sim:", err)
-		os.Exit(1)
-	}
+	ctx, stop := cli.SignalContext()
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	cli.Exit("scale-sim", err)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scale-sim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -55,7 +57,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg.Flow = df
-	res, err := scalesim.SimulateNetwork(net, cfg)
+	res, err := scalesim.SimulateNetworkCtx(ctx, net, cfg, nil)
 	if err != nil {
 		return err
 	}
@@ -79,6 +81,9 @@ func run(args []string, out io.Writer) error {
 	if *traceFlag {
 		fmt.Fprintln(out, "\ntrace cross-check (dense layers with <= 4k output pixels):")
 		for i := range net.Layers {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			l := &net.Layers[i]
 			if l.Kind == layer.DepthwiseConv || int64(l.OH())*int64(l.OW()) > 1<<12 {
 				continue

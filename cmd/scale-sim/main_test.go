@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunBaseline(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "MobileNet", "-glb", "64", "-split", "25"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", "MobileNet", "-glb", "64", "-split", "25"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -20,7 +21,7 @@ func TestRunBaseline(t *testing.T) {
 
 func TestRunWithTraceCrossCheck(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "TinyCNN", "-glb", "64", "-trace"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "64", "-trace"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "trace cross-check") {
@@ -33,10 +34,10 @@ func TestRunWithTraceCrossCheck(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "nope"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-model", "nope"}, &sb); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run([]string{"-glb", "notanumber"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-glb", "notanumber"}, &sb); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
@@ -44,7 +45,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunDataflows(t *testing.T) {
 	for _, flow := range []string{"ws", "is"} {
 		var sb strings.Builder
-		if err := run([]string{"-model", "TinyCNN", "-glb", "64", "-dataflow", flow}, &sb); err != nil {
+		if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "64", "-dataflow", flow}, &sb); err != nil {
 			t.Fatalf("%s: %v", flow, err)
 		}
 		if !strings.Contains(sb.String(), flow+" dataflow") {
@@ -52,10 +53,10 @@ func TestRunDataflows(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	if err := run([]string{"-dataflow", "rs"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-dataflow", "rs"}, &sb); err == nil {
 		t.Error("unknown dataflow accepted")
 	}
-	if err := run([]string{"-model", "TinyCNN", "-dataflow", "ws", "-trace"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-dataflow", "ws", "-trace"}, &sb); err == nil {
 		t.Error("trace with ws dataflow accepted")
 	}
 }

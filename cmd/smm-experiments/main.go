@@ -9,25 +9,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
+	"scratchmem/internal/cli"
 	"scratchmem/internal/experiments"
+	"scratchmem/internal/progress"
 	"scratchmem/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "smm-experiments:", err)
-		os.Exit(1)
-	}
+	ctx, stop := cli.SignalContext()
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	cli.Exit("smm-experiments", err)
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("smm-experiments", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
@@ -35,6 +39,7 @@ func run(args []string, stdout io.Writer) error {
 		out     = fs.String("out", "", "directory for CSV/markdown output (optional)")
 		format  = fs.String("format", "csv", "on-disk format for -out: csv or md")
 		workers = fs.Int("workers", 0, "fan-out goroutines (0 = GOMAXPROCS)")
+		showAll = fs.Bool("progress", false, "print per-cell progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,6 +50,18 @@ func run(args []string, stdout io.Writer) error {
 	}
 	s := experiments.DefaultSetup()
 	s.Workers = *workers
+
+	// The drivers fan cells out across workers, so the hook must be
+	// concurrency-safe; a mutex keeps the stderr lines whole.
+	var prog progress.Func
+	if *showAll {
+		var mu sync.Mutex
+		prog = func(ev progress.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "%s %d/%d %s\n", ev.Phase, ev.Index+1, ev.Total, ev.Name)
+		}
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -106,7 +123,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if shouldRun("fig5") || shouldRun("headline") {
 		var t *report.Table
-		f5, t = experiments.Fig5(s)
+		var err error
+		f5, t, err = experiments.Fig5Ctx(ctx, s, prog)
+		if err != nil {
+			return err
+		}
 		if shouldRun("fig5") {
 			emit("fig5", t)
 		}
@@ -115,73 +136,123 @@ func run(args []string, stdout io.Writer) error {
 		emit("fig6", experiments.Fig6(64))
 	}
 	if shouldRun("fig7") {
-		_, t := experiments.Fig7(s)
+		_, t, err := experiments.Fig7Ctx(ctx, s, prog)
+		if err != nil {
+			return err
+		}
 		emit("fig7", t)
 	}
 	if shouldRun("fig8") || shouldRun("headline") {
 		var t *report.Table
-		f8, t = experiments.Fig8(s)
+		var err error
+		f8, t, err = experiments.Fig8Ctx(ctx, s, prog)
+		if err != nil {
+			return err
+		}
 		if shouldRun("fig8") {
 			emit("fig8", t)
 		}
 	}
 	if shouldRun("fig9") {
-		_, t := experiments.Fig9(s, 64)
+		_, t, err := experiments.Fig9Ctx(ctx, s, 64, prog)
+		if err != nil {
+			return err
+		}
 		emit("fig9", t)
 	}
 	if shouldRun("fig10") {
-		_, t := experiments.Fig10(s, "MobileNet")
+		_, t, err := experiments.Fig10Ctx(ctx, s, "MobileNet", prog)
+		if err != nil {
+			return err
+		}
 		emit("fig10", t)
 	}
 	if shouldRun("fig11") {
-		_, t, g := experiments.Fig11(s, "MnasNet")
+		_, t, g, err := experiments.Fig11Ctx(ctx, s, "MnasNet", prog)
+		if err != nil {
+			return err
+		}
 		emit("fig11", t)
 		emit("fig11_geomean", g)
 	}
 	if shouldRun("energy") {
-		_, t := experiments.ExtEnergy(s)
+		_, t, err := experiments.ExtEnergyCtx(ctx, s, prog)
+		if err != nil {
+			return err
+		}
 		emit("energy", t)
 	}
 	if shouldRun("batch") {
-		_, t := experiments.ExtBatch(s, "GoogLeNet", 256)
+		_, t, err := experiments.ExtBatchCtx(ctx, s, "GoogLeNet", 256, prog)
+		if err != nil {
+			return err
+		}
 		emit("batch", t)
 	}
 	if shouldRun("ablation") {
-		_, t := experiments.ExtInterLayerAblation(s)
+		_, t, err := experiments.ExtInterLayerAblationCtx(ctx, s, prog)
+		if err != nil {
+			return err
+		}
 		emit("ablation", t)
 	}
 	if shouldRun("dataflow") {
-		_, t := experiments.ExtDataflow(s, 64)
+		_, t, err := experiments.ExtDataflowCtx(ctx, s, 64, prog)
+		if err != nil {
+			return err
+		}
 		emit("dataflow", t)
 	}
 	if shouldRun("classics") {
-		_, t := experiments.ExtClassics(s)
+		_, t, err := experiments.ExtClassicsCtx(ctx, s, prog)
+		if err != nil {
+			return err
+		}
 		emit("classics", t)
 	}
 	if shouldRun("sizing") {
-		_, t := experiments.ExtSizing(s)
+		_, t, err := experiments.ExtSizingCtx(ctx, s, prog)
+		if err != nil {
+			return err
+		}
 		emit("sizing", t)
 	}
 	if shouldRun("dse") {
-		_, t := experiments.ExtDSE(s, 64)
+		_, t, err := experiments.ExtDSECtx(ctx, s, 64, prog)
+		if err != nil {
+			return err
+		}
 		emit("dse", t)
 	}
 	if shouldRun("sensitivity") {
-		_, t := experiments.ExtSensitivity(s, "MobileNetV2", 64)
+		_, t, err := experiments.ExtSensitivityCtx(ctx, s, "MobileNetV2", 64, prog)
+		if err != nil {
+			return err
+		}
 		emit("sensitivity", t)
 	}
 	if shouldRun("tenancy") {
 		for _, kb := range []int{128, 256, 512} {
-			_, t := experiments.ExtTenancy(s, "ResNet18", "MobileNet", kb)
+			_, t, err := experiments.ExtTenancyCtx(ctx, s, "ResNet18", "MobileNet", kb, prog)
+			if err != nil {
+				return err
+			}
 			emit(fmt.Sprintf("tenancy_%dkB", kb), t)
 		}
 	}
 	if shouldRun("headline") || all {
+		var err error
 		if f5 == nil {
-			f5, _ = experiments.Fig5(s)
+			f5, _, err = experiments.Fig5Ctx(ctx, s, prog)
+			if err != nil {
+				return err
+			}
 		}
 		if f8 == nil {
-			f8, _ = experiments.Fig8(s)
+			f8, _, err = experiments.Fig8Ctx(ctx, s, prog)
+			if err != nil {
+				return err
+			}
 		}
 		_, t := experiments.Headlines(f5, f8)
 		emit("headline", t)

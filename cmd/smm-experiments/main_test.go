@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunSubset(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "table2,table3"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table2,table3"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -24,7 +25,7 @@ func TestRunSubset(t *testing.T) {
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	if err := run([]string{"-exp", "table4,fig9", "-out", dir, "-workers", "2"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table4,fig9", "-out", dir, "-workers", "2"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"table4.csv", "fig9.csv"} {
@@ -40,7 +41,7 @@ func TestRunWritesCSV(t *testing.T) {
 
 func TestRunHeadlineOnly(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "headline"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "headline"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -54,7 +55,7 @@ func TestRunHeadlineOnly(t *testing.T) {
 
 func TestRunExtensions(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "batch"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "batch"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "batching on GoogLeNet") {
@@ -64,11 +65,11 @@ func TestRunExtensions(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-badflag"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-badflag"}, &sb); err == nil {
 		t.Error("bad flag accepted")
 	}
 	// Unwritable output directory.
-	if err := run([]string{"-exp", "table2", "-out", "/proc/nope/xx"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-exp", "table2", "-out", "/proc/nope/xx"}, &sb); err == nil {
 		t.Error("unwritable out dir accepted")
 	}
 }
@@ -76,7 +77,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunMarkdownOutput(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	if err := run([]string{"-exp", "table2", "-out", dir, "-format", "md"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table2", "-out", dir, "-format", "md"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "table2.md"))
@@ -86,7 +87,7 @@ func TestRunMarkdownOutput(t *testing.T) {
 	if !strings.Contains(string(data), "| Network |") {
 		t.Errorf("markdown table malformed: %s", data)
 	}
-	if err := run([]string{"-format", "xml"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-format", "xml"}, &sb); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
@@ -98,7 +99,7 @@ func TestRunAll(t *testing.T) {
 		t.Skip("full experiment sweep")
 	}
 	var sb strings.Builder
-	if err := run([]string{"-workers", "2"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-workers", "2"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -14,16 +14,16 @@ import (
 	"io"
 	"os"
 
+	"scratchmem/internal/cli"
 	"scratchmem/internal/layer"
 	"scratchmem/internal/model"
 	"scratchmem/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "smm-models:", err)
-		os.Exit(1)
-	}
+	// Nothing here outlives a keystroke, so no signal context: the shared
+	// exit protocol is all this tool needs.
+	cli.Exit("smm-models", run(os.Args[1:], os.Stdout))
 }
 
 func run(args []string, out io.Writer) error {

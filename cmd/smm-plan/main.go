@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	scratchmem "scratchmem"
+	"scratchmem/internal/cli"
 	"scratchmem/internal/core"
 	"scratchmem/internal/program"
 	"scratchmem/internal/report"
@@ -23,13 +25,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "smm-plan:", err)
-		os.Exit(1)
-	}
+	ctx, stop := cli.SignalContext()
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	cli.Exit("smm-plan", err)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("smm-plan", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -67,13 +69,13 @@ func run(args []string, out io.Writer) error {
 	if *batch > 1 { // 0 and 1 both mean single inference; keep the config canonical
 		cfg.Batch = *batch
 	}
-	plan, err := scratchmem.PlanModel(net, scratchmem.PlanOptions{
+	plan, err := scratchmem.PlanModelCtx(ctx, net, scratchmem.PlanOptions{
 		Config:          cfg,
 		Objective:       obj,
 		Homogeneous:     *hom,
 		DisablePrefetch: *noPrefetch,
 		InterLayerReuse: *interlayer,
-	})
+	}, nil)
 	if err != nil {
 		return err
 	}
@@ -119,11 +121,11 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "prefetching coverage: %.0f%% of layers\n", 100*plan.PrefetchCoverage())
 	}
 	if *sim {
-		ideal, err := simulate.Run(plan, simulate.Options{})
+		ideal, err := simulate.RunCtx(ctx, plan, simulate.Options{}, nil)
 		if err != nil {
 			return err
 		}
-		banked, err := simulate.Run(plan, simulate.Options{Backend: simulate.BankedDRAM})
+		banked, err := simulate.RunCtx(ctx, plan, simulate.Options{Backend: simulate.BankedDRAM}, nil)
 		if err != nil {
 			return err
 		}
@@ -132,7 +134,7 @@ func run(args []string, out io.Writer) error {
 			float64(banked.Cycles)/1e6, banked.DRAMHits, banked.DRAMMisses)
 	}
 	if *export != "" {
-		prog, err := program.Compile(plan)
+		prog, err := program.CompileCtx(ctx, plan, nil)
 		if err != nil {
 			return err
 		}

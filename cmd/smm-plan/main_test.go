@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http/httptest"
@@ -16,7 +17,7 @@ import (
 
 func TestRunBuiltinModel(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "ResNet18", "-glb", "64"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", "ResNet18", "-glb", "64"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -29,7 +30,7 @@ func TestRunBuiltinModel(t *testing.T) {
 
 func TestRunLatencyInterlayer(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-model", "TinyCNN", "-glb", "32", "-objective", "latency", "-interlayer"}, &sb)
+	err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32", "-objective", "latency", "-interlayer"}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestRunLatencyInterlayer(t *testing.T) {
 
 func TestRunHomNoPrefetch(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "MobileNet", "-glb", "128", "-hom", "-no-prefetch", "-layers=false"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", "MobileNet", "-glb", "128", "-hom", "-no-prefetch", "-layers=false"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "hom ") {
@@ -59,7 +60,7 @@ func TestRunModelFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run([]string{"-model", path, "-glb", "32"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", path, "-glb", "32"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "TinyCNN") {
@@ -72,7 +73,7 @@ func TestRunModelFromFile(t *testing.T) {
 //	go run ./cmd/smm-plan -model TinyCNN -glb 32 -json > cmd/smm-plan/testdata/tinycnn_glb32.golden.json
 func TestRunJSONGolden(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "TinyCNN", "-glb", "32", "-json"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32", "-json"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	want, err := os.ReadFile(filepath.Join("testdata", "tinycnn_glb32.golden.json"))
@@ -92,7 +93,7 @@ func TestRunJSONGolden(t *testing.T) {
 // byte-identical documents for the same request.
 func TestRunJSONMatchesServer(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "TinyCNN", "-glb", "32", "-json"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32", "-json"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(server.New(server.Config{}).Handler())
@@ -114,13 +115,13 @@ func TestRunJSONMatchesServer(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "nope"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-model", "nope"}, &sb); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run([]string{"-objective", "speed"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-objective", "speed"}, &sb); err == nil {
 		t.Error("unknown objective accepted")
 	}
-	if err := run([]string{"-glb", "x"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-glb", "x"}, &sb); err == nil {
 		t.Error("bad flag accepted")
 	}
 	// A corrupt model file must fail cleanly.
@@ -129,7 +130,7 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-model", bad}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-model", bad}, &sb); err == nil {
 		t.Error("corrupt model accepted")
 	}
 }
@@ -138,7 +139,7 @@ func TestRunExportProgram(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "plan.json")
 	var sb strings.Builder
-	if err := run([]string{"-model", "TinyCNN", "-glb", "32", "-export", path}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32", "-export", path}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "exported") {
@@ -160,7 +161,7 @@ func TestRunExportProgram(t *testing.T) {
 
 func TestRunSimulate(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "TinyCNN", "-glb", "32", "-simulate", "-layers=false"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32", "-simulate", "-layers=false"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "end-to-end simulation") {

@@ -29,20 +29,17 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
+	"scratchmem/internal/cli"
 	"scratchmem/internal/server"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "smm-serve:", err)
-		os.Exit(1)
-	}
+	ctx, stop := cli.SignalContext()
+	err := run(ctx, os.Args[1:], os.Stderr)
+	stop()
+	cli.Exit("smm-serve", err)
 }
 
 // run starts the server and blocks until ctx is cancelled (a signal) or

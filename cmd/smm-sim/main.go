@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	scratchmem "scratchmem"
+	"scratchmem/internal/cli"
 	"scratchmem/internal/core"
 	"scratchmem/internal/dram"
 	"scratchmem/internal/engine"
@@ -28,13 +30,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "smm-sim:", err)
-		os.Exit(1)
-	}
+	ctx, stop := cli.SignalContext()
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	cli.Exit("smm-sim", err)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("smm-sim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -57,7 +59,7 @@ func run(args []string, out io.Writer) error {
 	if *objective == "latency" {
 		obj = core.MinLatency
 	}
-	plan, err := scratchmem.PlanModel(net, scratchmem.PlanOptions{GLBKiloBytes: *glbKB, Objective: obj})
+	plan, err := scratchmem.PlanModelCtx(ctx, net, scratchmem.PlanOptions{GLBKiloBytes: *glbKB, Objective: obj}, nil)
 	if err != nil {
 		return err
 	}
@@ -81,7 +83,7 @@ func run(args []string, out io.Writer) error {
 		} else {
 			w = tensor.NewFilters(l.FH, l.FW, l.CI, l.F).Random(r)
 		}
-		res, err := engine.RunTraced(l, &lp.Est, plan.Cfg, in, w, log)
+		res, err := engine.RunTracedCtx(ctx, l, &lp.Est, plan.Cfg, in, w, log)
 		if err != nil {
 			return fmt.Errorf("layer %s: %w", l.Name, err)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunTinyCNN(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "TinyCNN", "-glb", "32"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -30,7 +31,7 @@ func TestRunWithTraceAndDRAM(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.csv")
 	var sb strings.Builder
-	if err := run([]string{"-model", "TinyCNN", "-glb", "32", "-trace", path, "-dram"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32", "-trace", path, "-dram"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "banked DRAM replay") {
@@ -50,7 +51,7 @@ func TestRunWithTraceAndDRAM(t *testing.T) {
 
 func TestRunLatencyObjective(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "TinyCNN", "-glb", "64", "-objective", "latency"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "64", "-objective", "latency"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "objective latency") {
@@ -60,10 +61,10 @@ func TestRunLatencyObjective(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-model", "nope"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-model", "nope"}, &sb); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run([]string{"-trace", "/nonexistent-dir/x.csv", "-model", "TinyCNN", "-glb", "32"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-trace", "/nonexistent-dir/x.csv", "-model", "TinyCNN", "-glb", "32"}, &sb); err == nil {
 		t.Error("unwritable trace path accepted")
 	}
 }

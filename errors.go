@@ -1,0 +1,49 @@
+package scratchmem
+
+import (
+	"scratchmem/internal/progress"
+	"scratchmem/internal/smmerr"
+)
+
+// Typed error taxonomy, re-exported from internal/smmerr. Every error a
+// long-running entry point returns classifies into one of three families:
+//
+//   - ErrBadModel — the request is wrong (invalid network or accelerator
+//     configuration); match with errors.Is(err, ErrBadModel).
+//   - ErrInfeasible — no policy fits the scratchpad even with fallback
+//     tiling; errors.As(err, *InfeasibleError) recovers the layer, the
+//     bytes needed and the bytes available.
+//   - context errors — cancellation and deadlines pass through wrapped, so
+//     errors.Is(err, context.Canceled) holds end to end.
+//
+// LayerError localises any of the above to the layer where the pipeline
+// stopped.
+var (
+	// ErrInfeasible marks plans that cannot be scheduled within the GLB.
+	ErrInfeasible = smmerr.ErrInfeasible
+	// ErrBadModel marks invalid networks or accelerator configurations.
+	ErrBadModel = smmerr.ErrBadModel
+)
+
+type (
+	// InfeasibleError reports the layer that does not fit the scratchpad.
+	InfeasibleError = smmerr.InfeasibleError
+	// LayerError wraps a pipeline failure with the layer index and name
+	// where it occurred; errors.Is/As see through it to the cause.
+	LayerError = smmerr.LayerError
+)
+
+// IsCanceled reports whether err stems from context cancellation or an
+// expired deadline anywhere in the pipeline.
+func IsCanceled(err error) bool { return smmerr.IsCanceled(err) }
+
+// Progress receives per-unit events from the *Ctx entry points: one event
+// per planned layer, simulated layer, DSE layer or compiled layer. A nil
+// Progress disables observation at zero cost. Implementations used with
+// concurrent drivers must be safe for concurrent use.
+type Progress = progress.Func
+
+// ProgressEvent is one progress notification: the pipeline phase ("plan",
+// "simulate", "dse", "baseline", "compile"), the unit's index/total and
+// name, and running totals where the phase tracks them.
+type ProgressEvent = progress.Event

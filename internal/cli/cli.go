@@ -1,0 +1,76 @@
+// Package cli holds the process scaffolding shared by the cmd/ binaries:
+// signal-driven cancellation and the typed-error exit protocol. Every tool
+// follows the same contract — SIGINT/SIGTERM cancels the context threaded
+// through the planning pipeline, and the process exit code classifies the
+// failure (internal/smmerr taxonomy) so scripts can branch on it without
+// parsing messages.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"scratchmem/internal/smmerr"
+)
+
+// Exit codes. 130 follows the shell convention for death-by-SIGINT
+// (128 + signal number); 2 and 3 distinguish the two request-side error
+// families so callers need not match on message text.
+const (
+	ExitOK         = 0
+	ExitFailure    = 1   // any error outside the typed taxonomy
+	ExitBadModel   = 2   // smmerr.ErrBadModel: the input was wrong
+	ExitInfeasible = 3   // smmerr.ErrInfeasible: no plan fits the GLB
+	ExitCanceled   = 130 // context canceled or deadline exceeded
+)
+
+// SignalContext returns a context canceled on SIGINT or SIGTERM. The stop
+// function restores default signal handling, so a second ^C kills a tool
+// that is slow to unwind.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// ExitCode classifies err into the exit-code protocol. Cancellation wins
+// over the other families: an interrupted run is "interrupted" even if the
+// cancellation surfaced wrapped in a LayerError.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case smmerr.IsCanceled(err):
+		return ExitCanceled
+	case errors.Is(err, smmerr.ErrInfeasible):
+		return ExitInfeasible
+	case errors.Is(err, smmerr.ErrBadModel):
+		return ExitBadModel
+	default:
+		return ExitFailure
+	}
+}
+
+// Exit terminates the process with err's exit code, printing the one-line
+// "tool: error" message to stderr first. A nil err exits 0 silently.
+func Exit(tool string, err error) {
+	Fail(os.Stderr, tool, err)
+	os.Exit(ExitCode(err))
+}
+
+// Fail writes Exit's one-line message without terminating, so it is
+// testable. Cancellation prints a fixed short line instead of the wrapped
+// chain: the user pressed ^C and already knows why the run stopped.
+func Fail(w io.Writer, tool string, err error) {
+	if err == nil {
+		return
+	}
+	if smmerr.IsCanceled(err) {
+		fmt.Fprintf(w, "%s: interrupted\n", tool)
+		return
+	}
+	fmt.Fprintf(w, "%s: %v\n", tool, err)
+}

@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"scratchmem/internal/smmerr"
+)
+
+func TestExitCode(t *testing.T) {
+	infeasible := &smmerr.InfeasibleError{Model: "m", Layer: "conv1", Need: 9, Have: 1}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"generic", errors.New("boom"), ExitFailure},
+		{"bad model", smmerr.BadModelf("no such model"), ExitBadModel},
+		{"infeasible", infeasible, ExitInfeasible},
+		{"infeasible in a layer", smmerr.Layer(3, "conv2", infeasible), ExitInfeasible},
+		{"canceled", context.Canceled, ExitCanceled},
+		{"canceled deep in the pipeline", smmerr.Layer(7, "fire2", fmt.Errorf("plan: %w", context.Canceled)), ExitCanceled},
+		{"deadline", context.DeadlineExceeded, ExitCanceled},
+		// Cancellation outranks the other families when both apply.
+		{"canceled while infeasible-wrapped", fmt.Errorf("%w: %w", smmerr.ErrInfeasible, context.Canceled), ExitCanceled},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFail(t *testing.T) {
+	var b strings.Builder
+	Fail(&b, "smm-plan", nil)
+	if b.Len() != 0 {
+		t.Errorf("nil error printed %q", b.String())
+	}
+	Fail(&b, "smm-plan", errors.New("boom"))
+	if got := b.String(); got != "smm-plan: boom\n" {
+		t.Errorf("message = %q", got)
+	}
+	b.Reset()
+	Fail(&b, "smm-plan", smmerr.Layer(2, "conv1", context.Canceled))
+	if got := b.String(); got != "smm-plan: interrupted\n" {
+		t.Errorf("canceled message = %q", got)
+	}
+}
+
+func TestSignalContext(t *testing.T) {
+	ctx, stop := SignalContext()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh signal context already done: %v", err)
+	}
+	stop()
+	// stop detaches the signals; the context is canceled by its own stop.
+	<-ctx.Done()
+}

@@ -7,11 +7,10 @@
 package core
 
 import (
-	"fmt"
-
 	"scratchmem/internal/layer"
 	"scratchmem/internal/model"
 	"scratchmem/internal/policy"
+	"scratchmem/internal/smmerr"
 )
 
 // Objective selects what the analyser minimises.
@@ -190,15 +189,7 @@ func countChainable(n *model.Network) int {
 }
 
 // InfeasibleError reports that a layer cannot be scheduled within the GLB
-// even with fallback tiling.
-type InfeasibleError struct {
-	Model string
-	Layer string
-	Need  int64 // bytes required by the smallest tiling
-	Have  int64 // GLB bytes
-}
-
-func (e *InfeasibleError) Error() string {
-	return fmt.Sprintf("core: %s layer %s needs %d bytes even with fallback tiling, GLB has %d",
-		e.Model, e.Layer, e.Need, e.Have)
-}
+// even with fallback tiling. It now lives in internal/smmerr so every
+// pipeline stage shares one taxonomy; the alias keeps core's historical
+// name working (errors.As with either spelling matches the same type).
+type InfeasibleError = smmerr.InfeasibleError

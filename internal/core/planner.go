@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"scratchmem/internal/model"
 	"scratchmem/internal/policy"
+	"scratchmem/internal/progress"
+	"scratchmem/internal/smmerr"
 )
 
 // Planner is the analyser of the paper's operational flow (Figure 4): it
@@ -89,11 +92,19 @@ func (pl *Planner) bestForLayer(lp *model.Network, idx int, resident, keep bool)
 // programming over the resident/non-resident state, which transitions keep
 // the producer's ofmap on-chip.
 func (pl *Planner) Heterogeneous(n *model.Network) (*Plan, error) {
+	return pl.HeterogeneousCtx(context.Background(), n, nil)
+}
+
+// HeterogeneousCtx is Heterogeneous with cancellation and observation: it
+// checks ctx between layers (the paper's Algorithm 1 outer loop) and emits
+// one progress event per planned layer. A canceled context returns an error
+// wrapping ctx.Err() and identifying the layer reached.
+func (pl *Planner) HeterogeneousCtx(ctx context.Context, n *model.Network, prog progress.Func) (*Plan, error) {
 	if err := pl.Cfg.Validate(); err != nil {
-		return nil, err
+		return nil, smmerr.BadModel(err)
 	}
 	if err := n.Validate(); err != nil {
-		return nil, err
+		return nil, smmerr.BadModel(err)
 	}
 	plan := &Plan{
 		Model: n.Name, Cfg: pl.Cfg, Objective: pl.Objective,
@@ -103,11 +114,11 @@ func (pl *Planner) Heterogeneous(n *model.Network) (*Plan, error) {
 	var err error
 	switch {
 	case pl.InterLayer && pl.InterLayerGreedy:
-		plan.Layers, err = pl.interLayerGreedy(n)
+		plan.Layers, err = pl.interLayerGreedy(ctx, n, prog)
 	case pl.InterLayer:
-		plan.Layers, err = pl.interLayerDP(n)
+		plan.Layers, err = pl.interLayerDP(ctx, n, prog)
 	default:
-		plan.Layers, err = pl.independentLayers(n)
+		plan.Layers, err = pl.independentLayers(ctx, n, prog)
 	}
 	if err != nil {
 		return nil, err
@@ -115,14 +126,23 @@ func (pl *Planner) Heterogeneous(n *model.Network) (*Plan, error) {
 	return plan, nil
 }
 
-func (pl *Planner) independentLayers(n *model.Network) ([]LayerPlan, error) {
+func (pl *Planner) independentLayers(ctx context.Context, n *model.Network, prog progress.Func) ([]LayerPlan, error) {
 	out := make([]LayerPlan, len(n.Layers))
+	var accesses, cycles int64
 	for i := range n.Layers {
+		if err := ctx.Err(); err != nil {
+			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
+		}
 		e := pl.bestForLayer(n, i, false, false)
 		if !e.Feasible {
-			return nil, &InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes}
+			return nil, smmerr.Layer(i, n.Layers[i].Name,
+				&smmerr.InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes})
 		}
 		out[i] = LayerPlan{Layer: n.Layers[i], Est: e}
+		accesses += e.AccessElems
+		cycles += e.LatencyCycles
+		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: len(n.Layers), Name: n.Layers[i].Name,
+			AccessElems: accesses, LatencyCycles: cycles})
 	}
 	return out, nil
 }
@@ -131,7 +151,7 @@ func (pl *Planner) independentLayers(n *model.Network) ([]LayerPlan, error) {
 // state s indicates whether layer i's ifmap is resident in the GLB. The
 // transition cost is the layer's objective key; retention (KeepOfmap) is
 // only permitted on transitions whose shapes chain.
-func (pl *Planner) interLayerDP(n *model.Network) ([]LayerPlan, error) {
+func (pl *Planner) interLayerDP(ctx context.Context, n *model.Network, prog progress.Func) ([]LayerPlan, error) {
 	const inf = int64(1) << 62
 	type cell struct {
 		prim, sec int64
@@ -147,6 +167,9 @@ func (pl *Planner) interLayerDP(n *model.Network) ([]LayerPlan, error) {
 	dp[0][1] = cell{prim: inf, sec: inf}
 
 	for i := 0; i < L; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
+		}
 		next := [2]cell{{prim: inf, sec: inf}, {prim: inf, sec: inf}}
 		canKeep := i+1 < L && chainable(&n.Layers[i], &n.Layers[i+1])
 		for s := 0; s < 2; s++ {
@@ -178,6 +201,7 @@ func (pl *Planner) interLayerDP(n *model.Network) ([]LayerPlan, error) {
 			}
 		}
 		dp[i+1] = next
+		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: L, Name: n.Layers[i].Name})
 	}
 
 	// Pick the best terminal state and walk back.
@@ -191,10 +215,11 @@ func (pl *Planner) interLayerDP(n *model.Network) ([]LayerPlan, error) {
 		for i := range n.Layers {
 			e := pl.bestForLayer(n, i, false, false)
 			if !e.Feasible {
-				return nil, &InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes}
+				return nil, smmerr.Layer(i, n.Layers[i].Name,
+					&smmerr.InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes})
 			}
 		}
-		return nil, fmt.Errorf("core: %s: no feasible inter-layer plan", n.Name)
+		return nil, fmt.Errorf("core: %s: no feasible inter-layer plan: %w", n.Name, smmerr.ErrInfeasible)
 	}
 	out := make([]LayerPlan, L)
 	s := end
@@ -216,27 +241,42 @@ func (pl *Planner) interLayerDP(n *model.Network) ([]LayerPlan, error) {
 // variant does not fit (the paper's Hom schemes must still execute every
 // layer).
 func (pl *Planner) Homogeneous(n *model.Network, id policy.ID, prefetch bool) (*Plan, error) {
+	return pl.HomogeneousCtx(context.Background(), n, id, prefetch, nil)
+}
+
+// HomogeneousCtx is Homogeneous with per-layer cancellation checks and
+// progress events.
+func (pl *Planner) HomogeneousCtx(ctx context.Context, n *model.Network, id policy.ID, prefetch bool, prog progress.Func) (*Plan, error) {
 	if err := pl.Cfg.Validate(); err != nil {
-		return nil, err
+		return nil, smmerr.BadModel(err)
 	}
 	if err := n.Validate(); err != nil {
-		return nil, err
+		return nil, smmerr.BadModel(err)
 	}
 	plan := &Plan{
 		Model: n.Name, Cfg: pl.Cfg, Objective: pl.Objective,
 		Scheme:               "hom " + policy.Variant(id, prefetch),
 		ChainableTransitions: countChainable(n),
 	}
+	var accesses, cycles int64
 	for i := range n.Layers {
+		if err := ctx.Err(); err != nil {
+			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
+		}
 		l := &n.Layers[i]
 		e := policy.Estimate(l, id, policy.Options{Prefetch: prefetch}, pl.Cfg)
 		if !e.Feasible {
 			e = pl.bestFallback(n, i)
 			if !e.Feasible {
-				return nil, &InfeasibleError{Model: n.Name, Layer: l.Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes}
+				return nil, smmerr.Layer(i, l.Name,
+					&smmerr.InfeasibleError{Model: n.Name, Layer: l.Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes})
 			}
 		}
 		plan.Layers = append(plan.Layers, LayerPlan{Layer: *l, Est: e})
+		accesses += e.AccessElems
+		cycles += e.LatencyCycles
+		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: len(n.Layers), Name: l.Name,
+			AccessElems: accesses, LatencyCycles: cycles})
 	}
 	return plan, nil
 }
@@ -263,12 +303,26 @@ func (pl *Planner) bestFallback(n *model.Network, idx int) policy.Result {
 // without prefetching) and returns the one minimising the objective — the
 // paper's Hom bars.
 func (pl *Planner) BestHomogeneous(n *model.Network) (*Plan, error) {
+	return pl.BestHomogeneousCtx(context.Background(), n, nil)
+}
+
+// BestHomogeneousCtx is BestHomogeneous with cancellation: ctx is checked
+// once per candidate (policy, ±prefetch) variant and threaded into each
+// per-variant planning pass. Cancellation surfaces immediately rather than
+// being mistaken for an infeasible variant.
+func (pl *Planner) BestHomogeneousCtx(ctx context.Context, n *model.Network, prog progress.Func) (*Plan, error) {
 	var best *Plan
 	var firstErr error
 	for _, id := range policy.IDs() {
 		for _, pf := range pl.prefetchChoices() {
-			p, err := pl.Homogeneous(n, id, pf)
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: %s: %w", n.Name, err)
+			}
+			p, err := pl.HomogeneousCtx(ctx, n, id, pf, prog)
 			if err != nil {
+				if smmerr.IsCanceled(err) {
+					return nil, err
+				}
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -306,11 +360,15 @@ func planBetter(o Objective, a, b *Plan) bool {
 // retains when the pair improves. Unlike the DP it cannot see that an early
 // retention forecloses a better one later, so it serves as the ablation
 // baseline for interLayerDP.
-func (pl *Planner) interLayerGreedy(n *model.Network) ([]LayerPlan, error) {
+func (pl *Planner) interLayerGreedy(ctx context.Context, n *model.Network, prog progress.Func) ([]LayerPlan, error) {
 	L := len(n.Layers)
 	out := make([]LayerPlan, L)
 	resident := false
+	var accesses, cycles int64
 	for i := 0; i < L; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
+		}
 		plain := pl.bestForLayer(n, i, resident, false)
 		keep := false
 		best := plain
@@ -333,9 +391,14 @@ func (pl *Planner) interLayerGreedy(n *model.Network) ([]LayerPlan, error) {
 			}
 		}
 		if !best.Feasible {
-			return nil, &InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: best.MemoryBytes, Have: pl.Cfg.GLBBytes}
+			return nil, smmerr.Layer(i, n.Layers[i].Name,
+				&smmerr.InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: best.MemoryBytes, Have: pl.Cfg.GLBBytes})
 		}
 		out[i] = LayerPlan{Layer: n.Layers[i], Est: best, ConsumesResident: resident, KeepsResident: keep}
+		accesses += best.AccessElems
+		cycles += best.LatencyCycles
+		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: L, Name: n.Layers[i].Name,
+			AccessElems: accesses, LatencyCycles: cycles})
 		resident = keep
 	}
 	return out, nil

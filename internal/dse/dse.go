@@ -12,11 +12,14 @@
 package dse
 
 import (
+	"context"
 	"sort"
 
 	"scratchmem/internal/layer"
 	"scratchmem/internal/model"
 	"scratchmem/internal/policy"
+	"scratchmem/internal/progress"
+	"scratchmem/internal/smmerr"
 )
 
 // Tiling is one point of the search space.
@@ -109,6 +112,14 @@ func Evaluate(l *layer.Layer, t Tiling, cfg policy.Config) Result {
 // Depth-wise layers are channel-independent and already minimal under a
 // one-channel sweep, so they return that point directly.
 func Best(l *layer.Layer, cfg policy.Config) Result {
+	r, _ := BestCtx(context.Background(), l, cfg)
+	return r
+}
+
+// BestCtx is Best with cancellation: the grid walk checks ctx once per
+// candidate filter-block size n (the outermost loop), so a canceled search
+// returns within one n-column of grid evaluations.
+func BestCtx(ctx context.Context, l *layer.Layer, cfg policy.Config) (Result, error) {
 	if l.Kind == layer.DepthwiseConv {
 		e := policy.Estimate(l, policy.P5PartialPerChannel, policy.Options{}, cfg)
 		return Result{
@@ -116,10 +127,13 @@ func Best(l *layer.Layer, cfg policy.Config) Result {
 			MemoryElems: e.MemoryElems,
 			AccessElems: e.AccessElems,
 			Feasible:    e.Feasible,
-		}
+		}, ctx.Err()
 	}
 	var best Result
 	for _, n := range gridValues(l.F) {
+		if err := ctx.Err(); err != nil {
+			return best, err
+		}
 		for _, tc := range gridValues(l.CI) {
 			for _, fullH := range []bool{false, true} {
 				for _, fullO := range []bool{false, true} {
@@ -138,9 +152,9 @@ func Best(l *layer.Layer, cfg policy.Config) Result {
 	}
 	if !best.Feasible {
 		// Return the smallest-footprint point so callers can report why.
-		return Evaluate(l, Tiling{N: 1, TC: 1}, cfg)
+		return Evaluate(l, Tiling{N: 1, TC: 1}, cfg), nil
 	}
-	return best
+	return best, nil
 }
 
 // gridValues samples a dimension: every power of two up to max, the exact
@@ -170,14 +184,29 @@ func gridValues(max int) []int {
 // NetworkAccessElems sums the DSE optimum across a network's layers,
 // reporting whether every layer was feasible.
 func NetworkAccessElems(n *model.Network, cfg policy.Config) (int64, bool) {
+	total, ok, _ := NetworkAccessElemsCtx(context.Background(), n, cfg, nil)
+	return total, ok
+}
+
+// NetworkAccessElemsCtx is NetworkAccessElems with cancellation and
+// observation: ctx is checked per layer and per candidate n inside the grid
+// search, and one progress event is emitted per finished layer with the
+// running traffic total. A cancellation error wraps ctx.Err() and names the
+// layer reached.
+func NetworkAccessElemsCtx(ctx context.Context, n *model.Network, cfg policy.Config, prog progress.Func) (int64, bool, error) {
 	var total int64
 	ok := true
 	for i := range n.Layers {
-		r := Best(&n.Layers[i], cfg)
+		r, err := BestCtx(ctx, &n.Layers[i], cfg)
+		if err != nil {
+			return total, false, smmerr.Layer(i, n.Layers[i].Name, err)
+		}
 		total += r.AccessElems
 		ok = ok && r.Feasible
+		prog.Emit(progress.Event{Phase: "dse", Index: i, Total: len(n.Layers), Name: n.Layers[i].Name,
+			AccessElems: total})
 	}
-	return total, ok
+	return total, ok, nil
 }
 
 func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

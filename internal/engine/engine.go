@@ -9,6 +9,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"scratchmem/internal/glb"
@@ -56,6 +57,14 @@ func Run(l *layer.Layer, est *policy.Result, cfg policy.Config, in *tensor.Tenso
 // RunTraced is Run with an optional trace log: every DMA transfer and
 // compute burst is appended as a trace.Event.
 func RunTraced(l *layer.Layer, est *policy.Result, cfg policy.Config, in *tensor.Tensor, w *tensor.Filters, log *trace.Log) (*Result, error) {
+	return RunTracedCtx(context.Background(), l, est, cfg, in, w, log)
+}
+
+// RunTracedCtx is RunTraced with cancellation: the tile schedule checks ctx
+// at its outer loop (per filter block, channel or output row, depending on
+// the policy), so a canceled execution returns within one schedule step.
+// The per-element arithmetic itself is never interrupted.
+func RunTracedCtx(ctx context.Context, l *layer.Layer, est *policy.Result, cfg policy.Config, in *tensor.Tensor, w *tensor.Filters, log *trace.Log) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -83,6 +92,7 @@ func RunTraced(l *layer.Layer, est *policy.Result, cfg policy.Config, in *tensor
 		buf:        glb.New(cfg.CapacityElems()),
 		functional: true,
 		log:        log,
+		ctx:        ctx,
 	}
 	e.ihe, e.iwe = int64(l.IH), int64(l.IW)
 	if cfg.IncludePadding {
@@ -109,6 +119,12 @@ func RunTraced(l *layer.Layer, est *policy.Result, cfg policy.Config, in *tensor
 // traffic, phases and the scratchpad high-water mark; Output is nil. An
 // optional trace log records every event.
 func DryRun(l *layer.Layer, est *policy.Result, cfg policy.Config, log *trace.Log) (*Result, error) {
+	return DryRunCtx(context.Background(), l, est, cfg, log)
+}
+
+// DryRunCtx is DryRun with cancellation, checked at the schedule's outer
+// loop exactly like RunTracedCtx.
+func DryRunCtx(ctx context.Context, l *layer.Layer, est *policy.Result, cfg policy.Config, log *trace.Log) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,6 +138,7 @@ func DryRun(l *layer.Layer, est *policy.Result, cfg policy.Config, log *trace.Lo
 		l: l, cfg: cfg, est: est,
 		buf: glb.New(cfg.CapacityElems()),
 		log: log,
+		ctx: ctx,
 	}
 	e.ihe, e.iwe = int64(l.IH), int64(l.IW)
 	if cfg.IncludePadding {
@@ -154,8 +171,20 @@ type executor struct {
 	functional bool
 	// log, when non-nil, records every DMA transfer and compute burst.
 	log *trace.Log
+	// ctx, when non-nil, is polled at each schedule's outer loop so long
+	// executions can be abandoned between tiles.
+	ctx context.Context
 	// Effective (possibly padded) ifmap extent — what the DMA streams.
 	ihe, iwe int64
+}
+
+// canceled reports the executor's context error, if any; a nil context
+// (legacy entry points) never cancels.
+func (e *executor) canceled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // dispatch runs the policy-specific executor.

@@ -21,6 +21,9 @@ func (e *executor) execIntra() error {
 	}
 	load := e.loadIfmap(e.ifmapAll()) + e.loadFilter(e.l.FilterElems())
 	for oh := 0; oh < e.l.OH(); oh++ {
+		if err := e.canceled(); err != nil {
+			return err
+		}
 		if e.dw() {
 			e.computeRowDW(oh, 0, e.l.CI)
 		} else {
@@ -50,6 +53,9 @@ func (e *executor) execP1() error {
 	e.phase(e.l.FilterElems(), 0, 0)
 	var s sweep
 	for oh := 0; oh < e.l.OH(); oh++ {
+		if err := e.canceled(); err != nil {
+			return err
+		}
 		load := e.loadIfmap(s.windowRows(e, oh, oh == e.l.OH()-1) * rowElems)
 		var macs int64
 		if e.dw() {
@@ -85,6 +91,9 @@ func (e *executor) execP2() error {
 	load := e.loadIfmap(e.ifmapAll())
 	e.phase(load, 0, 0)
 	for f := 0; f < e.l.CO(); f++ {
+		if err := e.canceled(); err != nil {
+			return err
+		}
 		fl := e.loadFilter(oneFilter)
 		var macs int64
 		for oh := 0; oh < e.l.OH(); oh++ {
@@ -123,6 +132,9 @@ func (e *executor) execP3() error {
 		return err
 	}
 	for c := 0; c < e.l.CI; c++ {
+		if err := e.canceled(); err != nil {
+			return err
+		}
 		fl := e.loadFilter(chFilterElems)
 		e.phase(fl, 0, 0)
 		var s sweep
@@ -152,6 +164,9 @@ func (e *executor) perChannelDW() error {
 		return err
 	}
 	for c := 0; c < e.l.CI; c++ {
+		if err := e.canceled(); err != nil {
+			return err
+		}
 		fl := e.loadFilter(perFilter)
 		e.phase(fl, 0, 0)
 		var s sweep
@@ -189,6 +204,9 @@ func (e *executor) execP4() error {
 	spansAll := int64(e.l.FH) >= e.ihe
 	ifmapDone := false
 	for f0 := 0; f0 < e.l.F; f0 += n {
+		if err := e.canceled(); err != nil {
+			return err
+		}
 		f1 := min(f0+n, e.l.F)
 		fl := e.loadFilter(perFilter * int64(f1-f0))
 		e.phase(fl, 0, 0)
@@ -230,6 +248,9 @@ func (e *executor) execP5() error {
 	spansAll := int64(e.l.FH) >= e.ihe && e.l.CI == 1
 	ifmapDone := false
 	for f0 := 0; f0 < e.l.F; f0 += n {
+		if err := e.canceled(); err != nil {
+			return err
+		}
 		f1 := min(f0+n, e.l.F)
 		for c := 0; c < e.l.CI; c++ {
 			fl := e.loadFilter(perChFilter * int64(f1-f0))
@@ -275,6 +296,9 @@ func (e *executor) execFallback() error {
 		// filters one by one.
 		var s sweep
 		for oh := 0; oh < e.l.OH(); oh++ {
+			if err := e.canceled(); err != nil {
+				return err
+			}
 			load := e.loadIfmap(s.windowRows(e, oh, oh == e.l.OH()-1) * rowElems)
 			e.phase(load, 0, 0)
 			for f := 0; f < e.l.F; f++ {
@@ -288,6 +312,9 @@ func (e *executor) execFallback() error {
 	}
 	// Filter-outer: filters load once each; the ifmap re-streams per filter.
 	for f := 0; f < e.l.F; f++ {
+		if err := e.canceled(); err != nil {
+			return err
+		}
 		fl := e.loadFilter(perFilter)
 		e.phase(fl, 0, 0)
 		var s sweep

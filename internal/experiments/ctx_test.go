@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"scratchmem/internal/progress"
+)
+
+// TestFig5CtxCancelStopsDriver cancels a fan-out driver partway through and
+// checks the contract every *Ctx driver shares: a wrapped context.Canceled
+// comes back, and no new cells start after the cancellation landed.
+func TestFig5CtxCancelStopsDriver(t *testing.T) {
+	s := DefaultSetup()
+	s.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	var done int
+	prog := func(progress.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done++; done == 2 {
+			cancel()
+		}
+	}
+	cells, tbl, err := Fig5Ctx(ctx, s, prog)
+	if cells != nil || tbl != nil {
+		t.Error("canceled driver returned partial results instead of nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	mu.Lock()
+	finished := done
+	mu.Unlock()
+	// Cells already executing when cancel landed may finish (one per
+	// worker); nothing new may be dispatched afterwards.
+	if finished > 2+s.Workers {
+		t.Errorf("%d cells completed after canceling at 2 with %d workers", finished, s.Workers)
+	}
+}
+
+// TestExtDSECtxCancelPropagatesToGridSearch cancels before the driver
+// starts: even the first cell's grid search must see the dead context and
+// return promptly.
+func TestExtDSECtxCancelPropagatesToGridSearch(t *testing.T) {
+	s := DefaultSetup()
+	s.Workers = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := ExtDSECtx(ctx, s, 64, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+// TestLegacyDriversStillSucceed pins the wrapper contract for the panic
+// bridge: the context-free forms run to completion exactly as before.
+func TestLegacyDriversStillSucceed(t *testing.T) {
+	s := DefaultSetup()
+	s.SizesKB = []int{64}
+	var events atomic.Int64
+	cells, tbl, err := ExtBatchCtx(context.Background(), s, "TinyCNN", 64,
+		func(progress.Event) { events.Add(1) })
+	if err != nil || tbl == nil || len(cells) == 0 {
+		t.Fatalf("ExtBatchCtx = (%d cells, %v, %v)", len(cells), tbl, err)
+	}
+	if got := events.Load(); got != int64(len(cells)) {
+		t.Errorf("%d progress events for %d cells", got, len(cells))
+	}
+}

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"scratchmem/internal/core"
@@ -18,6 +19,7 @@ import (
 	"scratchmem/internal/model"
 	"scratchmem/internal/parallel"
 	"scratchmem/internal/policy"
+	"scratchmem/internal/progress"
 	"scratchmem/internal/report"
 	"scratchmem/internal/scalesim"
 )
@@ -174,21 +176,52 @@ func Fig6(glbKB int) *report.Table {
 // baselineBest returns the lowest-traffic baseline configuration result for
 // a model at a GLB size.
 func baselineBest(n *model.Network, kb, width int) (string, int64) {
+	name, best, err := baselineBestCtx(context.Background(), n, kb, width)
+	if err != nil {
+		panic(err)
+	}
+	return name, best
+}
+
+// baselineBestCtx is baselineBest with cancellation threaded through the
+// per-split baseline simulations.
+func baselineBestCtx(ctx context.Context, n *model.Network, kb, width int) (string, int64, error) {
 	bestName, best := "", int64(0)
 	for _, c := range scalesim.PaperSplits(kb, width) {
-		r, err := scalesim.SimulateNetwork(n, c)
+		r, err := scalesim.SimulateNetworkCtx(ctx, n, c, nil)
 		if err != nil {
-			panic(err)
+			return "", 0, err
 		}
 		if b := r.DRAMBytes(); bestName == "" || b < best {
 			bestName, best = c.Name, b
 		}
 	}
-	return bestName, best
+	return bestName, best, nil
 }
 
 // sequential keeps goroutine fan-out away from nested drivers (the outer
 // driver decides the parallelism).
 func forEach(s Setup, n int, f func(i int)) {
 	parallel.ForEach(n, s.Workers, f)
+}
+
+// forEachCtx fans a driver's cells over the setup's worker pool with
+// cancellation: dispatching stops at the first worker error or at ctx
+// cancellation, in-flight cells drain, and the first error wins.
+func forEachCtx(ctx context.Context, s Setup, n int, f func(ctx context.Context, i int) error) error {
+	return parallel.ForEachCtx(ctx, n, s.Workers, f)
+}
+
+// mustCells adapts a Ctx driver to the legacy panic-on-failure contract:
+// the context-free wrappers cannot be canceled, so any error is the
+// planning failure the old drivers panicked on.
+func mustCells(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+}
+
+// cellDone emits one progress event for a finished experiment cell.
+func cellDone(prog progress.Func, phase string, i, total int, name string) {
+	prog.Emit(progress.Event{Phase: phase, Index: i, Total: total, Name: name})
 }

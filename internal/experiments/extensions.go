@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"scratchmem/internal/model"
 	"scratchmem/internal/parallel"
 	"scratchmem/internal/policy"
+	"scratchmem/internal/progress"
 	"scratchmem/internal/report"
 	"scratchmem/internal/scalesim"
 	"scratchmem/internal/stats"
@@ -33,20 +35,34 @@ type EnergyCell struct {
 // ExtEnergy compares the end-to-end energy of the heterogeneous scheme
 // against the best baseline split, using the reference energy model.
 func ExtEnergy(s Setup) ([]EnergyCell, *report.Table) {
+	cells, t, err := ExtEnergyCtx(context.Background(), s, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// ExtEnergyCtx is ExtEnergy with cancellation and per-cell progress events
+// ("energy").
+func ExtEnergyCtx(ctx context.Context, s Setup, prog progress.Func) ([]EnergyCell, *report.Table, error) {
 	models := model.BuiltinNames()
 	sizes := s.sizes()
 	m := energy.Default()
 	cells := make([]EnergyCell, len(models)*len(sizes))
-	forEach(s, len(cells), func(i int) {
+	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		name, kb := models[i/len(sizes)], sizes[i%len(sizes)]
 		n := mustBuiltin(name)
-		_, baseBytes := baselineBest(n, kb, 8)
+		_, baseBytes, err := baselineBestCtx(ctx, n, kb, 8)
+		if err != nil {
+			return err
+		}
 		cfg := policy.Default(kb)
 		base := energy.DRAMOnly(baseBytes, n.MACs(), cfg, m)
-		het := mustPlan(core.NewPlanner(kb, core.MinAccesses).Heterogeneous(n))
+		het, err := core.NewPlanner(kb, core.MinAccesses).HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
 		hetE, err := energy.Plan(het, m)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		cells[i] = EnergyCell{
 			Model: name, SizeKB: kb,
@@ -54,13 +70,18 @@ func ExtEnergy(s Setup) ([]EnergyCell, *report.Table) {
 			HetPJ:        hetE.Total(),
 			ReductionPct: 100 * (1 - hetE.Total()/base.Total()),
 		}
+		cellDone(prog, "energy", i, len(cells), fmt.Sprintf("%s@%dkB", name, kb))
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable("Extension: inference energy, best baseline vs Het (uJ)",
 		"Network", "GLB kB", "baseline uJ", "Het uJ", "reduction %")
 	for _, c := range cells {
 		t.Row(c.Model, c.SizeKB, c.BaselinePJ/1e6, c.HetPJ/1e6, c.ReductionPct)
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 // BatchCell is one batch size of the batching extension.
@@ -73,13 +94,24 @@ type BatchCell struct {
 // ExtBatch studies how batching amortises weight traffic for a
 // filter-heavy model under the heterogeneous scheme.
 func ExtBatch(s Setup, modelName string, glbKB int) ([]BatchCell, *report.Table) {
+	cells, t, err := ExtBatchCtx(context.Background(), s, modelName, glbKB, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// ExtBatchCtx is ExtBatch with cancellation and per-cell progress events
+// ("batch").
+func ExtBatchCtx(ctx context.Context, s Setup, modelName string, glbKB int, prog progress.Func) ([]BatchCell, *report.Table, error) {
 	n := mustBuiltin(modelName)
 	batches := []int{1, 2, 4, 8, 16}
 	cells := make([]BatchCell, len(batches))
-	forEach(s, len(batches), func(i int) {
+	err := forEachCtx(ctx, s, len(batches), func(ctx context.Context, i int) error {
 		pl := core.NewPlanner(glbKB, core.MinAccesses)
 		pl.Cfg.Batch = batches[i]
-		p := mustPlan(pl.Heterogeneous(n))
+		p, err := pl.HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
 		var filter int64
 		for j := range p.Layers {
 			filter += p.Layers[j].Est.AccessFilter
@@ -90,14 +122,19 @@ func ExtBatch(s Setup, modelName string, glbKB int) ([]BatchCell, *report.Table)
 			PerInputAccessElem: total / int64(batches[i]),
 			FilterSharePct:     100 * float64(filter) / float64(total),
 		}
+		cellDone(prog, "batch", i, len(cells), fmt.Sprintf("batch=%d", batches[i]))
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Extension: batching on %s @%d kB (Het, per-input traffic)", modelName, glbKB),
 		"batch", "elems/input", "filter share %")
 	for _, c := range cells {
 		t.Row(c.Batch, c.PerInputAccessElem, c.FilterSharePct)
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 // AblationCell is one (model, size) cell of the inter-layer DP-vs-greedy
@@ -112,10 +149,18 @@ type AblationCell struct {
 // ExtInterLayerAblation compares the retention DP against the one-pass
 // greedy rule.
 func ExtInterLayerAblation(s Setup) ([]AblationCell, *report.Table) {
+	cells, t, err := ExtInterLayerAblationCtx(context.Background(), s, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// ExtInterLayerAblationCtx is ExtInterLayerAblation with cancellation and
+// per-cell progress events ("ablation").
+func ExtInterLayerAblationCtx(ctx context.Context, s Setup, prog progress.Func) ([]AblationCell, *report.Table, error) {
 	models := model.BuiltinNames()
 	sizes := s.sizes()
 	cells := make([]AblationCell, len(models)*len(sizes))
-	forEach(s, len(cells), func(i int) {
+	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		name, kb := models[i/len(sizes)], sizes[i%len(sizes)]
 		n := mustBuiltin(name)
 		dpPl := core.NewPlanner(kb, core.MinAccesses)
@@ -123,17 +168,29 @@ func ExtInterLayerAblation(s Setup) ([]AblationCell, *report.Table) {
 		grPl := core.NewPlanner(kb, core.MinAccesses)
 		grPl.InterLayer = true
 		grPl.InterLayerGreedy = true
-		dp := mustPlan(dpPl.Heterogeneous(n)).AccessElems()
-		gr := mustPlan(grPl.Heterogeneous(n)).AccessElems()
+		dpPlan, err := dpPl.HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
+		grPlan, err := grPl.HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
+		dp, gr := dpPlan.AccessElems(), grPlan.AccessElems()
 		cells[i] = AblationCell{Model: name, SizeKB: kb, DP: dp, Greedy: gr,
 			DPGainPct: stats.Benefit(gr, dp)}
+		cellDone(prog, "ablation", i, len(cells), fmt.Sprintf("%s@%dkB", name, kb))
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable("Ablation: inter-layer retention, DP vs greedy (access elements)",
 		"Network", "GLB kB", "DP", "greedy", "DP gain %")
 	for _, c := range cells {
 		t.Row(c.Model, c.SizeKB, c.DP, c.Greedy, c.DPGainPct)
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 // TenancyCell is one co-tenant pair of the multi-tenancy extension.
@@ -153,31 +210,47 @@ type TenancyCell struct {
 // (layers are time-multiplexed anyway). The gap between HetHalf and
 // HetTimeShared is what flexible management buys multi-tenant deployments.
 func ExtTenancy(s Setup, modelA, modelB string, glbKB int) (TenancyCell, *report.Table) {
+	cell, t, err := ExtTenancyCtx(context.Background(), s, modelA, modelB, glbKB, nil)
+	mustCells(err)
+	return cell, t
+}
+
+// ExtTenancyCtx is ExtTenancy with cancellation and per-cell progress
+// events ("tenancy").
+func ExtTenancyCtx(ctx context.Context, s Setup, modelA, modelB string, glbKB int, prog progress.Func) (TenancyCell, *report.Table, error) {
 	na, nb := mustBuiltin(modelA), mustBuiltin(modelB)
-	traffic := func(n *model.Network, kb int) int64 {
-		return mustPlan(core.NewPlanner(kb, core.MinAccesses).Heterogeneous(n)).AccessElems()
+	traffic := func(ctx context.Context, n *model.Network, kb int) (int64, error) {
+		p, err := core.NewPlanner(kb, core.MinAccesses).HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return 0, err
+		}
+		return p.AccessElems(), nil
 	}
-	baseline := func(n *model.Network, kb int) int64 {
-		_, b := baselineBest(n, kb, 8)
-		return b
+	baseline := func(ctx context.Context, n *model.Network, kb int) (int64, error) {
+		_, b, err := baselineBestCtx(ctx, n, kb, 8)
+		return b, err
 	}
 	var cell TenancyCell
-	results := parallel.Map(6, s.Workers, func(i int) int64 {
+	results, err := parallel.MapCtx(ctx, 6, s.Workers, func(ctx context.Context, i int) (int64, error) {
+		defer cellDone(prog, "tenancy", i, 6, cell.Pair)
 		switch i {
 		case 0:
-			return baseline(na, glbKB/2)
+			return baseline(ctx, na, glbKB/2)
 		case 1:
-			return baseline(nb, glbKB/2)
+			return baseline(ctx, nb, glbKB/2)
 		case 2:
-			return traffic(na, glbKB/2)
+			return traffic(ctx, na, glbKB/2)
 		case 3:
-			return traffic(nb, glbKB/2)
+			return traffic(ctx, nb, glbKB/2)
 		case 4:
-			return traffic(na, glbKB)
+			return traffic(ctx, na, glbKB)
 		default:
-			return traffic(nb, glbKB)
+			return traffic(ctx, nb, glbKB)
 		}
 	})
+	if err != nil {
+		return TenancyCell{}, nil, err
+	}
 	cell = TenancyCell{
 		Pair:          modelA + "+" + modelB,
 		GLBKB:         glbKB,
@@ -192,7 +265,7 @@ func ExtTenancy(s Setup, modelA, modelB string, glbKB int) (TenancyCell, *report
 	t.Row("baseline splits, half GLB each", cell.BaselineHalf, stats.Benefit(cell.HetHalf, cell.BaselineHalf))
 	t.Row("Het, static half-GLB partition", cell.HetHalf, 0.0)
 	t.Row("Het, time-shared unified GLB", cell.HetTimeShared, cell.SharingGainPct)
-	return cell, t
+	return cell, t, nil
 }
 
 // DataflowCell is one (model, dataflow) cell of the dataflow-comparison
@@ -209,17 +282,25 @@ type DataflowCell struct {
 // partial-sum traffic for deep convolutions, which is why both the paper's
 // baseline and its own schemes use it.
 func ExtDataflow(s Setup, glbKB int) ([]DataflowCell, *report.Table) {
+	cells, t, err := ExtDataflowCtx(context.Background(), s, glbKB, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// ExtDataflowCtx is ExtDataflow with cancellation and per-cell progress
+// events ("dataflow").
+func ExtDataflowCtx(ctx context.Context, s Setup, glbKB int, prog progress.Func) ([]DataflowCell, *report.Table, error) {
 	models := model.BuiltinNames()
 	flows := []scalesim.Dataflow{scalesim.OutputStationary, scalesim.WeightStationary, scalesim.InputStationary}
 	cells := make([]DataflowCell, len(models)*len(flows))
-	forEach(s, len(cells), func(i int) {
+	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		name, flow := models[i/len(flows)], flows[i%len(flows)]
 		n := mustBuiltin(name)
 		cfg := scalesim.Split("sa_50_50", glbKB, 50, 8)
 		cfg.Flow = flow
-		res, err := scalesim.SimulateNetwork(n, cfg)
+		res, err := scalesim.SimulateNetworkCtx(ctx, n, cfg, nil)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		cells[i] = DataflowCell{
 			Model:   name,
@@ -227,14 +308,19 @@ func ExtDataflow(s Setup, glbKB int) ([]DataflowCell, *report.Table) {
 			DRAMMB:  float64(res.DRAMBytes()) / (1 << 20),
 			MCycles: float64(res.Cycles()) / 1e6,
 		}
+		cellDone(prog, "dataflow", i, len(cells), fmt.Sprintf("%s/%s", name, flow))
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Extension: baseline dataflow comparison @%d kB (sa_50_50)", glbKB),
 		"Network", "dataflow", "DRAM MB", "Mcycles")
 	for _, c := range cells {
 		t.Row(c.Model, c.Flow, c.DRAMMB, c.MCycles)
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 // SensitivityCell is one hardware point of the co-design sensitivity sweep.
@@ -253,22 +339,33 @@ type SensitivityCell struct {
 // traffic is unaffected (it depends only on the GLB size), so the sweep
 // reports latency.
 func ExtSensitivity(s Setup, modelName string, glbKB int) ([]SensitivityCell, *report.Table) {
+	cells, t, err := ExtSensitivityCtx(context.Background(), s, modelName, glbKB, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// ExtSensitivityCtx is ExtSensitivity with cancellation and per-cell
+// progress events ("sensitivity").
+func ExtSensitivityCtx(ctx context.Context, s Setup, modelName string, glbKB int, prog progress.Func) ([]SensitivityCell, *report.Table, error) {
 	dims := []int{8, 16, 32}
 	bws := []int{8, 16, 32}
 	n := mustBuiltin(modelName)
 	cells := make([]SensitivityCell, len(dims)*len(bws))
-	forEach(s, len(cells), func(i int) {
+	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		dim, bw := dims[i/len(bws)], bws[i%len(bws)]
 		bcfg := scalesim.Split("sa_50_50", glbKB, 50, 8)
 		bcfg.Rows, bcfg.Cols = dim, dim
-		base, err := scalesim.SimulateNetwork(n, bcfg)
+		base, err := scalesim.SimulateNetworkCtx(ctx, n, bcfg, nil)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		pl := core.NewPlanner(glbKB, core.MinLatency)
 		pl.Cfg.OpsPerCycle = 2 * dim * dim
 		pl.Cfg.DRAMBytesPerCycle = bw
-		het := mustPlan(pl.Heterogeneous(n))
+		het, err := pl.HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
 		cells[i] = SensitivityCell{
 			ArrayDim:        dim,
 			BWBytesPerCycle: bw,
@@ -276,7 +373,12 @@ func ExtSensitivity(s Setup, modelName string, glbKB int) ([]SensitivityCell, *r
 			HetLMCycles:     float64(het.LatencyCycles()) / 1e6,
 			ReductionPct:    stats.Benefit(base.Cycles(), het.LatencyCycles()),
 		}
+		cellDone(prog, "sensitivity", i, len(cells), fmt.Sprintf("%dx%d/bw%d", dim, dim, bw))
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Extension: hardware sensitivity for %s @%d kB (latency)", modelName, glbKB),
 		"array", "BW B/cyc", "baseline Mcyc", "Het_l Mcyc", "reduction %")
@@ -284,7 +386,7 @@ func ExtSensitivity(s Setup, modelName string, glbKB int) ([]SensitivityCell, *r
 		t.Row(fmt.Sprintf("%dx%d", c.ArrayDim, c.ArrayDim), c.BWBytesPerCycle,
 			c.BaselineMCycles, c.HetLMCycles, c.ReductionPct)
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 // DSECell compares the heterogeneous policy plan against the exhaustive
@@ -304,18 +406,32 @@ type DSECell struct {
 // planning costs. This replays the paper's "minutes of estimation instead
 // of hours of simulation" argument against DSE.
 func ExtDSE(s Setup, glbKB int) ([]DSECell, *report.Table) {
+	cells, t, err := ExtDSECtx(context.Background(), s, glbKB, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// ExtDSECtx is ExtDSE with cancellation (threaded into both the planner and
+// the exhaustive grid search) and per-cell progress events ("extdse").
+func ExtDSECtx(ctx context.Context, s Setup, glbKB int, prog progress.Func) ([]DSECell, *report.Table, error) {
 	models := model.BuiltinNames()
 	cells := make([]DSECell, len(models))
-	forEach(s, len(models), func(i int) {
+	err := forEachCtx(ctx, s, len(models), func(ctx context.Context, i int) error {
 		n := mustBuiltin(models[i])
 		cfg := policy.Default(glbKB)
 
 		t0 := time.Now()
-		het := mustPlan(core.NewPlanner(glbKB, core.MinAccesses).Heterogeneous(n))
+		het, err := core.NewPlanner(glbKB, core.MinAccesses).HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
 		planT := time.Since(t0)
 
 		t0 = time.Now()
-		dseTotal, _ := dse.NetworkAccessElems(n, cfg)
+		dseTotal, _, err := dse.NetworkAccessElemsCtx(ctx, n, cfg, nil)
+		if err != nil {
+			return err
+		}
 		searchT := time.Since(t0)
 
 		cells[i] = DSECell{
@@ -325,14 +441,19 @@ func ExtDSE(s Setup, glbKB int) ([]DSECell, *report.Table) {
 			PlanMicros:   planT.Microseconds(),
 			SearchMicros: searchT.Microseconds(),
 		}
+		cellDone(prog, "extdse", i, len(cells), models[i])
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Extension: Het vs exhaustive tiling DSE @%d kB", glbKB),
 		"Network", "Het elems", "DSE elems", "gap %", "plan us", "DSE us")
 	for _, c := range cells {
 		t.Row(c.Model, c.Het, c.DSE, c.GapPct, c.PlanMicros, c.SearchMicros)
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 // SizingCell reports the smallest unified buffer with which a model reaches
@@ -350,9 +471,17 @@ type SizingCell struct {
 // worst-case; the per-policy Table 3 maxima upper-bound it (a heterogeneous
 // choice can dodge each policy's worst layer).
 func ExtSizing(s Setup) ([]SizingCell, *report.Table) {
+	cells, t, err := ExtSizingCtx(context.Background(), s, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// ExtSizingCtx is ExtSizing with cancellation and per-cell progress events
+// ("sizing").
+func ExtSizingCtx(ctx context.Context, s Setup, prog progress.Func) ([]SizingCell, *report.Table, error) {
 	models := model.BuiltinNames()
 	cells := make([]SizingCell, len(models))
-	forEach(s, len(models), func(i int) {
+	err := forEachCtx(ctx, s, len(models), func(ctx context.Context, i int) error {
 		n := mustBuiltin(models[i])
 		cfg := policy.Default(1 << 20) // size is irrelevant to the frontier
 		var needB int64
@@ -378,14 +507,19 @@ func ExtSizing(s Setup) ([]SizingCell, *report.Table) {
 			BoundLayer:   bound,
 			BestTable3KB: best,
 		}
+		cellDone(prog, "sizing", i, len(cells), models[i])
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable(
 		"Extension: smallest GLB reaching minimum traffic (heterogeneous choice per layer)",
 		"Network", "need kB", "binding layer", "best hom policy kB (Table 3)")
 	for _, c := range cells {
 		t.Row(c.Model, c.NeedKB, c.BoundLayer, c.BestTable3KB)
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 // ClassicCell extends the Figure-5 comparison to the pre-mobile classics.
@@ -401,25 +535,44 @@ type ClassicCell struct {
 // outside the paper's set whose enormous FC weight tensors stress the
 // weight-streaming policies instead of the activation-heavy mobile nets.
 func ExtClassics(s Setup) ([]ClassicCell, *report.Table) {
+	cells, t, err := ExtClassicsCtx(context.Background(), s, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// ExtClassicsCtx is ExtClassics with cancellation and per-cell progress
+// events ("classics").
+func ExtClassicsCtx(ctx context.Context, s Setup, prog progress.Func) ([]ClassicCell, *report.Table, error) {
 	models := []string{"AlexNet", "VGG16"}
 	sizes := s.sizes()
 	cells := make([]ClassicCell, len(models)*len(sizes))
-	forEach(s, len(cells), func(i int) {
+	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		name, kb := models[i/len(sizes)], sizes[i%len(sizes)]
 		n := mustBuiltin(name)
-		_, base := baselineBest(n, kb, 8)
-		het := mustPlan(core.NewPlanner(kb, core.MinAccesses).Heterogeneous(n))
+		_, base, err := baselineBestCtx(ctx, n, kb, 8)
+		if err != nil {
+			return err
+		}
+		het, err := core.NewPlanner(kb, core.MinAccesses).HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
 		cells[i] = ClassicCell{
 			Model: name, SizeKB: kb,
 			BaselineMB:   float64(base) / (1 << 20),
 			HetMB:        float64(het.AccessBytes()) / (1 << 20),
 			ReductionPct: stats.Benefit(base, het.AccessBytes()),
 		}
+		cellDone(prog, "classics", i, len(cells), fmt.Sprintf("%s@%dkB", name, kb))
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable("Extension: the classics (outside the paper's model set)",
 		"Network", "GLB kB", "best baseline MB", "Het MB", "reduction %")
 	for _, c := range cells {
 		t.Row(c.Model, c.SizeKB, c.BaselineMB, c.HetMB, c.ReductionPct)
 	}
-	return cells, t
+	return cells, t, nil
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"scratchmem/internal/core"
 	"scratchmem/internal/model"
+	"scratchmem/internal/progress"
 	"scratchmem/internal/report"
 	"scratchmem/internal/scalesim"
 	"scratchmem/internal/stats"
@@ -23,25 +25,44 @@ type Fig5Cell struct {
 // sizes: three fixed-split baselines against the best homogeneous and the
 // heterogeneous scheme (access objective).
 func Fig5(s Setup) ([]Fig5Cell, *report.Table) {
+	cells, t, err := Fig5Ctx(context.Background(), s, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// Fig5Ctx is Fig5 with cancellation and per-cell progress events ("fig5").
+func Fig5Ctx(ctx context.Context, s Setup, prog progress.Func) ([]Fig5Cell, *report.Table, error) {
 	models := model.BuiltinNames()
 	sizes := s.sizes()
 	cells := make([]Fig5Cell, len(models)*len(sizes))
-	forEach(s, len(cells), func(i int) {
+	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		m, kb := models[i/len(sizes)], sizes[i%len(sizes)]
 		n := mustBuiltin(m)
 		cell := Fig5Cell{Model: m, SizeKB: kb, Baselines: map[string]int64{}}
 		for _, c := range scalesim.PaperSplits(kb, 8) {
-			r, err := scalesim.SimulateNetwork(n, c)
+			r, err := scalesim.SimulateNetworkCtx(ctx, n, c, nil)
 			if err != nil {
-				panic(err)
+				return err
 			}
 			cell.Baselines[c.Name] = r.DRAMBytes()
 		}
 		pl := core.NewPlanner(kb, core.MinAccesses)
-		cell.Hom = mustPlan(pl.BestHomogeneous(n)).AccessBytes()
-		cell.Het = mustPlan(pl.Heterogeneous(n)).AccessBytes()
+		hom, err := pl.BestHomogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
+		het, err := pl.HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
+		cell.Hom, cell.Het = hom.AccessBytes(), het.AccessBytes()
 		cells[i] = cell
+		cellDone(prog, "fig5", i, len(cells), fmt.Sprintf("%s@%dkB", m, kb))
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable("Figure 5: off-chip memory accesses (MB)",
 		"Network", "GLB kB", "sa_25_75", "sa_50_50", "sa_75_25", "Hom", "Het", "Het vs best-sa %")
 	for _, c := range cells {
@@ -55,7 +76,7 @@ func Fig5(s Setup) ([]Fig5Cell, *report.Table) {
 			mb(c.Baselines["sa_25_75"]), mb(c.Baselines["sa_50_50"]), mb(c.Baselines["sa_75_25"]),
 			mb(c.Hom), mb(c.Het), stats.Benefit(best, c.Het))
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 func mb(b int64) float64 { return float64(b) / (1024 * 1024) }
@@ -71,26 +92,45 @@ type Fig7Cell struct {
 // Fig7 reproduces the data-width study: Het's access reduction over Hom for
 // MobileNetV2 across data widths, where wider elements squeeze the GLB.
 func Fig7(s Setup) ([]Fig7Cell, *report.Table) {
+	cells, t, err := Fig7Ctx(context.Background(), s, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// Fig7Ctx is Fig7 with cancellation and per-cell progress events ("fig7").
+func Fig7Ctx(ctx context.Context, s Setup, prog progress.Func) ([]Fig7Cell, *report.Table, error) {
 	widths := []int{8, 16, 32}
 	sizes := s.sizes()
 	n := mustBuiltin("MobileNetV2")
 	cells := make([]Fig7Cell, len(widths)*len(sizes))
-	forEach(s, len(cells), func(i int) {
+	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		w, kb := widths[i/len(sizes)], sizes[i%len(sizes)]
 		pl := core.NewPlanner(kb, core.MinAccesses)
 		pl.Cfg.DataWidthBits = w
-		hom := mustPlan(pl.BestHomogeneous(n)).AccessElems()
-		het := mustPlan(pl.Heterogeneous(n)).AccessElems()
+		homPlan, err := pl.BestHomogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
+		hetPlan, err := pl.HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
+		hom, het := homPlan.AccessElems(), hetPlan.AccessElems()
 		cells[i] = Fig7Cell{WidthBits: w, SizeKB: kb, Hom: hom, Het: het,
 			BenefitPct: stats.Benefit(hom, het)}
+		cellDone(prog, "fig7", i, len(cells), fmt.Sprintf("%d-bit@%dkB", w, kb))
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable("Figure 7: Het-over-Hom access benefit for MobileNetV2 (%)",
 		"Width", "GLB kB", "Hom Melem", "Het Melem", "Benefit %")
 	for _, c := range cells {
 		t.Row(fmt.Sprintf("%d-bit", c.WidthBits), c.SizeKB,
 			float64(c.Hom)/1e6, float64(c.Het)/1e6, c.BenefitPct)
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 // Fig8Cell is one (model, size) cell of Figure 8: latency in cycles for the
@@ -106,34 +146,55 @@ type Fig8Cell struct {
 // zero-stall baseline against Hom/Het optimised for accesses (suffix _a)
 // and for latency (suffix _l).
 func Fig8(s Setup) ([]Fig8Cell, *report.Table) {
+	cells, t, err := Fig8Ctx(context.Background(), s, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// Fig8Ctx is Fig8 with cancellation and per-cell progress events ("fig8").
+func Fig8Ctx(ctx context.Context, s Setup, prog progress.Func) ([]Fig8Cell, *report.Table, error) {
 	models := model.BuiltinNames()
 	sizes := s.sizes()
 	cells := make([]Fig8Cell, len(models)*len(sizes))
-	forEach(s, len(cells), func(i int) {
+	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		m, kb := models[i/len(sizes)], sizes[i%len(sizes)]
 		n := mustBuiltin(m)
-		base, err := scalesim.SimulateNetwork(n, scalesim.Split("sa_50_50", kb, 50, 8))
+		base, err := scalesim.SimulateNetworkCtx(ctx, n, scalesim.Split("sa_50_50", kb, 50, 8), nil)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		plA := core.NewPlanner(kb, core.MinAccesses)
 		plL := core.NewPlanner(kb, core.MinLatency)
-		cells[i] = Fig8Cell{
-			Model: m, SizeKB: kb,
-			Baseline: base.Cycles(),
-			HomA:     mustPlan(plA.BestHomogeneous(n)).LatencyCycles(),
-			HetA:     mustPlan(plA.Heterogeneous(n)).LatencyCycles(),
-			HomL:     mustPlan(plL.BestHomogeneous(n)).LatencyCycles(),
-			HetL:     mustPlan(plL.Heterogeneous(n)).LatencyCycles(),
+		cell := Fig8Cell{Model: m, SizeKB: kb, Baseline: base.Cycles()}
+		for _, p := range []struct {
+			dst *int64
+			run func() (*core.Plan, error)
+		}{
+			{&cell.HomA, func() (*core.Plan, error) { return plA.BestHomogeneousCtx(ctx, n, nil) }},
+			{&cell.HetA, func() (*core.Plan, error) { return plA.HeterogeneousCtx(ctx, n, nil) }},
+			{&cell.HomL, func() (*core.Plan, error) { return plL.BestHomogeneousCtx(ctx, n, nil) }},
+			{&cell.HetL, func() (*core.Plan, error) { return plL.HeterogeneousCtx(ctx, n, nil) }},
+		} {
+			plan, err := p.run()
+			if err != nil {
+				return err
+			}
+			*p.dst = plan.LatencyCycles()
 		}
+		cells[i] = cell
+		cellDone(prog, "fig8", i, len(cells), fmt.Sprintf("%s@%dkB", m, kb))
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable("Figure 8: inference latency (Mcycles)",
 		"Network", "GLB kB", "baseline", "Hom_a", "Het_a", "Hom_l", "Het_l", "Het_l vs base %")
 	for _, c := range cells {
 		t.Row(c.Model, c.SizeKB, mc(c.Baseline), mc(c.HomA), mc(c.HetA), mc(c.HomL), mc(c.HetL),
 			stats.Benefit(c.Baseline, c.HetL))
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 func mc(cycles int64) float64 { return float64(cycles) / 1e6 }
@@ -152,12 +213,25 @@ type Fig9Cell struct {
 // Fig9 reproduces the accesses-vs-latency trade-off at the given size
 // (64 kB in the paper).
 func Fig9(s Setup, glbKB int) ([]Fig9Cell, *report.Table) {
+	cells, t, err := Fig9Ctx(context.Background(), s, glbKB, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// Fig9Ctx is Fig9 with cancellation and per-cell progress events ("fig9").
+func Fig9Ctx(ctx context.Context, s Setup, glbKB int, prog progress.Func) ([]Fig9Cell, *report.Table, error) {
 	models := model.BuiltinNames()
 	cells := make([]Fig9Cell, len(models))
-	forEach(s, len(models), func(i int) {
+	err := forEachCtx(ctx, s, len(models), func(ctx context.Context, i int) error {
 		n := mustBuiltin(models[i])
-		pa := mustPlan(core.NewPlanner(glbKB, core.MinAccesses).Heterogeneous(n))
-		pl := mustPlan(core.NewPlanner(glbKB, core.MinLatency).Heterogeneous(n))
+		pa, err := core.NewPlanner(glbKB, core.MinAccesses).HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
+		pl, err := core.NewPlanner(glbKB, core.MinLatency).HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
 		cells[i] = Fig9Cell{
 			Model:             models[i],
 			AccessBenefitPct:  stats.Benefit(pa.AccessElems(), pl.AccessElems()),
@@ -165,14 +239,19 @@ func Fig9(s Setup, glbKB int) ([]Fig9Cell, *report.Table) {
 			HetAAccess:        pa.AccessElems(), HetLAccess: pl.AccessElems(),
 			HetALatency: pa.LatencyCycles(), HetLLatency: pl.LatencyCycles(),
 		}
+		cellDone(prog, "fig9", i, len(cells), models[i])
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Figure 9: Het_l vs Het_a benefit at %d kB (negative = penalty)", glbKB),
 		"Network", "accesses %", "latency %")
 	for _, c := range cells {
 		t.Row(c.Model, c.AccessBenefitPct, c.LatencyBenefitPct)
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 // Fig10Cell is one buffer size of Figure 10: prefetching enabled vs
@@ -187,30 +266,49 @@ type Fig10Cell struct {
 // Fig10 reproduces the prefetching ablation on the given model (MobileNet
 // in the paper).
 func Fig10(s Setup, modelName string) ([]Fig10Cell, *report.Table) {
+	cells, t, err := Fig10Ctx(context.Background(), s, modelName, nil)
+	mustCells(err)
+	return cells, t
+}
+
+// Fig10Ctx is Fig10 with cancellation and per-cell progress events
+// ("fig10").
+func Fig10Ctx(ctx context.Context, s Setup, modelName string, prog progress.Func) ([]Fig10Cell, *report.Table, error) {
 	sizes := s.sizes()
 	n := mustBuiltin(modelName)
 	cells := make([]Fig10Cell, len(sizes))
-	forEach(s, len(sizes), func(i int) {
+	err := forEachCtx(ctx, s, len(sizes), func(ctx context.Context, i int) error {
 		kb := sizes[i]
 		with := core.NewPlanner(kb, core.MinLatency)
 		without := core.NewPlanner(kb, core.MinLatency)
 		without.DisablePrefetch = true
-		pw := mustPlan(with.Heterogeneous(n))
-		pwo := mustPlan(without.Heterogeneous(n))
+		pw, err := with.HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
+		pwo, err := without.HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
 		cells[i] = Fig10Cell{
 			SizeKB:            kb,
 			AccessBenefitPct:  stats.Benefit(pwo.AccessElems(), pw.AccessElems()),
 			LatencyBenefitPct: stats.Benefit(pwo.LatencyCycles(), pw.LatencyCycles()),
 			CoveragePct:       stats.Percent(pw.PrefetchCoverage()),
 		}
+		cellDone(prog, "fig10", i, len(cells), fmt.Sprintf("%dkB", kb))
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Figure 10: prefetching on/off for %s (negative = penalty)", modelName),
 		"GLB kB", "accesses %", "latency %", "coverage %")
 	for _, c := range cells {
 		t.Row(c.SizeKB, c.AccessBenefitPct, c.LatencyBenefitPct, c.CoveragePct)
 	}
-	return cells, t
+	return cells, t, nil
 }
 
 // Fig11Cell is one buffer size of Figure 11: inter-layer reuse enabled vs
@@ -226,23 +324,42 @@ type Fig11Cell struct {
 // in the paper) and additionally reports the geometric-mean benefit across
 // all six models at the largest size, as §5.4 does.
 func Fig11(s Setup, modelName string) ([]Fig11Cell, *report.Table, *report.Table) {
+	cells, t, g, err := Fig11Ctx(context.Background(), s, modelName, nil)
+	mustCells(err)
+	return cells, t, g
+}
+
+// Fig11Ctx is Fig11 with cancellation and per-cell progress events
+// ("fig11").
+func Fig11Ctx(ctx context.Context, s Setup, modelName string, prog progress.Func) ([]Fig11Cell, *report.Table, *report.Table, error) {
 	sizes := s.sizes()
 	n := mustBuiltin(modelName)
 	cells := make([]Fig11Cell, len(sizes))
-	forEach(s, len(sizes), func(i int) {
+	err := forEachCtx(ctx, s, len(sizes), func(ctx context.Context, i int) error {
 		kb := sizes[i]
 		base := core.NewPlanner(kb, core.MinAccesses)
 		inter := core.NewPlanner(kb, core.MinAccesses)
 		inter.InterLayer = true
-		pb := mustPlan(base.Heterogeneous(n))
-		pi := mustPlan(inter.Heterogeneous(n))
+		pb, err := base.HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
+		pi, err := inter.HeterogeneousCtx(ctx, n, nil)
+		if err != nil {
+			return err
+		}
 		cells[i] = Fig11Cell{
 			SizeKB:            kb,
 			AccessBenefitPct:  stats.Benefit(pb.AccessElems(), pi.AccessElems()),
 			LatencyBenefitPct: stats.Benefit(pb.LatencyCycles(), pi.LatencyCycles()),
 			CoveragePct:       stats.Percent(pi.InterLayerCoverage()),
 		}
+		cellDone(prog, "fig11", i, len(cells), fmt.Sprintf("%dkB", kb))
+		return nil
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Figure 11: inter-layer reuse on/off for %s", modelName),
 		"GLB kB", "accesses %", "latency %", "coverage %")
@@ -257,20 +374,30 @@ func Fig11(s Setup, modelName string) ([]Fig11Cell, *report.Table, *report.Table
 	interAcc := make([]int64, len(models))
 	baseLat := make([]int64, len(models))
 	interLat := make([]int64, len(models))
-	forEach(s, len(models), func(i int) {
+	if err := forEachCtx(ctx, s, len(models), func(ctx context.Context, i int) error {
 		nn := mustBuiltin(models[i])
-		pb := mustPlan(core.NewPlanner(big, core.MinAccesses).Heterogeneous(nn))
+		pb, err := core.NewPlanner(big, core.MinAccesses).HeterogeneousCtx(ctx, nn, nil)
+		if err != nil {
+			return err
+		}
 		ipl := core.NewPlanner(big, core.MinAccesses)
 		ipl.InterLayer = true
-		pi := mustPlan(ipl.Heterogeneous(nn))
+		pi, err := ipl.HeterogeneousCtx(ctx, nn, nil)
+		if err != nil {
+			return err
+		}
 		baseAcc[i], interAcc[i] = pb.AccessElems(), pi.AccessElems()
 		baseLat[i], interLat[i] = pb.LatencyCycles(), pi.LatencyCycles()
-	})
+		cellDone(prog, "fig11", len(cells)+i, len(cells)+len(models), models[i])
+		return nil
+	}); err != nil {
+		return nil, nil, nil, err
+	}
 	g := report.NewTable(fmt.Sprintf("Figure 11b: geomean inter-layer benefit at %d kB, all models", big),
 		"metric", "geomean benefit %")
 	g.Row("accesses", stats.Percent(stats.GeoMeanReduction(baseAcc, interAcc)))
 	g.Row("latency", stats.Percent(stats.GeoMeanReduction(baseLat, interLat)))
-	return cells, t, g
+	return cells, t, g, nil
 }
 
 // Headline summarises the paper's headline claims against this

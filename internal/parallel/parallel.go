@@ -8,6 +8,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -110,4 +111,131 @@ func Map[T any](n, workers int, f func(i int) T) []T {
 	out := make([]T, n)
 	ForEach(n, workers, func(i int) { out[i] = f(i) })
 	return out
+}
+
+// ForEachCtx is the context-aware ForEach: it runs f(ctx, i) for every i in
+// [0, n) over workers goroutines, stops dispatching new indices as soon as
+// ctx is cancelled or any call returns a non-nil error, drains the calls
+// already running, and returns the first error (first-error-wins; ctx.Err()
+// when cancellation came first). Indices not yet dispatched at that point
+// never run. Worker panics propagate to the caller wrapped in *Panic,
+// exactly like ForEach.
+func ForEachCtx(ctx context.Context, n, workers int, f func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		mu    sync.Mutex
+		first error
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return first != nil
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				record(err)
+				break
+			}
+			if err := callSafeErr(ctx, f, i, nil); err != nil {
+				record(err)
+				break
+			}
+		}
+		return first
+	}
+	var (
+		panicOnce sync.Once
+		panicked  *Panic
+	)
+	recordPanic := func(p *Panic) { panicOnce.Do(func() { panicked = p }) }
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // past cancellation: drain the channel without running
+				}
+				record(callSafeErr(ctx, f, i, recordPanic))
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			record(err)
+			break
+		}
+		if failed() {
+			break
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			record(ctx.Err())
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return first
+}
+
+// callSafeErr invokes f(ctx, i), converting a panic into *Panic. With
+// record nil (single-worker path) the panic re-raises on the caller's
+// goroutine; otherwise it is recorded and the worker keeps draining.
+func callSafeErr(ctx context.Context, f func(context.Context, int) error, i int, record func(*Panic)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, ok := r.(*Panic)
+			if !ok {
+				p = &Panic{Value: r, Stack: stack()}
+			}
+			if record == nil {
+				panic(p)
+			}
+			record(p)
+		}
+	}()
+	return f(ctx, i)
+}
+
+// MapCtx runs f over [0, n) like ForEachCtx and collects the results in
+// order. On cancellation or error the returned slice holds zero values at
+// the indices that never ran; the error tells the caller not to use it.
+func MapCtx[T any](ctx context.Context, n, workers int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachCtx(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := f(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
 }

@@ -1,8 +1,11 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -90,4 +93,158 @@ func TestForEachFirstPanicWins(t *testing.T) {
 		}
 	}()
 	ForEach(32, 8, func(i int) { panic(i) })
+}
+
+func TestForEachCtxCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 100
+		seen := make([]int32, n)
+		err := ForEachCtx(context.Background(), n, workers, func(_ context.Context, i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := ForEachCtx(ctx, 10, 4, func(context.Context, int) error {
+		called = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Error("f ran despite pre-canceled context")
+	}
+}
+
+func TestForEachCtxCancelMidFlight(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 1000
+		var started int32
+		release := make(chan struct{})
+		err := ForEachCtx(ctx, n, workers, func(ctx context.Context, i int) error {
+			if atomic.AddInt32(&started, 1) == int32(workers) {
+				cancel() // every worker is now mid-flight; stop dispatching
+				close(release)
+			}
+			<-release
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight calls drain; nothing new is dispatched after cancel, so
+		// far fewer than n indices ran. Allow generous slack for handoffs
+		// already sitting in the channel.
+		if got := atomic.LoadInt32(&started); got > int32(workers)+2 {
+			t.Errorf("workers=%d: %d calls started after cancel, want <= %d", workers, got, workers+2)
+		}
+	}
+}
+
+func TestForEachCtxFirstErrorWinsAndStopsDispatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		boom := errors.New("boom")
+		var calls int32
+		err := ForEachCtx(context.Background(), 1000, workers, func(_ context.Context, i int) error {
+			atomic.AddInt32(&calls, 1)
+			return boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		// The feeder checks for a recorded error before every dispatch, so
+		// at most a handful of calls beyond the pool width ever start.
+		if got := atomic.LoadInt32(&calls); got > int32(workers)*2+2 {
+			t.Errorf("workers=%d: %d calls ran after first error, want <= %d", workers, got, workers*2+2)
+		}
+	}
+}
+
+func TestForEachCtxDrainsRunningWorkers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workers := 4
+	var inFlight, done int32
+	err := ForEachCtx(ctx, 100, workers, func(ctx context.Context, i int) error {
+		if atomic.AddInt32(&inFlight, 1) == int32(workers) {
+			cancel()
+		}
+		// Simulate work that finishes after cancellation: ForEachCtx must
+		// wait for it (drain), not abandon the goroutine.
+		time.Sleep(5 * time.Millisecond)
+		atomic.AddInt32(&done, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := atomic.LoadInt32(&done); d < int32(workers) {
+		t.Errorf("only %d in-flight calls completed before return, want >= %d", d, workers)
+	}
+}
+
+func TestForEachCtxPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				p, ok := r.(*Panic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *Panic", workers, r)
+				}
+				if p.Value != "boom 3" {
+					t.Errorf("workers=%d: panic value %v, want boom 3", workers, p.Value)
+				}
+			}()
+			ForEachCtx(context.Background(), 50, workers, func(_ context.Context, i int) error {
+				if i == 3 {
+					panic("boom 3")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestMapCtxPreservesOrder(t *testing.T) {
+	got, err := MapCtx(context.Background(), 50, 8, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapCtxError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapCtx(context.Background(), 20, 4, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
 }

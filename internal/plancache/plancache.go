@@ -42,6 +42,13 @@ type call struct {
 	done chan struct{}
 	val  any
 	err  error
+	// waiters counts the callers still blocked on this flight (guarded by
+	// Cache.mu). When it drops to zero the computation context is canceled:
+	// nobody is left to consume the result, so fn may abort early. A call
+	// with zero waiters is abandoned — new callers start a fresh flight
+	// rather than inheriting a canceled one.
+	waiters int
+	cancel  context.CancelFunc
 }
 
 // Cache is an LRU keyed by canonical request hashes. The zero value is not
@@ -90,11 +97,15 @@ func (c *Cache) Get(key string) (any, bool) {
 // from the cache or from another caller's flight rather than from running
 // fn here.
 //
-// The computation runs on its own goroutine and always completes, even if
-// every waiter's ctx expires first — a successful result is still cached
-// for future requests (fn itself may honour ctx to abort early). Errors and
-// panics in fn are returned to all current waiters and are never cached.
-func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, shared bool, err error) {
+// The computation runs on its own goroutine under a context owned by the
+// flight, not by any single caller: one waiter's ctx expiring does not
+// disturb the computation while other waiters remain (they still get the
+// result, and it is cached). Only when the LAST waiter abandons the flight
+// is the computation context canceled — fn may honour it to stop burning a
+// worker slot nobody is waiting for, or ignore it and still have a
+// successful result cached for future requests. Errors and panics in fn
+// are returned to all current waiters and are never cached.
+func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (val any, shared bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -103,18 +114,15 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val
 		c.mu.Unlock()
 		return v, true, nil
 	}
-	if cl, ok := c.inflight[key]; ok {
+	if cl, ok := c.inflight[key]; ok && cl.waiters > 0 {
+		cl.waiters++
 		c.coalesced++
 		c.mu.Unlock()
-		select {
-		case <-cl.done:
-			return cl.val, true, cl.err
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
-		}
+		return c.wait(ctx, cl, true)
 	}
 	c.misses++
-	cl := &call{done: make(chan struct{})}
+	callCtx, cancel := context.WithCancel(context.Background())
+	cl := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	c.inflight[key] = cl
 	c.mu.Unlock()
 
@@ -124,21 +132,39 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val
 				cl.err = fmt.Errorf("plancache: panic computing %s: %v", key, r)
 				cl.val = nil
 			}
+			cancel()
 			c.mu.Lock()
-			delete(c.inflight, key)
+			// An abandoned flight may have been replaced by a fresh one;
+			// only remove the entry if it is still ours.
+			if c.inflight[key] == cl {
+				delete(c.inflight, key)
+			}
 			if cl.err == nil {
 				c.storeLocked(key, cl.val)
 			}
 			c.mu.Unlock()
 			close(cl.done)
 		}()
-		cl.val, cl.err = fn()
+		cl.val, cl.err = fn(callCtx)
 	}()
 
+	return c.wait(ctx, cl, false)
+}
+
+// wait blocks until cl completes or ctx expires. A waiter that gives up
+// decrements the count; the last one out cancels the computation context.
+func (c *Cache) wait(ctx context.Context, cl *call, shared bool) (any, bool, error) {
 	select {
 	case <-cl.done:
-		return cl.val, false, cl.err
+		return cl.val, shared, cl.err
 	case <-ctx.Done():
+		c.mu.Lock()
+		cl.waiters--
+		abandoned := cl.waiters == 0
+		c.mu.Unlock()
+		if abandoned {
+			cl.cancel()
+		}
 		return nil, false, ctx.Err()
 	}
 }

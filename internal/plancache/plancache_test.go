@@ -13,7 +13,7 @@ import (
 func TestDoMissThenHit(t *testing.T) {
 	c := New(4)
 	calls := 0
-	fn := func() (any, error) { calls++; return "v1", nil }
+	fn := func(context.Context) (any, error) { calls++; return "v1", nil }
 
 	v, shared, err := c.Do(context.Background(), "k", fn)
 	if err != nil || v != "v1" || shared {
@@ -36,7 +36,7 @@ func TestDoSingleFlight(t *testing.T) {
 	c := New(4)
 	var calls int32
 	release := make(chan struct{})
-	fn := func() (any, error) {
+	fn := func(context.Context) (any, error) {
 		atomic.AddInt32(&calls, 1)
 		<-release
 		return 42, nil
@@ -80,10 +80,10 @@ func TestDoErrorNotCached(t *testing.T) {
 	c := New(4)
 	boom := errors.New("boom")
 	calls := 0
-	if _, _, err := c.Do(context.Background(), "k", func() (any, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	if v, _, err := c.Do(context.Background(), "k", func() (any, error) { calls++; return "ok", nil }); err != nil || v != "ok" {
+	if v, _, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { calls++; return "ok", nil }); err != nil || v != "ok" {
 		t.Fatalf("retry = (%v, %v), want (ok, nil)", v, err)
 	}
 	if calls != 2 {
@@ -93,7 +93,7 @@ func TestDoErrorNotCached(t *testing.T) {
 
 func TestDoPanicBecomesError(t *testing.T) {
 	c := New(4)
-	_, _, err := c.Do(context.Background(), "k", func() (any, error) { panic("kaboom") })
+	_, _, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { panic("kaboom") })
 	if err == nil || c.Len() != 0 {
 		t.Fatalf("panic: err = %v, entries = %d; want error and no entry", err, c.Len())
 	}
@@ -103,7 +103,7 @@ func TestDoContextExpiryLeavesResultForOthers(t *testing.T) {
 	c := New(4)
 	started := make(chan struct{})
 	release := make(chan struct{})
-	fn := func() (any, error) { close(started); <-release; return "late", nil }
+	fn := func(context.Context) (any, error) { close(started); <-release; return "late", nil }
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() { <-started; cancel() }()
@@ -128,7 +128,7 @@ func TestDoContextExpiryLeavesResultForOthers(t *testing.T) {
 func TestLRUEviction(t *testing.T) {
 	c := New(2)
 	put := func(k string) {
-		if _, _, err := c.Do(context.Background(), k, func() (any, error) { return k, nil }); err != nil {
+		if _, _, err := c.Do(context.Background(), k, func(context.Context) (any, error) { return k, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -158,7 +158,7 @@ func TestZeroCapacityStillDeduplicates(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c.Do(context.Background(), "k", func() (any, error) {
+			c.Do(context.Background(), "k", func(context.Context) (any, error) {
 				atomic.AddInt32(&calls, 1)
 				<-release
 				return 1, nil
@@ -177,7 +177,7 @@ func TestZeroCapacityStillDeduplicates(t *testing.T) {
 		t.Errorf("capacity-0 cache stored %d entries", c.Len())
 	}
 	// Nothing stored: the next Do recomputes.
-	c.Do(context.Background(), "k", func() (any, error) { atomic.AddInt32(&calls, 1); return 1, nil })
+	c.Do(context.Background(), "k", func(context.Context) (any, error) { atomic.AddInt32(&calls, 1); return 1, nil })
 	if calls != 2 {
 		t.Errorf("fn ran %d times after second Do, want 2", calls)
 	}
@@ -192,7 +192,7 @@ func TestConcurrentMixedKeys(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				k := fmt.Sprintf("k%d", i%16)
-				v, _, err := c.Do(context.Background(), k, func() (any, error) { return k, nil })
+				v, _, err := c.Do(context.Background(), k, func(context.Context) (any, error) { return k, nil })
 				if err != nil || v != k {
 					t.Errorf("Do(%s) = (%v, %v)", k, v, err)
 					return
@@ -203,5 +203,111 @@ func TestConcurrentMixedKeys(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 8 {
 		t.Errorf("cache grew to %d entries, capacity 8", c.Len())
+	}
+}
+
+func TestDoSoleCallerAbandonCancelsComputation(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	fnCtxDone := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			close(fnCtxDone)
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return "too late", errors.New("computation context never canceled")
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { <-started; cancel() }()
+	if _, _, err := c.Do(ctx, "k", fn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The sole waiter left, so the computation context must be canceled
+	// promptly — this is what frees the server's semaphore slot.
+	select {
+	case <-fnCtxDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("computation context not canceled after sole caller abandoned")
+	}
+	if c.Len() != 0 {
+		t.Errorf("canceled computation cached %d entries, want 0", c.Len())
+	}
+}
+
+func TestDoLeaderCancelKeepsComputingForFollowers(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return "shared result", nil
+		}
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(leaderCtx, "k", fn)
+		leaderErr <- err
+	}()
+	<-started
+	// A follower coalesces onto the flight, then the leader gives up. The
+	// computation must keep running for the follower.
+	followerVal := make(chan any, 1)
+	go func() {
+		v, shared, err := c.Do(context.Background(), "k", fn)
+		if err != nil || !shared {
+			t.Errorf("follower Do = (%v, %v, %v), want (shared result, true, nil)", v, shared, err)
+		}
+		followerVal <- v
+	}()
+	for c.Stats().Coalesced < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	close(release)
+	select {
+	case v := <-followerVal:
+		if v != "shared result" {
+			t.Errorf("follower got %v, want shared result", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower never got the result after leader canceled")
+	}
+}
+
+func TestDoAbandonedFlightReplacedByFresh(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	fn1 := func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { <-started; cancel() }()
+	if _, _, err := c.Do(ctx, "k", fn1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A new caller must not inherit the abandoned (canceled) flight: it
+	// starts fresh and succeeds even while the old goroutine winds down.
+	v, shared, err := c.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return "fresh", nil
+	})
+	if err != nil || v != "fresh" || shared {
+		t.Fatalf("fresh Do = (%v, %v, %v), want (fresh, false, nil)", v, shared, err)
 	}
 }

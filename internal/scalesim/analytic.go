@@ -1,8 +1,12 @@
 package scalesim
 
 import (
+	"context"
+
 	"scratchmem/internal/layer"
 	"scratchmem/internal/model"
+	"scratchmem/internal/progress"
+	"scratchmem/internal/smmerr"
 )
 
 // foldCycles is SCALE-Sim's output-stationary fold timing: streaming the K
@@ -95,16 +99,30 @@ func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
 
 // SimulateNetwork runs the analytical baseline over a whole network.
 func SimulateNetwork(n *model.Network, cfg Config) (*NetworkResult, error) {
+	return SimulateNetworkCtx(context.Background(), n, cfg, nil)
+}
+
+// SimulateNetworkCtx is SimulateNetwork with per-layer cancellation checks
+// and progress events ("baseline" phase). Validation failures wrap
+// smmerr.ErrBadModel; a cancellation wraps ctx.Err() and names the layer.
+func SimulateNetworkCtx(ctx context.Context, n *model.Network, cfg Config, prog progress.Func) (*NetworkResult, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, smmerr.BadModel(err)
 	}
 	if err := n.Validate(); err != nil {
-		return nil, err
+		return nil, smmerr.BadModel(err)
 	}
 	out := &NetworkResult{Config: cfg}
 	out.Layers = make([]LayerResult, len(n.Layers))
+	var cycles int64
 	for i := range n.Layers {
+		if err := ctx.Err(); err != nil {
+			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
+		}
 		out.Layers[i] = Simulate(&n.Layers[i], cfg)
+		cycles += out.Layers[i].Cycles
+		prog.Emit(progress.Event{Phase: "baseline", Index: i, Total: len(n.Layers), Name: n.Layers[i].Name,
+			LatencyCycles: cycles})
 	}
 	return out, nil
 }

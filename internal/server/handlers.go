@@ -10,8 +10,8 @@ import (
 	"time"
 
 	scratchmem "scratchmem"
-	"scratchmem/internal/core"
 	"scratchmem/internal/model"
+	"scratchmem/internal/smmerr"
 )
 
 // maxBodyBytes bounds request bodies; the largest builtin network is a few
@@ -80,13 +80,10 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// badRequestError marks client errors discovered while resolving a request.
-type badRequestError struct{ msg string }
-
-func (e *badRequestError) Error() string { return e.msg }
-
+// badRequestf marks client errors discovered while resolving a request;
+// they carry smmerr.ErrBadModel so fail maps them to 400.
 func badRequestf(format string, args ...any) error {
-	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+	return smmerr.BadModelf(format, args...)
 }
 
 // resolve turns the wire request into the planner's inputs.
@@ -163,17 +160,26 @@ func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(errorResponse{Error: msg})
 }
 
-// fail maps an error from resolving or computing to an HTTP status.
+// statusClientClosedRequest is nginx's non-standard code for a caller that
+// went away before the response was ready; we count it apart from genuine
+// deadline expiry (504) so the metrics distinguish "we were slow" from
+// "they hung up".
+const statusClientClosedRequest = 499
+
+// fail maps an error from resolving or computing to an HTTP status. The
+// dispatch is purely on the typed taxonomy (errors.Is/As through however
+// many LayerError wrappers), never on message text.
 func (s *Server) fail(w http.ResponseWriter, err error) {
-	var br *badRequestError
-	var infeasible *core.InfeasibleError
+	var infeasible *scratchmem.InfeasibleError
 	switch {
-	case errors.As(err, &br):
-		s.writeError(w, http.StatusBadRequest, br.msg)
-	case errors.As(err, &infeasible):
+	case errors.Is(err, scratchmem.ErrBadModel):
+		s.writeError(w, http.StatusBadRequest, err.Error())
+	case errors.As(err, &infeasible), errors.Is(err, scratchmem.ErrInfeasible):
 		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		s.writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		s.writeError(w, statusClientClosedRequest, "client closed request")
 	default:
 		s.writeError(w, http.StatusInternalServerError, err.Error())
 	}
@@ -199,13 +205,13 @@ func cacheHeader(w http.ResponseWriter, shared bool) {
 // the shared path of /v1/plan and /v1/simulate: cache lookup, single-flight
 // execution under a worker slot, latency observation.
 func (s *Server) planned(ctx context.Context, key string, net *scratchmem.Network, opts scratchmem.PlanOptions) (*planEntry, bool, error) {
-	v, shared, err := s.cache.Do(ctx, "plan:"+key, func() (any, error) {
+	v, shared, err := s.cache.Do(ctx, "plan:"+key, func(ctx context.Context) (any, error) {
 		if err := s.sem.Acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.sem.Release()
 		start := time.Now()
-		p, err := s.planFn(net, opts)
+		p, err := s.planFn(ctx, net, opts)
 		s.met.observePlanner(time.Since(start))
 		if err != nil {
 			return nil, err
@@ -279,12 +285,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	v, shared, err := s.cache.Do(ctx, "sim:"+key, func() (any, error) {
+	v, shared, err := s.cache.Do(ctx, "sim:"+key, func(ctx context.Context) (any, error) {
 		if err := s.sem.Acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.sem.Release()
-		measured, estimated, err := s.simFn(entry.plan)
+		measured, estimated, err := s.simFn(ctx, entry.plan)
 		if err != nil {
 			return nil, err
 		}
@@ -321,12 +327,12 @@ func (s *Server) simulateBaseline(ctx context.Context, w http.ResponseWriter, ke
 	}
 	base := scratchmem.BaselineSplits(glbKB, cfg.DataWidthBits)[idx]
 	cacheKey := fmt.Sprintf("base:%s:%d", key, spec.SplitPercent)
-	v, shared, err := s.cache.Do(ctx, cacheKey, func() (any, error) {
+	v, shared, err := s.cache.Do(ctx, cacheKey, func(ctx context.Context) (any, error) {
 		if err := s.sem.Acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.sem.Release()
-		res, err := scratchmem.SimulateBaseline(net, base)
+		res, err := scratchmem.SimulateBaselineCtx(ctx, net, base, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -365,12 +371,15 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	v, shared, err := s.cache.Do(ctx, "dse:"+key, func() (any, error) {
+	v, shared, err := s.cache.Do(ctx, "dse:"+key, func(ctx context.Context) (any, error) {
 		if err := s.sem.Acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.sem.Release()
-		elems, feasible := scratchmem.DSEAccessElems(net, opts.Config)
+		elems, feasible, err := scratchmem.DSEAccessElemsCtx(ctx, net, opts.Config, nil)
+		if err != nil {
+			return nil, err
+		}
 		return &DSEResponse{Model: net.Name, AccessElems: elems, Feasible: feasible}, nil
 	})
 	if err != nil {

@@ -27,7 +27,7 @@ type metrics struct {
 func newMetrics(routes []string) *metrics {
 	m := &metrics{
 		requests:      make(map[string]*atomic.Int64, len(routes)),
-		errors:        map[int]*atomic.Int64{400: {}, 422: {}, 500: {}, 504: {}},
+		errors:        map[int]*atomic.Int64{400: {}, 422: {}, 499: {}, 500: {}, 504: {}},
 		plannerBucket: make([]atomic.Int64, len(plannerBuckets)+1),
 	}
 	for _, r := range routes {

@@ -19,6 +19,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"time"
 
@@ -57,10 +58,12 @@ type Server struct {
 	mux   *http.ServeMux
 
 	// planFn runs the planner; a test seam (defaults to
-	// scratchmem.PlanModel).
-	planFn func(*scratchmem.Network, scratchmem.PlanOptions) (*scratchmem.Plan, error)
-	// simFn times a plan; a test seam (defaults to scratchmem.SimulatePlan).
-	simFn func(*scratchmem.Plan) (measured, estimated int64, err error)
+	// scratchmem.PlanModelCtx). The context is the flight's, not any single
+	// caller's: it is canceled only when every waiter has abandoned the
+	// request, so implementations should honour it to free their worker slot.
+	planFn func(context.Context, *scratchmem.Network, scratchmem.PlanOptions) (*scratchmem.Plan, error)
+	// simFn times a plan; a test seam (defaults to scratchmem.SimulatePlanCtx).
+	simFn func(context.Context, *scratchmem.Plan) (measured, estimated int64, err error)
 }
 
 // routes is the fixed set of request-counter labels.
@@ -79,12 +82,16 @@ func New(cfg Config) *Server {
 		cfg.Timeout = DefaultTimeout
 	}
 	s := &Server{
-		cfg:    cfg,
-		cache:  plancache.New(entries),
-		sem:    parallel.NewSemaphore(cfg.Workers),
-		met:    newMetrics(routes),
-		planFn: scratchmem.PlanModel,
-		simFn:  scratchmem.SimulatePlan,
+		cfg:   cfg,
+		cache: plancache.New(entries),
+		sem:   parallel.NewSemaphore(cfg.Workers),
+		met:   newMetrics(routes),
+		planFn: func(ctx context.Context, n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
+			return scratchmem.PlanModelCtx(ctx, n, o, nil)
+		},
+		simFn: func(ctx context.Context, p *scratchmem.Plan) (int64, int64, error) {
+			return scratchmem.SimulatePlanCtx(ctx, p, nil)
+		},
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.counted("/v1/plan", s.handlePlan))

@@ -2,11 +2,15 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -17,6 +21,8 @@ import (
 
 	scratchmem "scratchmem"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func post(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
 	t.Helper()
@@ -128,10 +134,10 @@ func TestPlanSingleFlight(t *testing.T) {
 	srv := New(Config{})
 	var executions int32
 	release := make(chan struct{})
-	srv.planFn = func(n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
+	srv.planFn = func(ctx context.Context, n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
 		atomic.AddInt32(&executions, 1)
 		<-release
-		return scratchmem.PlanModel(n, o)
+		return scratchmem.PlanModelCtx(ctx, n, o, nil)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -179,11 +185,11 @@ func TestPlanTimeout(t *testing.T) {
 	srv := New(Config{Timeout: 30 * time.Millisecond})
 	block := make(chan struct{})
 	var calls int32
-	srv.planFn = func(n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
+	srv.planFn = func(ctx context.Context, n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
 		if atomic.AddInt32(&calls, 1) == 1 {
 			<-block // first call outlives the request deadline
 		}
-		return scratchmem.PlanModel(n, o)
+		return scratchmem.PlanModelCtx(ctx, n, o, nil)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -360,7 +366,7 @@ func TestBadRequests(t *testing.T) {
 // the planner must produce a 500 response, not kill the server.
 func TestPlannerPanicIsA500(t *testing.T) {
 	srv := New(Config{})
-	srv.planFn = func(*scratchmem.Network, scratchmem.PlanOptions) (*scratchmem.Plan, error) {
+	srv.planFn = func(context.Context, *scratchmem.Network, scratchmem.PlanOptions) (*scratchmem.Plan, error) {
 		panic("planner exploded")
 	}
 	ts := httptest.NewServer(srv.Handler())
@@ -371,10 +377,206 @@ func TestPlannerPanicIsA500(t *testing.T) {
 		t.Fatalf("status %d (%s), want 500", resp.StatusCode, body)
 	}
 	// Panics are not cached: a fixed planner then succeeds.
-	srv.planFn = scratchmem.PlanModel
+	srv.planFn = func(ctx context.Context, n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
+		return scratchmem.PlanModelCtx(ctx, n, o, nil)
+	}
 	resp2, _ := post(t, ts, "/v1/plan", tinyPlanBody)
 	if resp2.StatusCode != http.StatusOK {
 		t.Errorf("recovery request: status %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestDSEGoldenBody pins the exact response body of POST /v1/dse for the
+// canonical request, so wire-format drift is caught by diff rather than by
+// a downstream consumer. Regenerate with: go test ./internal/server -run
+// TestDSEGoldenBody -update
+func TestDSEGoldenBody(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts, "/v1/dse", tinyPlanBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dse: status %d: %s", resp.StatusCode, body)
+	}
+	golden := filepath.Join("testdata", "dse_tinycnn_32kb.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("DSE body drifted from golden file:\ngot:  %s\nwant: %s", body, want)
+	}
+}
+
+// TestClientCancelIs499 and TestPlanTimeout together pin the 499-vs-504
+// distinction: the server must answer "they hung up" and "we were slow"
+// with different typed-error mappings, resolved via errors.Is, not text.
+func TestClientCancelIs499(t *testing.T) {
+	srv := New(Config{})
+	started := make(chan struct{})
+	var once sync.Once
+	srv.planFn = func(ctx context.Context, n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
+		once.Do(func() { close(started) })
+		<-ctx.Done() // outlive the caller; the abandoned flight cancels us
+		return nil, ctx.Err()
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/plan", strings.NewReader(tinyPlanBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("canceled request unexpectedly completed")
+	}
+
+	// The client never sees the 499 (it hung up), but the server counts it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, mbody := get(t, ts, "/metrics")
+		if n := metric(t, mbody, `smm_errors_total{code="499"}`); n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("499 never counted after client cancel")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCanceledClientFreesWorkerSlot is the semaphore-release guarantee: a
+// sole caller abandoning its flight cancels the computation context, the
+// planner returns, and the worker slot frees for the next request instead
+// of staying occupied until the (already-pointless) plan completes.
+func TestCanceledClientFreesWorkerSlot(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	blocked := make(chan struct{})
+	srv.planFn = func(ctx context.Context, n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
+		if n.Name == "GoogLeNet" {
+			close(blocked)
+			<-ctx.Done() // hold the only slot until the flight is abandoned
+			return nil, ctx.Err()
+		}
+		return scratchmem.PlanModelCtx(ctx, n, o, nil)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/plan",
+		strings.NewReader(`{"model": "GoogLeNet", "glb_kb": 64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	slow := make(chan struct{})
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(slow)
+	}()
+	<-blocked // the slow plan holds the single worker slot
+	cancel()  // sole caller leaves; the slot must free promptly
+	<-slow
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(tinyPlanBody))
+	if err != nil {
+		t.Fatalf("request after canceled slot-holder: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d (%s), want 200 — worker slot not released", resp.StatusCode, b)
+	}
+}
+
+// TestLeaderCancelFollowerStillServed is the other half of the waiter
+// accounting: with a follower coalesced onto the flight, the leader's
+// cancellation must NOT kill the computation.
+func TestLeaderCancelFollowerStillServed(t *testing.T) {
+	srv := New(Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv.planFn = func(ctx context.Context, n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return scratchmem.PlanModelCtx(ctx, n, o, nil)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	req, err := http.NewRequestWithContext(leaderCtx, http.MethodPost, ts.URL+"/v1/plan", strings.NewReader(tinyPlanBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	leaderDone := make(chan struct{})
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(leaderDone)
+	}()
+	<-started
+
+	followerCode := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(tinyPlanBody))
+		if err != nil {
+			followerCode <- -1
+			return
+		}
+		resp.Body.Close()
+		followerCode <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.cache.Stats().Coalesced < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+	<-leaderDone
+	close(release)
+	select {
+	case code := <-followerCode:
+		if code != http.StatusOK {
+			t.Errorf("follower status %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never answered after leader canceled")
 	}
 }
 

@@ -8,11 +8,14 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 
 	"scratchmem/internal/core"
 	"scratchmem/internal/dram"
 	"scratchmem/internal/engine"
+	"scratchmem/internal/progress"
+	"scratchmem/internal/smmerr"
 	"scratchmem/internal/trace"
 )
 
@@ -58,6 +61,14 @@ type Result struct {
 // layers); within a layer, prefetching policies overlap DMA with compute
 // and the others serialise, mirroring the estimator's model.
 func Run(p *core.Plan, o Options) (*Result, error) {
+	return RunCtx(context.Background(), p, o, nil)
+}
+
+// RunCtx is Run with cancellation and observation: ctx is checked per layer
+// (and inside each layer's dry-run schedule), failures and cancellations
+// are localised with smmerr.LayerError, and one "simulate" progress event
+// is emitted per timed layer with the running cycle total.
+func RunCtx(ctx context.Context, p *core.Plan, o Options, prog progress.Func) (*Result, error) {
 	res := &Result{}
 	dcfg := o.DRAM
 	if o.Backend == BankedDRAM && dcfg == (dram.Config{}) {
@@ -65,13 +76,16 @@ func Run(p *core.Plan, o Options) (*Result, error) {
 	}
 	for i := range p.Layers {
 		lp := &p.Layers[i]
+		if err := ctx.Err(); err != nil {
+			return nil, smmerr.Layer(i, lp.Layer.Name, err)
+		}
 		var log *trace.Log
 		if o.Backend == BankedDRAM {
 			log = &trace.Log{}
 		}
-		er, err := engine.DryRun(&lp.Layer, &lp.Est, p.Cfg, log)
+		er, err := engine.DryRunCtx(ctx, &lp.Layer, &lp.Est, p.Cfg, log)
 		if err != nil {
-			return nil, fmt.Errorf("simulate: %s/%s: %w", p.Model, lp.Layer.Name, err)
+			return nil, smmerr.Layer(i, lp.Layer.Name, fmt.Errorf("simulate: %s/%s: %w", p.Model, lp.Layer.Name, err))
 		}
 		var cycles int64
 		switch o.Backend {
@@ -116,6 +130,8 @@ func Run(p *core.Plan, o Options) (*Result, error) {
 		})
 		res.Cycles += cycles
 		res.EstimateCycles += lp.Est.LatencyCycles
+		prog.Emit(progress.Event{Phase: "simulate", Index: i, Total: len(p.Layers), Name: lp.Layer.Name,
+			AccessElems: er.AccessElems(), LatencyCycles: res.Cycles})
 	}
 	return res, nil
 }

@@ -1,0 +1,101 @@
+// Package smmerr is the typed error taxonomy of the planning pipeline.
+// Every long-running entry point (planning, simulation, DSE, compilation)
+// classifies its failures into one of three families so that callers can
+// dispatch on error *kind* with errors.Is/errors.As instead of string
+// matching:
+//
+//   - ErrBadModel    — the request itself is wrong (invalid network or
+//     accelerator configuration); an HTTP server maps it to 400, a CLI to
+//     a usage-style exit code.
+//   - ErrInfeasible  — the request is well-formed but no policy fits the
+//     scratchpad, even with fallback tiling (422 / "no plan exists").
+//   - context errors — cancellation and deadlines are never swallowed:
+//     pipeline errors wrap ctx.Err() so errors.Is(err, context.Canceled)
+//     and errors.Is(err, context.DeadlineExceeded) hold end to end.
+//
+// LayerError wraps any of the above with the layer index and name where the
+// pipeline stopped, preserving the chain for errors.As.
+//
+// The package is a leaf: it imports only the standard library, so every
+// implementation package (core, dse, simulate, scalesim, program, server)
+// can use it without cycles. The public façade re-exports the types.
+package smmerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrInfeasible marks plans that cannot be scheduled within the scratchpad.
+// InfeasibleError values wrap it, so errors.Is(err, ErrInfeasible) matches
+// without naming the struct type.
+var ErrInfeasible = errors.New("infeasible within the scratchpad")
+
+// ErrBadModel marks invalid inputs: a malformed network description or an
+// inconsistent accelerator configuration.
+var ErrBadModel = errors.New("invalid model or configuration")
+
+// InfeasibleError reports that a layer cannot be scheduled within the GLB
+// even with fallback tiling.
+type InfeasibleError struct {
+	Model string
+	Layer string
+	Need  int64 // bytes required by the smallest tiling
+	Have  int64 // GLB bytes
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("%s layer %s needs %d bytes even with fallback tiling, GLB has %d",
+		e.Model, e.Layer, e.Need, e.Have)
+}
+
+// Unwrap makes errors.Is(err, ErrInfeasible) hold for every InfeasibleError.
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
+
+// BadModel wraps a validation error with ErrBadModel so callers can map it
+// to "client error" without inspecting the message. nil stays nil.
+func BadModel(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrBadModel, err)
+}
+
+// BadModelf builds a formatted ErrBadModel-wrapping error.
+func BadModelf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadModel, fmt.Sprintf(format, args...))
+}
+
+// LayerError localises a pipeline failure to one layer of the network. It
+// wraps the underlying cause, so errors.Is/As see through it — an
+// infeasible layer is both a *LayerError and a *InfeasibleError.
+type LayerError struct {
+	// Index is the zero-based position of the layer in the network.
+	Index int
+	// Name is the layer's name.
+	Name string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *LayerError) Error() string {
+	return fmt.Sprintf("layer %d (%s): %v", e.Index, e.Name, e.Err)
+}
+
+func (e *LayerError) Unwrap() error { return e.Err }
+
+// Layer wraps err with the layer position where the pipeline stopped.
+// nil stays nil, and a LayerError is never double-wrapped onto itself.
+func Layer(index int, name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &LayerError{Index: index, Name: name, Err: err}
+}
+
+// IsCanceled reports whether err stems from context cancellation or a
+// deadline — the two cases a server distinguishes from real failures.
+func IsCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

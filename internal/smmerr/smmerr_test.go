@@ -1,0 +1,78 @@
+package smmerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestInfeasibleErrorWrapsSentinel(t *testing.T) {
+	err := &InfeasibleError{Model: "ResNet18", Layer: "conv1", Need: 4096, Have: 1024}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Error("InfeasibleError does not match ErrInfeasible")
+	}
+	var ie *InfeasibleError
+	if !errors.As(err, &ie) || ie.Need != 4096 {
+		t.Errorf("errors.As lost the value: %+v", ie)
+	}
+	want := "ResNet18 layer conv1 needs 4096 bytes even with fallback tiling, GLB has 1024"
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestBadModel(t *testing.T) {
+	if BadModel(nil) != nil {
+		t.Error("BadModel(nil) != nil")
+	}
+	cause := errors.New("negative stride")
+	err := BadModel(cause)
+	if !errors.Is(err, ErrBadModel) {
+		t.Error("BadModel result does not match ErrBadModel")
+	}
+	if !errors.Is(err, cause) {
+		t.Error("BadModel result does not preserve the cause")
+	}
+	if !errors.Is(BadModelf("field %q missing", "layers"), ErrBadModel) {
+		t.Error("BadModelf result does not match ErrBadModel")
+	}
+}
+
+func TestLayerError(t *testing.T) {
+	if Layer(3, "conv2", nil) != nil {
+		t.Error("Layer(nil) != nil")
+	}
+	inner := &InfeasibleError{Model: "m", Layer: "conv2", Need: 9, Have: 1}
+	err := Layer(3, "conv2", inner)
+	var le *LayerError
+	if !errors.As(err, &le) || le.Index != 3 || le.Name != "conv2" {
+		t.Fatalf("errors.As(LayerError) = %+v", le)
+	}
+	// The chain stays visible through the wrapper.
+	if !errors.Is(err, ErrInfeasible) {
+		t.Error("LayerError hides ErrInfeasible")
+	}
+	var ie *InfeasibleError
+	if !errors.As(err, &ie) {
+		t.Error("LayerError hides *InfeasibleError")
+	}
+	if got, want := err.Error(), fmt.Sprintf("layer 3 (conv2): %v", inner); got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestIsCanceled(t *testing.T) {
+	if !IsCanceled(fmt.Errorf("plan: %w", context.Canceled)) {
+		t.Error("wrapped context.Canceled not recognised")
+	}
+	if !IsCanceled(Layer(0, "l", context.DeadlineExceeded)) {
+		t.Error("wrapped context.DeadlineExceeded not recognised")
+	}
+	if IsCanceled(errors.New("boom")) {
+		t.Error("ordinary error mis-classified as canceled")
+	}
+	if IsCanceled(nil) {
+		t.Error("nil mis-classified as canceled")
+	}
+}

@@ -28,6 +28,7 @@
 package scratchmem
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -41,6 +42,7 @@ import (
 	"scratchmem/internal/program"
 	"scratchmem/internal/scalesim"
 	"scratchmem/internal/simulate"
+	"scratchmem/internal/smmerr"
 )
 
 // Re-exported core types. External users name them through these aliases.
@@ -144,11 +146,11 @@ func (o PlanOptions) config() (Config, error) {
 	cfg := o.Config
 	if cfg == (Config{}) {
 		if o.GLBKiloBytes <= 0 {
-			return Config{}, fmt.Errorf("scratchmem: PlanOptions needs GLBKiloBytes or Config")
+			return Config{}, smmerr.BadModelf("scratchmem: PlanOptions needs GLBKiloBytes or Config")
 		}
 		cfg = policy.Default(o.GLBKiloBytes)
 	}
-	return cfg, cfg.Validate()
+	return cfg, smmerr.BadModel(cfg.Validate())
 }
 
 // PlanKey returns the canonical SHA-256 content hash of a planning request:
@@ -193,6 +195,17 @@ func PlanKey(n *Network, o PlanOptions) (string, error) {
 // PlanModel runs the paper's memory-management technique on a network and
 // returns the execution plan.
 func PlanModel(n *Network, o PlanOptions) (*Plan, error) {
+	return PlanModelCtx(context.Background(), n, o, nil)
+}
+
+// PlanModelCtx is PlanModel with cancellation and observation: the planner
+// checks ctx between layers (Algorithm 1's outer loop), so a canceled
+// context returns an error wrapping context.Canceled within one layer's
+// work, and prog — when non-nil — receives one "plan" event per planned
+// layer with the running traffic and latency totals. Failures carry the
+// package's typed taxonomy: ErrBadModel for invalid inputs, ErrInfeasible
+// (as *InfeasibleError, inside a *LayerError) when a layer does not fit.
+func PlanModelCtx(ctx context.Context, n *Network, o PlanOptions, prog Progress) (*Plan, error) {
 	cfg, err := o.config()
 	if err != nil {
 		return nil, err
@@ -204,9 +217,9 @@ func PlanModel(n *Network, o PlanOptions) (*Plan, error) {
 		InterLayer:      o.InterLayerReuse,
 	}
 	if o.Homogeneous {
-		return pl.BestHomogeneous(n)
+		return pl.BestHomogeneousCtx(ctx, n, prog)
 	}
-	return pl.Heterogeneous(n)
+	return pl.HeterogeneousCtx(ctx, n, prog)
 }
 
 // BaselineSplits returns the paper's three fixed-partition baseline
@@ -220,9 +233,21 @@ func SimulateBaseline(n *Network, cfg BaselineConfig) (*BaselineResult, error) {
 	return scalesim.SimulateNetwork(n, cfg)
 }
 
+// SimulateBaselineCtx is SimulateBaseline with per-layer cancellation
+// checks and "baseline" progress events.
+func SimulateBaselineCtx(ctx context.Context, n *Network, cfg BaselineConfig, prog Progress) (*BaselineResult, error) {
+	return scalesim.SimulateNetworkCtx(ctx, n, cfg, prog)
+}
+
 // CompileProgram lowers a plan into a serialisable command stream by
 // dry-running every layer's tile schedule (see internal/program).
 func CompileProgram(p *Plan) (*program.Program, error) { return program.Compile(p) }
+
+// CompileProgramCtx is CompileProgram with per-layer cancellation checks
+// and "compile" progress events.
+func CompileProgramCtx(ctx context.Context, p *Plan, prog Progress) (*program.Program, error) {
+	return program.CompileCtx(ctx, p, prog)
+}
 
 // Program is the command-stream artefact a compiler backend would consume.
 type Program = program.Program
@@ -230,7 +255,13 @@ type Program = program.Program
 // SimulatePlan times a plan end-to-end on the ideal fixed-bandwidth
 // backend, returning (measured cycles, planner-estimated cycles).
 func SimulatePlan(p *Plan) (measured, estimated int64, err error) {
-	r, err := simulate.Run(p, simulate.Options{})
+	return SimulatePlanCtx(context.Background(), p, nil)
+}
+
+// SimulatePlanCtx is SimulatePlan with cancellation (checked per layer and
+// inside each layer's schedule walk) and "simulate" progress events.
+func SimulatePlanCtx(ctx context.Context, p *Plan, prog Progress) (measured, estimated int64, err error) {
+	r, err := simulate.RunCtx(ctx, p, simulate.Options{}, prog)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -242,4 +273,11 @@ func SimulatePlan(p *Plan) (measured, estimated int64, err error) {
 // measured against (internal/dse).
 func DSEAccessElems(n *Network, cfg Config) (elems int64, feasible bool) {
 	return dse.NetworkAccessElems(n, cfg)
+}
+
+// DSEAccessElemsCtx is DSEAccessElems with cancellation — checked per layer
+// and per candidate filter-block size inside the grid search, so even a
+// single large layer's sweep aborts promptly — and "dse" progress events.
+func DSEAccessElemsCtx(ctx context.Context, n *Network, cfg Config, prog Progress) (elems int64, feasible bool, err error) {
+	return dse.NetworkAccessElemsCtx(ctx, n, cfg, prog)
 }
