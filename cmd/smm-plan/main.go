@@ -7,20 +7,25 @@
 //	smm-plan -model ResNet18 -glb 64 -objective accesses
 //	smm-plan -model my_net.json -glb 256 -objective latency -interlayer
 //	smm-plan -model topology.csv -glb 128 -width 16 -hom
+//	smm-plan -model ResNet18 -glb 64 -server http://localhost:8080
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	scratchmem "scratchmem"
+	"scratchmem/client"
 	"scratchmem/internal/cli"
 	"scratchmem/internal/core"
 	"scratchmem/internal/program"
 	"scratchmem/internal/report"
+	"scratchmem/internal/server"
 	"scratchmem/internal/simulate"
 )
 
@@ -44,6 +49,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		interlayer = fs.Bool("interlayer", false, "enable inter-layer reuse")
 		noPrefetch = fs.Bool("no-prefetch", false, "disable the prefetching policy variants")
 		jsonOut    = fs.Bool("json", false, "emit the plan as JSON (the same document smm-serve's /v1/plan returns) instead of the table")
+		strict     = fs.Bool("strict", false, "fail when no policy fits the GLB instead of emitting a degraded fallback plan")
+		serverURL  = fs.String("server", "", "plan via a running smm-serve at this base URL instead of locally (always prints the JSON document; retries transient failures)")
 		showLayers = fs.Bool("layers", true, "print the per-layer policy table")
 		export     = fs.String("export", "", "compile the plan to a command-stream JSON at this path")
 		sim        = fs.Bool("simulate", false, "time the plan end-to-end on the ideal and banked-DRAM backends")
@@ -69,12 +76,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *batch > 1 { // 0 and 1 both mean single inference; keep the config canonical
 		cfg.Batch = *batch
 	}
+	if *serverURL != "" {
+		if *export != "" || *sim {
+			return fmt.Errorf("-export and -simulate run locally and cannot be combined with -server")
+		}
+		return planViaServer(ctx, out, *serverURL, *modelFlag, net, cfg, *objective, server.PlanRequest{
+			Homogeneous:     *hom,
+			DisablePrefetch: *noPrefetch,
+			InterLayerReuse: *interlayer,
+			Strict:          *strict,
+		})
+	}
+
 	plan, err := scratchmem.PlanModelCtx(ctx, net, scratchmem.PlanOptions{
 		Config:          cfg,
 		Objective:       obj,
 		Homogeneous:     *hom,
 		DisablePrefetch: *noPrefetch,
 		InterLayerReuse: *interlayer,
+		Strict:          *strict,
 	}, nil)
 	if err != nil {
 		return err
@@ -150,6 +170,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			prog.Ops(), encodedOps(prog), *export)
 	}
 	return nil
+}
+
+// planViaServer sends the request to a running smm-serve and prints the
+// server's canonical JSON plan document verbatim (byte-identical to what
+// -json prints for a local plan). A builtin model travels by name; a model
+// loaded from a file travels inline, so the server needs no access to the
+// local filesystem. The client retries shed and faulted requests with
+// backoff, honouring Retry-After and the command's signal context.
+func planViaServer(ctx context.Context, out io.Writer, url, modelArg string, net *scratchmem.Network, cfg scratchmem.Config, objective string, req server.PlanRequest) error {
+	doc := scratchmem.NewConfigDoc(cfg)
+	req.Config = &doc
+	req.Objective = objective
+	if _, err := os.Stat(modelArg); err == nil {
+		var buf bytes.Buffer
+		if err := net.WriteJSON(&buf); err != nil {
+			return err
+		}
+		req.Network = json.RawMessage(buf.Bytes())
+	} else {
+		req.Model = modelArg
+	}
+	body, err := client.New(url).PlanRaw(ctx, req)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(body)
+	return err
 }
 
 func encodedOps(p *program.Program) int {

@@ -168,3 +168,83 @@ func TestRunSimulate(t *testing.T) {
 		t.Error("missing simulation line")
 	}
 }
+
+// TestRunServerMode: -server prints the remote plan document byte-identical
+// to what a local -json run emits for the same request.
+func TestRunServerMode(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	var local strings.Builder
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32", "-json"}, &local); err != nil {
+		t.Fatal(err)
+	}
+	var remote strings.Builder
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32", "-server", ts.URL}, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Errorf("-server output differs from local -json:\nlocal:\n%s\nremote:\n%s", local.String(), remote.String())
+	}
+}
+
+// TestRunServerModeModelFile: a model loaded from disk travels inline, so
+// the server plans networks it has never heard of.
+func TestRunServerModeModelFile(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	net, err := scratchmem.BuiltinModel("TinyCNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "custom.json")
+	if err := scratchmem.SaveModel(net, path); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-model", path, "-glb", "32", "-server", ts.URL}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc scratchmem.PlanDoc
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("remote output is not a plan document: %v", err)
+	}
+	if doc.Model != "TinyCNN" || len(doc.Layers) == 0 {
+		t.Errorf("unexpected remote plan: model=%q layers=%d", doc.Model, len(doc.Layers))
+	}
+}
+
+// TestRunServerModeErrors: -strict surfaces the remote 422, and flags that
+// only make sense locally are rejected up front.
+func TestRunServerModeErrors(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	var sb strings.Builder
+	err := run(context.Background(), []string{"-model", "ResNet18", "-glb", "1", "-strict", "-server", ts.URL}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "422") {
+		t.Errorf("strict remote plan err = %v, want the 422", err)
+	}
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32", "-server", ts.URL, "-simulate"}, &sb); err == nil {
+		t.Error("-server -simulate accepted")
+	}
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32", "-server", ts.URL, "-export", "x.json"}, &sb); err == nil {
+		t.Error("-server -export accepted")
+	}
+}
+
+// TestRunStrictLocal: without -strict an impossible GLB degrades instead of
+// failing; with it the historical error returns.
+func TestRunStrictLocal(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-model", "ResNet18", "-glb", "1", "-json"}, &sb); err != nil {
+		t.Fatalf("non-strict impossible plan: %v", err)
+	}
+	if !strings.Contains(sb.String(), `"degraded": true`) {
+		t.Error("degraded document missing its marker")
+	}
+	if err := run(context.Background(), []string{"-model", "ResNet18", "-glb", "1", "-strict"}, &sb); err == nil {
+		t.Error("-strict impossible plan succeeded")
+	}
+}

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	smm-serve -addr :8080 -workers 8 -cache 512 -timeout 30s
+//	smm-serve -addr :8080 -workers 8 -cache 512 -timeout 30s -queue 64
+//	smm-serve -faults "seed=42;server.plan=error:0.1"   (chaos testing; also $SMM_FAULTS)
 //
 // Endpoints:
 //
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"scratchmem/internal/cli"
+	"scratchmem/internal/faultinject"
 	"scratchmem/internal/server"
 )
 
@@ -48,27 +50,46 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("smm-serve", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		workers = fs.Int("workers", 0, "max concurrent planner/simulator executions (0 = GOMAXPROCS)")
-		cache   = fs.Int("cache", server.DefaultCacheEntries, "plan-cache capacity in entries (negative disables storage)")
-		timeout = fs.Duration("timeout", server.DefaultTimeout, "per-request deadline")
-		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "max concurrent planner/simulator executions (0 = GOMAXPROCS)")
+		cache        = fs.Int("cache", server.DefaultCacheEntries, "plan-cache capacity in entries (negative disables storage)")
+		timeout      = fs.Duration("timeout", server.DefaultTimeout, "per-request deadline")
+		drain        = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		queue        = fs.Int("queue", server.DefaultQueueDepth, "max requests waiting for a worker before shedding with 503 (negative = unbounded)")
+		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "max time to read a full request, 0 disables")
+		writeTimeout = fs.Duration("write-timeout", 0, "max time to write a response (0 = request timeout + 5s headroom)")
+		idleTimeout  = fs.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout, 0 disables")
+		faults       = fs.String("faults", os.Getenv("SMM_FAULTS"),
+			`arm fault injection for chaos testing, e.g. "seed=42;server.plan=error:0.1;core.layer=latency:0.05:2ms" (default $SMM_FAULTS)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *faults != "" {
+		if err := faultinject.EnableSpec(*faults); err != nil {
+			return err
+		}
+		defer faultinject.Disable()
+		fmt.Fprintf(out, "smm-serve: FAULT INJECTION ARMED (%s) — not for production\n", *faults)
 	}
 
 	srv := server.New(server.Config{
 		Workers:      *workers,
 		CacheEntries: *cache,
 		Timeout:      *timeout,
+		QueueDepth:   *queue,
 	})
+	if *writeTimeout == 0 {
+		// The handlers enforce their own deadline; give writes headroom
+		// beyond it so a slow client cannot truncate a computed response.
+		*writeTimeout = *timeout + 5*time.Second
+	}
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
-		// The handlers enforce their own deadline; give writes headroom
-		// beyond it so a slow client cannot truncate a computed response.
-		WriteTimeout: *timeout + 5*time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"scratchmem/internal/faultinject"
 )
 
 // syncBuffer is a goroutine-safe writer so the test can poll run's output
@@ -113,5 +115,68 @@ func TestServeBadFlags(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-addr", "256.0.0.1:99999"}, out); err == nil {
 		t.Error("unlistenable address accepted")
+	}
+}
+
+// TestServeFaultsFlag: -faults arms the injection registry for the server's
+// lifetime (every plan fails retryably here, p=1) and disarms it on exit.
+func TestServeFaultsFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-faults", "seed=1;server.plan=error:1"}, out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "FAULT INJECTION ARMED") {
+		t.Error("armed server did not announce the faults")
+	}
+
+	resp, err := http.Post(base+"/v1/plan", "application/json",
+		strings.NewReader(`{"model": "TinyCNN", "glb_kb": 32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("injected plan: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("injected 503 missing Retry-After")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if faultinject.Enabled() {
+		t.Error("faults still armed after run returned")
+	}
+}
+
+// TestServeFaultsBadSpec: a malformed spec refuses to start the server.
+func TestServeFaultsBadSpec(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run(context.Background(), []string{"-faults", "nonsense"}, out); err == nil {
+		t.Error("malformed fault spec accepted")
 	}
 }

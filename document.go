@@ -86,6 +86,18 @@ type PlanDoc struct {
 	InterLayerCoverage   float64        `json:"interlayer_coverage"`
 	ChainableTransitions int            `json:"chainable_transitions"`
 	Feasible             bool           `json:"feasible"`
+	// Degraded fields are present only when the requested policy set was
+	// infeasible and the plan comes from the degradation ladder; feasible
+	// requests render byte-identically to documents that predate them.
+	Degraded        bool                `json:"degraded,omitempty"`
+	DegradedMode    string              `json:"degraded_mode,omitempty"`
+	DegradedReasons []DegradedReasonDoc `json:"degraded_reasons,omitempty"`
+}
+
+// DegradedReasonDoc is one failed ladder rung in a PlanDoc's reason chain.
+type DegradedReasonDoc struct {
+	Mode  string `json:"mode"`
+	Error string `json:"error"`
 }
 
 // PlanDocument converts a Plan into its document form.
@@ -107,6 +119,11 @@ func PlanDocument(p *Plan) *PlanDoc {
 		InterLayerCoverage:   p.InterLayerCoverage(),
 		ChainableTransitions: p.ChainableTransitions,
 		Feasible:             p.Feasible(),
+		Degraded:             p.Degraded,
+		DegradedMode:         p.DegradedMode,
+	}
+	for _, r := range p.DegradedReasons {
+		doc.DegradedReasons = append(doc.DegradedReasons, DegradedReasonDoc{Mode: r.Mode, Error: r.Err})
 	}
 	for i := range p.Layers {
 		lp := &p.Layers[i]

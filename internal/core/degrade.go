@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+
+	"scratchmem/internal/faultinject"
+	"scratchmem/internal/model"
+	"scratchmem/internal/policy"
+	"scratchmem/internal/progress"
+	"scratchmem/internal/smmerr"
+)
+
+// The degradation ladder (scratchmem.PlanModelCtx) retries an infeasible
+// request through progressively more conservative planners. Each rung is
+// named so the reason chain and the PlanDoc stay machine-readable.
+const (
+	// DegradedPrefetchRelaxed re-plans with the "+p" variants removed:
+	// prefetch double-buffers every tile (paper Eq. 2), so dropping it
+	// halves the working set of each candidate.
+	DegradedPrefetchRelaxed = "prefetch-relaxed"
+	// DegradedMinimalTiling re-plans with only the smallest-footprint
+	// schedules: P4/P5 pinned to a single-filter block and fallback tiling,
+	// all without prefetch.
+	DegradedMinimalTiling = "minimal-tiling"
+	// DegradedBaseline is the last rung: every layer runs fallback tiling —
+	// the analogue of SCALE-Sim's statically split, double-buffered
+	// scratchpad. It never reports infeasibility.
+	DegradedBaseline = "baseline-fallback"
+)
+
+// DegradedReason records one failed rung of the degradation ladder.
+type DegradedReason struct {
+	// Mode is the rung that failed: "requested" for the original request,
+	// otherwise one of the Degraded* mode names.
+	Mode string
+	// Err is the rung's failure rendered as text.
+	Err string
+}
+
+// MarkDegraded stamps p as the product of the given ladder rung, carrying
+// the chain of failures that preceded it.
+func (p *Plan) MarkDegraded(mode string, reasons []DegradedReason) {
+	p.Degraded = true
+	p.DegradedMode = mode
+	p.DegradedReasons = reasons
+}
+
+// MinimalFootprintCtx plans every layer using only the smallest-footprint
+// schedules: policies 4 and 5 pinned to a single-filter block (n=1) and
+// fallback tiling, all without prefetch double-buffering. It is the
+// degradation ladder's penultimate rung — tighter than the requested policy
+// set, but still choosing the best of its three candidates per layer under
+// the configured objective.
+func (pl *Planner) MinimalFootprintCtx(ctx context.Context, n *model.Network, prog progress.Func) (*Plan, error) {
+	if err := pl.Cfg.Validate(); err != nil {
+		return nil, smmerr.BadModel(err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, smmerr.BadModel(err)
+	}
+	plan := &Plan{
+		Model: n.Name, Cfg: pl.Cfg, Objective: pl.Objective,
+		Scheme:               DegradedMinimalTiling,
+		ChainableTransitions: countChainable(n),
+	}
+	plan.Layers = make([]LayerPlan, len(n.Layers))
+	var accesses, cycles int64
+	for i := range n.Layers {
+		if err := layerGate(ctx); err != nil {
+			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
+		}
+		l := &n.Layers[i]
+		cands := []policy.Result{
+			policy.EstimateN(l, policy.P4PartialIfmap, policy.Options{}, pl.Cfg, 1),
+			policy.EstimateN(l, policy.P5PartialPerChannel, policy.Options{}, pl.Cfg, 1),
+			policy.FallbackEstimate(l, policy.Options{}, pl.Cfg),
+		}
+		var best policy.Result
+		found := false
+		for j := range cands {
+			if !cands[j].Feasible {
+				continue
+			}
+			if !found || better(pl.Objective, &cands[j], &best) {
+				best, found = cands[j], true
+			}
+		}
+		if !found {
+			return nil, smmerr.Layer(i, l.Name,
+				&smmerr.InfeasibleError{Model: n.Name, Layer: l.Name, Need: cands[2].MemoryBytes, Have: pl.Cfg.GLBBytes})
+		}
+		plan.Layers[i] = LayerPlan{Layer: *l, Est: best}
+		accesses += best.AccessElems
+		cycles += best.LatencyCycles
+		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: len(n.Layers), Name: l.Name,
+			AccessElems: accesses, LatencyCycles: cycles})
+	}
+	return plan, nil
+}
+
+// BaselineFallbackCtx emits the conservative last-resort plan: every layer
+// runs fallback tiling, double-buffered (prefetching) when that fits and
+// plain otherwise — the management-free scheme a statically split
+// double-buffered scratchpad would execute. It never reports
+// infeasibility: when even the plain sliding window exceeds the GLB the
+// layer keeps its over-capacity estimate, so the caller can read the exact
+// shortfall from the plan instead of receiving ErrInfeasible. It fails
+// only on cancellation, an invalid model, or an injected fault.
+func (pl *Planner) BaselineFallbackCtx(ctx context.Context, n *model.Network, prog progress.Func) (*Plan, error) {
+	if err := pl.Cfg.Validate(); err != nil {
+		return nil, smmerr.BadModel(err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, smmerr.BadModel(err)
+	}
+	plan := &Plan{
+		Model: n.Name, Cfg: pl.Cfg, Objective: pl.Objective,
+		Scheme:               DegradedBaseline,
+		ChainableTransitions: countChainable(n),
+	}
+	plan.Layers = make([]LayerPlan, len(n.Layers))
+	var accesses, cycles int64
+	for i := range n.Layers {
+		if err := layerGate(ctx); err != nil {
+			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
+		}
+		l := &n.Layers[i]
+		e := policy.FallbackEstimate(l, policy.Options{Prefetch: true}, pl.Cfg)
+		if !e.Feasible {
+			// Double-buffering is a latency optimisation; shed it under
+			// memory pressure (the plain estimate is never larger).
+			e = policy.FallbackEstimate(l, policy.Options{}, pl.Cfg)
+		}
+		plan.Layers[i] = LayerPlan{Layer: *l, Est: e}
+		accesses += e.AccessElems
+		cycles += e.LatencyCycles
+		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: len(n.Layers), Name: l.Name,
+			AccessElems: accesses, LatencyCycles: cycles})
+	}
+	return plan, nil
+}
+
+// layerGate is the per-layer check every planning loop runs: cancellation
+// first, then the "core.layer" fault-injection site (a no-op unless a chaos
+// run armed internal/faultinject).
+func layerGate(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return faultinject.Hit("core.layer")
+}

@@ -56,6 +56,14 @@ type Plan struct {
 	// ChainableTransitions counts layer transitions whose shapes chain
 	// (the denominator of the paper's inter-layer-reuse coverage).
 	ChainableTransitions int
+	// Degraded is true when the requested policy set was infeasible and the
+	// plan comes from a lower rung of the degradation ladder (degrade.go).
+	Degraded bool
+	// DegradedMode names the rung that produced a degraded plan.
+	DegradedMode string
+	// DegradedReasons records, in ladder order, every rung that failed
+	// before DegradedMode succeeded — the machine-readable reason chain.
+	DegradedReasons []DegradedReason
 }
 
 // AccessElems returns the plan's total off-chip traffic in elements.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"scratchmem/internal/faultinject"
 	"scratchmem/internal/model"
 	"scratchmem/internal/policy"
 	"scratchmem/internal/progress"
@@ -130,7 +131,7 @@ func (pl *Planner) independentLayers(ctx context.Context, n *model.Network, prog
 	out := make([]LayerPlan, len(n.Layers))
 	var accesses, cycles int64
 	for i := range n.Layers {
-		if err := ctx.Err(); err != nil {
+		if err := layerGate(ctx); err != nil {
 			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
 		}
 		e := pl.bestForLayer(n, i, false, false)
@@ -167,7 +168,7 @@ func (pl *Planner) interLayerDP(ctx context.Context, n *model.Network, prog prog
 	dp[0][1] = cell{prim: inf, sec: inf}
 
 	for i := 0; i < L; i++ {
-		if err := ctx.Err(); err != nil {
+		if err := layerGate(ctx); err != nil {
 			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
 		}
 		next := [2]cell{{prim: inf, sec: inf}, {prim: inf, sec: inf}}
@@ -260,7 +261,7 @@ func (pl *Planner) HomogeneousCtx(ctx context.Context, n *model.Network, id poli
 	}
 	var accesses, cycles int64
 	for i := range n.Layers {
-		if err := ctx.Err(); err != nil {
+		if err := layerGate(ctx); err != nil {
 			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
 		}
 		l := &n.Layers[i]
@@ -320,7 +321,10 @@ func (pl *Planner) BestHomogeneousCtx(ctx context.Context, n *model.Network, pro
 			}
 			p, err := pl.HomogeneousCtx(ctx, n, id, pf, prog)
 			if err != nil {
-				if smmerr.IsCanceled(err) {
+				// Cancellation and injected faults are transient, not a
+				// property of the variant: surface them instead of treating
+				// the variant as infeasible.
+				if smmerr.IsCanceled(err) || faultinject.IsInjected(err) {
 					return nil, err
 				}
 				if firstErr == nil {
@@ -366,7 +370,7 @@ func (pl *Planner) interLayerGreedy(ctx context.Context, n *model.Network, prog 
 	resident := false
 	var accesses, cycles int64
 	for i := 0; i < L; i++ {
-		if err := ctx.Err(); err != nil {
+		if err := layerGate(ctx); err != nil {
 			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
 		}
 		plain := pl.bestForLayer(n, i, resident, false)

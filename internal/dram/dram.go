@@ -9,6 +9,7 @@ package dram
 import (
 	"fmt"
 
+	"scratchmem/internal/faultinject"
 	"scratchmem/internal/trace"
 )
 
@@ -161,6 +162,9 @@ func Replay(log *trace.Log, widthBits int, cfg Config) (int64, *Channel, error) 
 	for _, e := range log.Events {
 		if e.Kind == trace.Compute {
 			continue
+		}
+		if err := faultinject.Hit("dram.access"); err != nil {
+			return 0, nil, fmt.Errorf("dram: replay aborted: %w", err)
 		}
 		bytes := (e.Elems*int64(widthBits) + 7) / 8
 		total += ch.Access(cursors[e.Kind], bytes)

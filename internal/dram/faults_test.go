@@ -1,0 +1,33 @@
+package dram
+
+import (
+	"testing"
+
+	"scratchmem/internal/faultinject"
+	"scratchmem/internal/trace"
+)
+
+// TestReplayInjectedFault: an armed dram.access site aborts the replay
+// with a classifiable injected error, and disarming it heals the channel —
+// the same log replays cleanly afterwards.
+func TestReplayInjectedFault(t *testing.T) {
+	var log trace.Log
+	log.Add("l", 0, trace.LoadIfmap, 256)
+	log.Add("l", 0, trace.Compute, 100)
+	log.Add("l", 0, trace.StoreOfmap, 256)
+
+	faultinject.Enable(7, faultinject.Fault{Site: "dram.access", Kind: faultinject.KindError, P: 1})
+	cycles, ch, err := Replay(&log, 8, Default())
+	faultinject.Disable()
+	if !faultinject.IsInjected(err) {
+		t.Fatalf("err = %v, want an injected fault", err)
+	}
+	if cycles != 0 || ch != nil {
+		t.Errorf("aborted replay returned (%d, %v), want (0, nil)", cycles, ch)
+	}
+
+	cycles, _, err = Replay(&log, 8, Default())
+	if err != nil || cycles <= 0 {
+		t.Errorf("post-fault replay = (%d, %v), want positive cycles and no error", cycles, err)
+	}
+}

@@ -1,0 +1,152 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() after Disable()")
+	}
+	if err := Hit("any.site"); err != nil {
+		t.Fatalf("Hit on disabled registry: %v", err)
+	}
+	if len(Stats()) != 0 {
+		t.Error("stats recorded while disabled")
+	}
+}
+
+func TestErrorFaultFiresDeterministically(t *testing.T) {
+	defer Disable()
+	Enable(1, Fault{Site: "s", Kind: KindError, P: 0.5})
+	var first []bool
+	for i := 0; i < 64; i++ {
+		first = append(first, Hit("s") != nil)
+	}
+	Enable(1, Fault{Site: "s", Kind: KindError, P: 0.5})
+	for i := 0; i < 64; i++ {
+		if got := Hit("s") != nil; got != first[i] {
+			t.Fatalf("hit %d: replay diverged (got %v, want %v)", i, got, first[i])
+		}
+	}
+	fired := 0
+	for _, f := range first {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 64 {
+		t.Errorf("p=0.5 fired %d/64 times", fired)
+	}
+}
+
+func TestInjectedErrorClassifies(t *testing.T) {
+	defer Disable()
+	Enable(7, Fault{Site: "s", Kind: KindError, P: 1})
+	err := Hit("s")
+	if !IsInjected(err) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error not classified: %v", err)
+	}
+	if IsInjected(errors.New("real failure")) {
+		t.Error("ordinary error classified as injected")
+	}
+	st := Stats()["s"]
+	if st.Hits != 1 || st.Injected != 1 {
+		t.Errorf("stats = %+v, want 1/1", st)
+	}
+}
+
+func TestUnregisteredSitePasses(t *testing.T) {
+	defer Disable()
+	Enable(7, Fault{Site: "s", Kind: KindError, P: 1})
+	if err := Hit("other.site"); err != nil {
+		t.Fatalf("unregistered site injected: %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	defer Disable()
+	Enable(7, Fault{Site: "p", Kind: KindPanic, P: 1})
+	defer func() {
+		rec := recover()
+		pv, ok := rec.(*PanicValue)
+		if !ok || pv.Site != "p" {
+			t.Errorf("recovered %v, want *PanicValue{Site: p}", rec)
+		}
+	}()
+	Hit("p")
+	t.Fatal("panic fault did not panic")
+}
+
+func TestLatencyFaultSleepsAndComposes(t *testing.T) {
+	defer Disable()
+	Enable(7,
+		Fault{Site: "l", Kind: KindLatency, P: 1, Delay: 10 * time.Millisecond},
+		Fault{Site: "l", Kind: KindError, P: 1})
+	start := time.Now()
+	err := Hit("l")
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("latency fault slept %v, want >= 10ms", d)
+	}
+	if !IsInjected(err) {
+		t.Errorf("latency did not compose with the error fault: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	seed, faults, err := ParseSpec("seed=42; core.layer=error:0.1 ;server.plan=latency:0.5:5ms;plancache.flight=panic:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 42 {
+		t.Errorf("seed = %d", seed)
+	}
+	want := []Fault{
+		{Site: "core.layer", Kind: KindError, P: 0.1},
+		{Site: "server.plan", Kind: KindLatency, P: 0.5, Delay: 5 * time.Millisecond},
+		{Site: "plancache.flight", Kind: KindPanic, P: 1},
+	}
+	if len(faults) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(faults), len(want))
+	}
+	for i := range want {
+		if faults[i] != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, faults[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{
+		"nonsense",
+		"s=weird:0.5",
+		"s=error:2",
+		"s=error:x",
+		"s=latency:0.5",      // missing delay
+		"s=error:0.5:5ms",    // delay on a non-latency fault
+		"s=latency:0.5:-5ms", // negative delay
+		"seed=notanumber",
+	} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+
+	// Empty specs configure nothing.
+	if err := EnableSpec("  "); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Error("empty spec enabled the registry")
+	}
+}
+
+func BenchmarkHitDisabled(b *testing.B) {
+	Disable()
+	for i := 0; i < b.N; i++ {
+		if err := Hit("core.layer"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,28 +2,61 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"runtime"
+	"sync/atomic"
 )
+
+// ErrShed reports that a semaphore refused to queue an Acquire because its
+// wait-queue bound was reached. Admission control: a caller past the bound
+// learns immediately that the system is saturated (and can retry later)
+// instead of camping on the queue until its deadline expires.
+var ErrShed = errors.New("parallel: wait queue full, request shed")
 
 // Semaphore is a counting semaphore with the same channel-of-tokens shape
 // as ForEach's worker pool, made context-aware so a server can bound
-// in-flight work without stranding requests past their deadline.
+// in-flight work without stranding requests past their deadline. An
+// optional wait-queue bound (NewQueuedSemaphore) turns it into an admission
+// controller: Acquires past the bound fail fast with ErrShed.
 type Semaphore struct {
-	slots chan struct{}
+	slots   chan struct{}
+	queue   int // max waiting Acquires; < 0 means unbounded
+	waiting atomic.Int64
 }
 
 // NewSemaphore returns a semaphore admitting up to n concurrent holders
-// (GOMAXPROCS when n <= 0).
+// (GOMAXPROCS when n <= 0) with an unbounded wait queue.
 func NewSemaphore(n int) *Semaphore {
+	return NewQueuedSemaphore(n, -1)
+}
+
+// NewQueuedSemaphore returns a semaphore admitting up to n concurrent
+// holders (GOMAXPROCS when n <= 0) and at most queue waiting Acquires;
+// once the queue is full further Acquires return ErrShed immediately.
+// queue < 0 leaves waiting unbounded; queue 0 disables waiting entirely
+// (Acquire degenerates to TryAcquire-or-shed).
+func NewQueuedSemaphore(n, queue int) *Semaphore {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return &Semaphore{slots: make(chan struct{}, n)}
+	return &Semaphore{slots: make(chan struct{}, n), queue: queue}
 }
 
-// Acquire blocks until a slot is free or ctx is done, returning ctx.Err()
-// in the latter case.
+// Acquire takes a free slot immediately when one exists; otherwise it joins
+// the wait queue — shedding with ErrShed if the queue bound is reached —
+// and blocks until a slot frees or ctx is done, returning ctx.Err() in the
+// latter case.
 func (s *Semaphore) Acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if w := s.waiting.Add(1); s.queue >= 0 && w > int64(s.queue) {
+		s.waiting.Add(-1)
+		return ErrShed
+	}
+	defer s.waiting.Add(-1)
 	select {
 	case s.slots <- struct{}{}:
 		return nil
@@ -57,3 +90,7 @@ func (s *Semaphore) Cap() int { return cap(s.slots) }
 // InUse returns the number of currently-held slots (a racy snapshot, for
 // metrics only).
 func (s *Semaphore) InUse() int { return len(s.slots) }
+
+// Waiting returns the number of Acquires blocked on the queue (a racy
+// snapshot, for metrics only).
+func (s *Semaphore) Waiting() int { return int(s.waiting.Load()) }

@@ -1,0 +1,57 @@
+package plancache
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"scratchmem/internal/faultinject"
+)
+
+// TestFlightFaultNeverCached pins the resilience invariant the chaos suite
+// leans on: an injected fault at the plancache.flight site fails the call
+// with a classifiable error and leaves no entry behind, so the next caller
+// recomputes instead of being served a fault-tainted value.
+func TestFlightFaultNeverCached(t *testing.T) {
+	faultinject.Enable(1, faultinject.Fault{Site: "plancache.flight", Kind: faultinject.KindError, P: 1})
+	defer faultinject.Disable()
+
+	c := New(4)
+	ran := false
+	_, _, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { ran = true; return "tainted", nil })
+	if !faultinject.IsInjected(err) {
+		t.Fatalf("err = %v, want an injected fault", err)
+	}
+	if ran {
+		t.Error("computation ran despite the injected flight fault")
+	}
+	if c.Len() != 0 {
+		t.Fatal("injected failure left an entry in the cache")
+	}
+
+	// Healed: the same key recomputes cleanly and only then is stored.
+	faultinject.Disable()
+	v, shared, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { return "clean", nil })
+	if err != nil || v != "clean" || shared {
+		t.Fatalf("post-fault Do = (%v, %v, %v), want (clean, false, nil)", v, shared, err)
+	}
+	if c.Len() != 1 {
+		t.Error("clean recomputation was not cached")
+	}
+}
+
+// TestFlightPanicFaultNeverCached: injected panics take the flight's
+// recover path — surfaced as ErrPanic, never stored, process intact.
+func TestFlightPanicFaultNeverCached(t *testing.T) {
+	faultinject.Enable(1, faultinject.Fault{Site: "plancache.flight", Kind: faultinject.KindPanic, P: 1})
+	defer faultinject.Disable()
+
+	c := New(4)
+	_, _, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { return "tainted", nil })
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	if c.Len() != 0 {
+		t.Error("injected panic left an entry in the cache")
+	}
+}

@@ -10,9 +10,18 @@ package plancache
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+
+	"scratchmem/internal/faultinject"
 )
+
+// ErrPanic marks flight computations that panicked: the panic is recovered
+// on the flight goroutine (so it cannot kill the process) and surfaced to
+// every waiter as an error wrapping this sentinel. Panicking computations
+// are never cached.
+var ErrPanic = errors.New("plancache: panic computing")
 
 // Stats is a snapshot of the cache counters.
 type Stats struct {
@@ -129,7 +138,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				cl.err = fmt.Errorf("plancache: panic computing %s: %v", key, r)
+				cl.err = fmt.Errorf("%w %s: %v", ErrPanic, key, r)
 				cl.val = nil
 			}
 			cancel()
@@ -145,6 +154,10 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 			c.mu.Unlock()
 			close(cl.done)
 		}()
+		if err := faultinject.Hit("plancache.flight"); err != nil {
+			cl.err = err
+			return
+		}
 		cl.val, cl.err = fn(callCtx)
 	}()
 

@@ -94,8 +94,8 @@ func TestDoErrorNotCached(t *testing.T) {
 func TestDoPanicBecomesError(t *testing.T) {
 	c := New(4)
 	_, _, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { panic("kaboom") })
-	if err == nil || c.Len() != 0 {
-		t.Fatalf("panic: err = %v, entries = %d; want error and no entry", err, c.Len())
+	if !errors.Is(err, ErrPanic) || c.Len() != 0 {
+		t.Fatalf("panic: err = %v, entries = %d; want ErrPanic and no entry", err, c.Len())
 	}
 }
 

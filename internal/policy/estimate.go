@@ -151,6 +151,21 @@ func Estimate(l *layer.Layer, id ID, o Options, cfg Config) Result {
 	return estimateWithN(l, id, o, cfg, s, n)
 }
 
+// EstimateN is Estimate with the filter-block size forced to n instead of
+// auto-selected (P4/P5 only; other policies have no block size and ignore
+// n). The degradation ladder uses n=1 to probe the smallest-footprint
+// partial-reuse schedules when the auto-selected block does not fit.
+func EstimateN(l *layer.Layer, id ID, o Options, cfg Config, n int64) Result {
+	s := newShape(l, cfg.IncludePadding)
+	switch {
+	case id != P4PartialIfmap && id != P5PartialPerChannel:
+		n = 0
+	case s.depthwise || n < 1:
+		n = 1
+	}
+	return estimateWithN(l, id, o, cfg, s, n)
+}
+
 // bestBlockSize returns the largest n in [1, F#) (F# for depth-wise or
 // single-filter layers) whose memory requirement fits the GLB; 1 if none
 // fits (the estimate will be infeasible); and 0 for policies without a

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a consecutive-panic circuit breaker for one compute route.
+// A handler panic is a bug (or an injected chaos fault), and a panicking
+// route burns a worker slot and a full request round-trip per attempt, so
+// after threshold consecutive panics the breaker opens: requests fast-fail
+// with 503 + Retry-After without touching the planner. After cooldown one
+// half-open probe is admitted — its success closes the breaker, another
+// panic reopens it for a fresh cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test seam; time.Now in production
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int       // panics since the last success
+	openedAt    time.Time // when state last became open
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// newBreaker returns a breaker, or nil (always-allow) when threshold < 0.
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 0 {
+		return nil
+	}
+	if threshold == 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may proceed. Open, it fast-fails until
+// the cooldown elapses, then admits exactly one probe (half-open); further
+// requests keep failing fast while the probe is in flight.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	case breakerHalfOpen:
+		return false
+	default:
+		return true
+	}
+}
+
+// success records a request that completed without panicking, closing the
+// breaker and resetting the consecutive-panic count.
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.mu.Unlock()
+}
+
+// failure records a handler panic. The breaker opens when the count
+// reaches the threshold, or immediately when a half-open probe panics.
+func (b *breaker) failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive++
+	if b.state == breakerHalfOpen || b.consecutive >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+	b.mu.Unlock()
+}

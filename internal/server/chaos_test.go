@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scratchmem/internal/faultinject"
+)
+
+// chaosRequests are the workloads the chaos suite replays: several plan
+// keys (no single-flight coalescing hides faults), a simulation and a DSE.
+// All on TinyCNN so hundreds of executions stay cheap.
+var chaosRequests = []struct{ path, body string }{
+	{"/v1/plan", `{"model": "TinyCNN", "glb_kb": 32}`},
+	{"/v1/plan", `{"model": "TinyCNN", "glb_kb": 16}`},
+	{"/v1/plan", `{"model": "TinyCNN", "glb_kb": 8}`},
+	{"/v1/simulate", `{"model": "TinyCNN", "glb_kb": 32}`},
+	{"/v1/dse", `{"model": "TinyCNN", "glb_kb": 32}`},
+}
+
+// chaosResult is one request's outcome, gathered off the test goroutine.
+type chaosResult struct {
+	idx        int
+	code       int
+	body       []byte
+	retryAfter string
+	err        error
+}
+
+// chaosPost is post without *testing.T: the chaos suite fires requests from
+// many goroutines, where t.Fatal is not allowed.
+func chaosPost(url string, req int) chaosResult {
+	resp, err := http.Post(url+chaosRequests[req].path, "application/json",
+		strings.NewReader(chaosRequests[req].body))
+	if err != nil {
+		return chaosResult{idx: req, err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return chaosResult{idx: req, code: resp.StatusCode, body: b,
+		retryAfter: resp.Header.Get("Retry-After"), err: err}
+}
+
+// cleanBaseline computes each chaos request's fault-free response on a
+// pristine server, as the byte-exact truth the chaos runs are checked
+// against.
+func cleanBaseline(t *testing.T) [][]byte {
+	t.Helper()
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	clean := make([][]byte, len(chaosRequests))
+	for i, req := range chaosRequests {
+		resp, body := post(t, ts, req.path, req.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("clean %s: status %d (%s)", req.path, resp.StatusCode, body)
+		}
+		clean[i] = body
+	}
+	return clean
+}
+
+// runChaos floods a fresh server with rounds×len(chaosRequests) concurrent
+// requests while the given faults are armed, then verifies the resilience
+// invariants: every status is in allowed, every 503 advertises Retry-After,
+// every 200 body is byte-identical to the fault-free truth (the cache never
+// served a fault-tainted entry), every worker slot drains, and once the
+// faults are disarmed the server answers every request cleanly again.
+func runChaos(t *testing.T, seed int64, faults []faultinject.Fault, allowed map[int]bool, clean [][]byte) {
+	t.Helper()
+	srv := New(Config{BreakerThreshold: -1}) // breakers have their own test
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	faultinject.Enable(seed, faults...)
+	defer faultinject.Disable()
+
+	const rounds = 8
+	results := make(chan chaosResult, rounds*len(chaosRequests))
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for i := range chaosRequests {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results <- chaosPost(ts.URL, i)
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	codes := map[int]int{}
+	for res := range results {
+		if res.err != nil {
+			t.Fatalf("%s: transport error: %v", chaosRequests[res.idx].path, res.err)
+		}
+		codes[res.code]++
+		if !allowed[res.code] {
+			t.Errorf("%s: unclassified status %d (%s)", chaosRequests[res.idx].path, res.code, res.body)
+		}
+		switch res.code {
+		case http.StatusOK:
+			if !bytes.Equal(res.body, clean[res.idx]) {
+				t.Errorf("%s: 200 body diverged from fault-free truth:\ngot:  %s\nwant: %s",
+					chaosRequests[res.idx].path, res.body, clean[res.idx])
+			}
+		case http.StatusServiceUnavailable:
+			if res.retryAfter == "" {
+				t.Errorf("%s: 503 without Retry-After", chaosRequests[res.idx].path)
+			}
+		}
+	}
+	t.Logf("status distribution over %d requests: %v", rounds*len(chaosRequests), codes)
+
+	// Every worker slot must drain (abandoned flights may briefly outlive
+	// their last waiter, so poll rather than assert instantly).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.sem.InUse() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d worker slots leaked after the chaos run", srv.sem.InUse())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Disarmed, the server heals completely: every request — cached or
+	// recomputed — returns the fault-free body.
+	faultinject.Disable()
+	for i, req := range chaosRequests {
+		resp, body := post(t, ts, req.path, req.body)
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(body, clean[i]) {
+			t.Errorf("healed %s: status %d, body clean=%v", req.path, resp.StatusCode, bytes.Equal(body, clean[i]))
+		}
+	}
+}
+
+// TestChaosTransientFaults: error and latency faults at every seam. Only
+// classified statuses may appear — 200 (clean result) or 503 (retryable,
+// with Retry-After); never a bare 500.
+func TestChaosTransientFaults(t *testing.T) {
+	clean := cleanBaseline(t)
+	faults := []faultinject.Fault{
+		{Site: "server.plan", Kind: faultinject.KindError, P: 0.4},
+		{Site: "server.simulate", Kind: faultinject.KindError, P: 0.4},
+		{Site: "plancache.flight", Kind: faultinject.KindLatency, P: 0.5, Delay: time.Millisecond},
+		{Site: "plancache.flight", Kind: faultinject.KindError, P: 0.25},
+		{Site: "core.layer", Kind: faultinject.KindError, P: 0.1},
+	}
+	allowed := map[int]bool{
+		http.StatusOK:                 true,
+		http.StatusServiceUnavailable: true, // injected fault or shed queue
+		http.StatusGatewayTimeout:     true, // latency past the deadline
+	}
+	runChaos(t, 42, faults, allowed, clean)
+}
+
+// TestChaosPanicFaults: injected panics are the one legitimate source of
+// 500s; they are recovered (flight goroutine or handler), never cached, and
+// never take the process down.
+func TestChaosPanicFaults(t *testing.T) {
+	clean := cleanBaseline(t)
+	faults := []faultinject.Fault{
+		{Site: "server.plan", Kind: faultinject.KindPanic, P: 0.4},
+		{Site: "plancache.flight", Kind: faultinject.KindPanic, P: 0.25},
+		{Site: "server.simulate", Kind: faultinject.KindPanic, P: 0.4},
+	}
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusInternalServerError: true, // recovered injected panic
+		http.StatusServiceUnavailable:  true,
+		http.StatusGatewayTimeout:      true,
+	}
+	runChaos(t, 7, faults, allowed, clean)
+}

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	scratchmem "scratchmem"
+	"scratchmem/internal/faultinject"
 	"scratchmem/internal/model"
+	"scratchmem/internal/parallel"
 	"scratchmem/internal/smmerr"
 )
 
@@ -31,6 +33,9 @@ type PlanRequest struct {
 	Homogeneous     bool                  `json:"homogeneous,omitempty"`
 	DisablePrefetch bool                  `json:"disable_prefetch,omitempty"`
 	InterLayerReuse bool                  `json:"interlayer,omitempty"`
+	// Strict disables the degradation ladder: an infeasible request gets
+	// the historical 422 instead of a 200 with a degraded fallback plan.
+	Strict bool `json:"strict,omitempty"`
 }
 
 // SimulateRequest selects plan simulation (default) or, with Baseline set,
@@ -126,6 +131,7 @@ func (pr *PlanRequest) resolve() (*scratchmem.Network, scratchmem.PlanOptions, e
 	opts.Homogeneous = pr.Homogeneous
 	opts.DisablePrefetch = pr.DisablePrefetch
 	opts.InterLayerReuse = pr.InterLayerReuse
+	opts.Strict = pr.Strict
 	return net, opts, nil
 }
 
@@ -166,12 +172,31 @@ func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 // "they hung up".
 const statusClientClosedRequest = 499
 
+// shedRetryAfterSeconds is the Retry-After hint on every 503: both shed
+// (queue full) and circuit-open responses clear quickly, so clients should
+// come back almost immediately rather than waiting a whole backoff tier.
+const shedRetryAfterSeconds = "1"
+
+// writeShed emits the 503 + Retry-After envelope for load shedding and
+// open circuit breakers.
+func (s *Server) writeShed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", shedRetryAfterSeconds)
+	s.writeError(w, http.StatusServiceUnavailable, msg)
+}
+
 // fail maps an error from resolving or computing to an HTTP status. The
 // dispatch is purely on the typed taxonomy (errors.Is/As through however
 // many LayerError wrappers), never on message text.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	var infeasible *scratchmem.InfeasibleError
 	switch {
+	case errors.Is(err, parallel.ErrShed):
+		s.met.shedRequest()
+		s.writeShed(w, "worker queue full, retry later")
+	case faultinject.IsInjected(err):
+		// Injected faults model transient internal failures: advertise
+		// them as retryable 503s, never as bare 500s.
+		s.writeShed(w, err.Error())
 	case errors.Is(err, scratchmem.ErrBadModel):
 		s.writeError(w, http.StatusBadRequest, err.Error())
 	case errors.As(err, &infeasible), errors.Is(err, scratchmem.ErrInfeasible):
@@ -215,6 +240,9 @@ func (s *Server) planned(ctx context.Context, key string, net *scratchmem.Networ
 		s.met.observePlanner(time.Since(start))
 		if err != nil {
 			return nil, err
+		}
+		if p.Degraded {
+			s.met.degradedPlan()
 		}
 		body, err := scratchmem.PlanDocument(p).MarshalIndent()
 		if err != nil {
@@ -283,6 +311,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	entry, _, err := s.planned(ctx, key, net, opts)
 	if err != nil {
 		s.fail(w, err)
+		return
+	}
+	if !entry.plan.Feasible() {
+		// A degraded baseline plan can exceed the GLB (it reports the
+		// shortfall honestly); the executor would reject its schedule, so
+		// classify here instead of surfacing an opaque engine error.
+		s.fail(w, fmt.Errorf("plan for %s needs %d bytes of GLB but only %d are available, cannot simulate: %w",
+			net.Name, entry.plan.MaxMemoryBytes(), entry.plan.Cfg.GLBBytes, scratchmem.ErrInfeasible))
 		return
 	}
 	v, shared, err := s.cache.Do(ctx, "sim:"+key, func(ctx context.Context) (any, error) {

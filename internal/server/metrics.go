@@ -19,6 +19,10 @@ type metrics struct {
 	requests map[string]*atomic.Int64 // per route, fixed key set at init
 	errors   map[int]*atomic.Int64    // per status code class (4xx/5xx) and 504
 
+	shed        atomic.Int64 // requests shed by the worker-queue bound
+	degraded    atomic.Int64 // plans produced by the degradation ladder
+	breakerOpen atomic.Int64 // requests fast-failed by an open breaker
+
 	plannerBucket []atomic.Int64 // one per bucket, +Inf overflow last
 	plannerCount  atomic.Int64
 	plannerNanos  atomic.Int64
@@ -27,7 +31,7 @@ type metrics struct {
 func newMetrics(routes []string) *metrics {
 	m := &metrics{
 		requests:      make(map[string]*atomic.Int64, len(routes)),
-		errors:        map[int]*atomic.Int64{400: {}, 422: {}, 499: {}, 500: {}, 504: {}},
+		errors:        map[int]*atomic.Int64{400: {}, 422: {}, 499: {}, 500: {}, 503: {}, 504: {}},
 		plannerBucket: make([]atomic.Int64, len(plannerBuckets)+1),
 	}
 	for _, r := range routes {
@@ -47,6 +51,15 @@ func (m *metrics) error(code int) {
 		c.Add(1)
 	}
 }
+
+// shedRequest counts one request rejected by the worker-queue bound.
+func (m *metrics) shedRequest() { m.shed.Add(1) }
+
+// degradedPlan counts one plan produced by the degradation ladder.
+func (m *metrics) degradedPlan() { m.degraded.Add(1) }
+
+// breakerOpened counts one request fast-failed by an open circuit breaker.
+func (m *metrics) breakerOpened() { m.breakerOpen.Add(1) }
 
 // observePlanner records one planner execution's wall time.
 func (m *metrics) observePlanner(d time.Duration) {
@@ -75,6 +88,9 @@ func (m *metrics) write(w io.Writer, cs plancache.Stats, inflight, workers int) 
 	for _, c := range codes {
 		fmt.Fprintf(w, "smm_errors_total{code=\"%d\"} %d\n", c, m.errors[c].Load())
 	}
+	fmt.Fprintf(w, "smm_shed_total %d\n", m.shed.Load())
+	fmt.Fprintf(w, "smm_degraded_plans_total %d\n", m.degraded.Load())
+	fmt.Fprintf(w, "smm_breaker_open_total %d\n", m.breakerOpen.Load())
 	fmt.Fprintf(w, "smm_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(w, "smm_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "smm_cache_coalesced_total %d\n", cs.Coalesced)

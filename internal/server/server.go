@@ -24,6 +24,7 @@ import (
 	"time"
 
 	scratchmem "scratchmem"
+	"scratchmem/internal/faultinject"
 	"scratchmem/internal/parallel"
 	"scratchmem/internal/plancache"
 )
@@ -32,7 +33,7 @@ import (
 type Config struct {
 	// Workers caps concurrent planner/simulator/DSE executions
 	// (GOMAXPROCS when <= 0). Waiting requests queue on the semaphore
-	// until their deadline.
+	// until their deadline or the queue bound, whichever comes first.
 	Workers int
 	// CacheEntries is the plan-cache capacity. 0 selects the default
 	// (DefaultCacheEntries); negative disables storage while keeping
@@ -40,22 +41,38 @@ type Config struct {
 	CacheEntries int
 	// Timeout is the per-request deadline (DefaultTimeout when <= 0).
 	Timeout time.Duration
+	// QueueDepth bounds the requests waiting for a worker slot; past the
+	// bound the server sheds with 503 + Retry-After instead of letting
+	// them camp until their deadline. 0 selects DefaultQueueDepth;
+	// negative leaves the queue unbounded.
+	QueueDepth int
+	// BreakerThreshold is how many consecutive handler panics trip a
+	// compute route's circuit breaker to fast-503. 0 selects
+	// DefaultBreakerThreshold; negative disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker fast-fails before
+	// admitting a half-open probe (DefaultBreakerCooldown when <= 0).
+	BreakerCooldown time.Duration
 }
 
 // Defaults for Config zero values.
 const (
-	DefaultCacheEntries = 256
-	DefaultTimeout      = 30 * time.Second
+	DefaultCacheEntries     = 256
+	DefaultTimeout          = 30 * time.Second
+	DefaultQueueDepth       = 64
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 5 * time.Second
 )
 
 // Server wires the public scratchmem API behind HTTP handlers with a
 // shared result cache. Construct with New.
 type Server struct {
-	cfg   Config
-	cache *plancache.Cache
-	sem   *parallel.Semaphore
-	met   *metrics
-	mux   *http.ServeMux
+	cfg      Config
+	cache    *plancache.Cache
+	sem      *parallel.Semaphore
+	met      *metrics
+	mux      *http.ServeMux
+	breakers map[string]*breaker // per compute route
 
 	// planFn runs the planner; a test seam (defaults to
 	// scratchmem.PlanModelCtx). The context is the flight's, not any single
@@ -69,6 +86,11 @@ type Server struct {
 // routes is the fixed set of request-counter labels.
 var routes = []string{"/v1/plan", "/v1/simulate", "/v1/dse", "/v1/models", "/healthz", "/metrics"}
 
+// computeRoutes are the routes that run planner/simulator/DSE work; each
+// gets its own circuit breaker, so a panicking planner does not take the
+// cheap informational routes down with it.
+var computeRoutes = []string{"/v1/plan", "/v1/simulate", "/v1/dse"}
+
 // New builds a Server with its cache, semaphore and handler set.
 func New(cfg Config) *Server {
 	entries := cfg.CacheEntries
@@ -81,17 +103,31 @@ func New(cfg Config) *Server {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultTimeout
 	}
+	queue := cfg.QueueDepth
+	if queue == 0 {
+		queue = DefaultQueueDepth
+	}
 	s := &Server{
-		cfg:   cfg,
-		cache: plancache.New(entries),
-		sem:   parallel.NewSemaphore(cfg.Workers),
-		met:   newMetrics(routes),
+		cfg:      cfg,
+		cache:    plancache.New(entries),
+		sem:      parallel.NewQueuedSemaphore(cfg.Workers, queue),
+		met:      newMetrics(routes),
+		breakers: make(map[string]*breaker, len(computeRoutes)),
 		planFn: func(ctx context.Context, n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
+			if err := faultinject.Hit("server.plan"); err != nil {
+				return nil, err
+			}
 			return scratchmem.PlanModelCtx(ctx, n, o, nil)
 		},
 		simFn: func(ctx context.Context, p *scratchmem.Plan) (int64, int64, error) {
+			if err := faultinject.Hit("server.simulate"); err != nil {
+				return 0, 0, err
+			}
 			return scratchmem.SimulatePlanCtx(ctx, p, nil)
 		},
+	}
+	for _, route := range computeRoutes {
+		s.breakers[route] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.counted("/v1/plan", s.handlePlan))
@@ -110,16 +146,47 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // CacheStats exposes the cache counters (for smm-serve's shutdown log).
 func (s *Server) CacheStats() plancache.Stats { return s.cache.Stats() }
 
-// counted wraps a handler with its request counter and converts a worker
-// panic that escapes the handler into a 500 instead of killing the server.
+// counted wraps a handler with its request counter, the route's circuit
+// breaker, and a recover that converts a panic escaping the handler into a
+// 500 instead of killing the server. Panics in the compute pipeline mostly
+// surface as 500 responses rather than handler panics (the plancache
+// flight goroutine recovers them into plancache.ErrPanic), so the breaker
+// counts 500s: enough consecutive ones trip the route to fast-503 with
+// Retry-After until a half-open probe succeeds.
 func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
+	br := s.breakers[route] // nil for non-compute routes: always allows
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.met.request(route)
+		if !br.allow() {
+			s.met.breakerOpened()
+			s.writeShed(w, "circuit breaker open for "+route)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if rec := recover(); rec != nil {
+				br.failure()
 				s.writeError(w, http.StatusInternalServerError, "internal error")
+				return
+			}
+			if sw.status == http.StatusInternalServerError {
+				br.failure()
+			} else {
+				br.success()
 			}
 		}()
-		h(w, r)
+		h(sw, r)
 	}
+}
+
+// statusWriter remembers the response code so counted can feed the
+// breaker without threading state through every handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
 }

@@ -340,7 +340,7 @@ func TestBadRequests(t *testing.T) {
 		{"unknown model", "/v1/plan", `{"model": "NoSuchNet", "glb_kb": 32}`, http.StatusBadRequest},
 		{"no glb", "/v1/plan", `{"model": "TinyCNN"}`, http.StatusBadRequest},
 		{"bad objective", "/v1/plan", `{"model": "TinyCNN", "glb_kb": 32, "objective": "speed"}`, http.StatusBadRequest},
-		{"infeasible GLB", "/v1/plan", `{"model": "ResNet18", "glb_kb": 1}`, http.StatusUnprocessableEntity},
+		{"infeasible GLB, strict", "/v1/plan", `{"model": "ResNet18", "glb_kb": 1, "strict": true}`, http.StatusUnprocessableEntity},
 	}
 	for _, tc := range cases {
 		resp, body := post(t, ts, tc.path, tc.body)

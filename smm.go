@@ -31,6 +31,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -140,6 +141,10 @@ type PlanOptions struct {
 	// InterLayerReuse lets a layer's ofmap stay resident to feed the next
 	// layer (§5.4).
 	InterLayerReuse bool
+	// Strict disables the degradation ladder: an infeasible request returns
+	// ErrInfeasible exactly as it did before degraded plans existed, instead
+	// of falling back to a more conservative rung.
+	Strict bool
 }
 
 func (o PlanOptions) config() (Config, error) {
@@ -181,7 +186,8 @@ func PlanKey(n *Network, o PlanOptions) (string, error) {
 		Homogeneous     bool
 		DisablePrefetch bool
 		InterLayerReuse bool
-	}{cfg, o.Objective.String(), o.Homogeneous, o.DisablePrefetch, o.InterLayerReuse})
+		Strict          bool
+	}{cfg, o.Objective.String(), o.Homogeneous, o.DisablePrefetch, o.InterLayerReuse, o.Strict})
 	if err != nil {
 		return "", err
 	}
@@ -205,6 +211,16 @@ func PlanModel(n *Network, o PlanOptions) (*Plan, error) {
 // layer with the running traffic and latency totals. Failures carry the
 // package's typed taxonomy: ErrBadModel for invalid inputs, ErrInfeasible
 // (as *InfeasibleError, inside a *LayerError) when a layer does not fit.
+//
+// When the requested policy set is infeasible and o.Strict is false, the
+// planner walks a degradation ladder instead of failing: re-plan with
+// prefetching relaxed, then with only the smallest-footprint schedules
+// (P4/P5 at a single-filter block plus fallback tiling), then the baseline
+// statically-split double-buffered fallback plan, which always succeeds.
+// A ladder plan is marked Degraded with the mode that produced it and the
+// machine-readable chain of rungs that failed before it. Cancellation,
+// invalid models and injected faults abort the ladder immediately; only
+// genuine infeasibility descends a rung.
 func PlanModelCtx(ctx context.Context, n *Network, o PlanOptions, prog Progress) (*Plan, error) {
 	cfg, err := o.config()
 	if err != nil {
@@ -216,7 +232,56 @@ func PlanModelCtx(ctx context.Context, n *Network, o PlanOptions, prog Progress)
 		DisablePrefetch: o.DisablePrefetch,
 		InterLayer:      o.InterLayerReuse,
 	}
-	if o.Homogeneous {
+	plan, err := planRequested(ctx, pl, n, o.Homogeneous, prog)
+	if err == nil {
+		return plan, nil
+	}
+	if o.Strict || !errors.Is(err, smmerr.ErrInfeasible) {
+		return nil, err
+	}
+	reasons := []core.DegradedReason{{Mode: "requested", Err: err.Error()}}
+
+	// Rung 1: relax prefetching. Prefetch double-buffers every tile (paper
+	// Eq. 2), so the "+p"-free policy set needs half the buffer space.
+	if !o.DisablePrefetch {
+		relaxed := *pl
+		relaxed.DisablePrefetch = true
+		plan, err = planRequested(ctx, &relaxed, n, o.Homogeneous, prog)
+		if err == nil {
+			plan.MarkDegraded(core.DegradedPrefetchRelaxed, reasons)
+			return plan, nil
+		}
+		if !errors.Is(err, smmerr.ErrInfeasible) {
+			return nil, err
+		}
+		reasons = append(reasons, core.DegradedReason{Mode: core.DegradedPrefetchRelaxed, Err: err.Error()})
+	}
+
+	// Rung 2: shrink P4/P5 to their single-filter blocks and allow only the
+	// minimal-footprint schedules.
+	plan, err = pl.MinimalFootprintCtx(ctx, n, prog)
+	if err == nil {
+		plan.MarkDegraded(core.DegradedMinimalTiling, reasons)
+		return plan, nil
+	}
+	if !errors.Is(err, smmerr.ErrInfeasible) {
+		return nil, err
+	}
+	reasons = append(reasons, core.DegradedReason{Mode: core.DegradedMinimalTiling, Err: err.Error()})
+
+	// Rung 3: the baseline statically-split double-buffered plan. It never
+	// reports infeasibility, so the ladder always terminates with a plan.
+	plan, err = pl.BaselineFallbackCtx(ctx, n, prog)
+	if err != nil {
+		return nil, err
+	}
+	plan.MarkDegraded(core.DegradedBaseline, reasons)
+	return plan, nil
+}
+
+// planRequested runs the planner exactly as the options ask (ladder rung 0).
+func planRequested(ctx context.Context, pl *core.Planner, n *Network, homogeneous bool, prog Progress) (*Plan, error) {
+	if homogeneous {
 		return pl.BestHomogeneousCtx(ctx, n, prog)
 	}
 	return pl.HeterogeneousCtx(ctx, n, prog)
