@@ -42,8 +42,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		width     = fs.Int("width", 8, "data width in bits")
 		traceFlag = fs.Bool("trace", false, "cross-check small dense layers with the element-exact trace simulator")
 		flow      = fs.String("dataflow", "os", "dataflow: os, ws or is")
+		logFlags  = cli.RegisterLogFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 
@@ -57,7 +62,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	cfg.Flow = df
-	res, err := scalesim.SimulateNetworkCtx(ctx, net, cfg, nil)
+	res, err := scalesim.SimulateNetworkCtx(ctx, net, cfg, cli.LogProgress(logger))
 	if err != nil {
 		return err
 	}

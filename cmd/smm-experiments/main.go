@@ -16,7 +16,6 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 
 	"scratchmem/internal/cli"
 	"scratchmem/internal/experiments"
@@ -35,13 +34,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("smm-experiments", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		exp     = fs.String("exp", "all", "comma-separated experiments: table2,table3,table4,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,headline,energy,batch,ablation,tenancy or all")
-		out     = fs.String("out", "", "directory for CSV/markdown output (optional)")
-		format  = fs.String("format", "csv", "on-disk format for -out: csv or md")
-		workers = fs.Int("workers", 0, "fan-out goroutines (0 = GOMAXPROCS)")
-		showAll = fs.Bool("progress", false, "print per-cell progress to stderr")
+		exp      = fs.String("exp", "all", "comma-separated experiments: table2,table3,table4,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,headline,energy,batch,ablation,tenancy or all")
+		out      = fs.String("out", "", "directory for CSV/markdown output (optional)")
+		format   = fs.String("format", "csv", "on-disk format for -out: csv or md")
+		workers  = fs.Int("workers", 0, "fan-out goroutines (0 = GOMAXPROCS)")
+		showAll  = fs.Bool("progress", false, "log per-cell progress to stderr")
+		logFlags = cli.RegisterLogFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 
@@ -51,16 +55,20 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	s := experiments.DefaultSetup()
 	s.Workers = *workers
 
-	// The drivers fan cells out across workers, so the hook must be
-	// concurrency-safe; a mutex keeps the stderr lines whole.
+	// The drivers fan cells out across workers; slog handlers serialise
+	// their writes, so the structured hook needs no extra locking. -progress
+	// promotes the records to info so they show at the default level.
 	var prog progress.Func
 	if *showAll {
-		var mu sync.Mutex
 		prog = func(ev progress.Event) {
-			mu.Lock()
-			defer mu.Unlock()
-			fmt.Fprintf(os.Stderr, "%s %d/%d %s\n", ev.Phase, ev.Index+1, ev.Total, ev.Name)
+			attrs := []any{"phase", ev.Phase, "index", ev.Index + 1, "total", ev.Total, "name", ev.Name}
+			if ev.Policy != "" {
+				attrs = append(attrs, "policy", ev.Policy)
+			}
+			logger.Info("progress", attrs...)
 		}
+	} else {
+		prog = cli.LogProgress(logger)
 	}
 
 	want := map[string]bool{}

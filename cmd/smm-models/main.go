@@ -32,8 +32,13 @@ func run(args []string, out io.Writer) error {
 	var (
 		modelFlag = fs.String("model", "", "show the per-layer table of one model (empty = inventory)")
 		export    = fs.String("export", "", "write the selected model as JSON or SCALE-Sim topology CSV (by extension)")
+		logFlags  = cli.RegisterLogFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 
@@ -64,6 +69,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	logger.Debug("model loaded", "model", n.Name, "layers", len(n.Layers))
 	t := report.NewTable(fmt.Sprintf("%s: %d layers", n.Name, len(n.Layers)),
 		"L", "name", "type", "ifmap", "filter", "out", "params (k)", "MACs (M)")
 	for i := range n.Layers {
@@ -94,6 +100,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		logger.Debug("model exported", "model", n.Name, "path", *export)
 		fmt.Fprintf(out, "wrote %s\n", *export)
 	}
 	return nil

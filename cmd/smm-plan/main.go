@@ -54,8 +54,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		showLayers = fs.Bool("layers", true, "print the per-layer policy table")
 		export     = fs.String("export", "", "compile the plan to a command-stream JSON at this path")
 		sim        = fs.Bool("simulate", false, "time the plan end-to-end on the ideal and banked-DRAM backends")
+		logFlags   = cli.RegisterLogFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 
@@ -95,9 +100,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		DisablePrefetch: *noPrefetch,
 		InterLayerReuse: *interlayer,
 		Strict:          *strict,
-	}, nil)
+	}, cli.LogProgress(logger))
 	if err != nil {
 		return err
+	}
+	if plan.Degraded {
+		logger.Warn("plan degraded", "model", net.Name, "mode", plan.DegradedMode)
 	}
 
 	if *jsonOut {

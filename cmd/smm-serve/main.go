@@ -6,17 +6,26 @@
 // Usage:
 //
 //	smm-serve -addr :8080 -workers 8 -cache 512 -timeout 30s -queue 64
+//	smm-serve -log-format json -slow-request 2s -debug-addr 127.0.0.1:6060
 //	smm-serve -faults "seed=42;server.plan=error:0.1"   (chaos testing; also $SMM_FAULTS)
 //
 // Endpoints:
 //
-//	POST /v1/plan      {"model": "ResNet18", "glb_kb": 64}
-//	POST /v1/simulate  {"model": "TinyCNN", "glb_kb": 32}            (plan timing)
-//	POST /v1/simulate  {..., "baseline": {"split_percent": 50}}      (SCALE-Sim baseline)
-//	POST /v1/dse       {"model": "TinyCNN", "glb_kb": 32}
+//	POST /v1/plan        {"model": "ResNet18", "glb_kb": 64}
+//	POST /v1/simulate    {"model": "TinyCNN", "glb_kb": 32}            (plan timing)
+//	POST /v1/simulate    {..., "baseline": {"split_percent": 50}}      (SCALE-Sim baseline)
+//	POST /v1/dse         {"model": "TinyCNN", "glb_kb": 32}
+//	GET  /v1/trace/{key} (?format=perfetto|csv — key from X-SMM-Plan-Key)
+//	GET  /v1/spans
 //	GET  /v1/models
 //	GET  /healthz
 //	GET  /metrics
+//
+// All operational output is structured (log/slog; -log-level, -log-format):
+// an access-log record per request carrying the trace ID, warn records for
+// slow requests past -slow-request and for every injected fault, and the
+// startup/shutdown lifecycle. -debug-addr serves net/http/pprof on a
+// separate listener so profiling never shares a port with the API.
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
@@ -29,6 +38,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -59,10 +69,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "max time to read a full request, 0 disables")
 		writeTimeout = fs.Duration("write-timeout", 0, "max time to write a response (0 = request timeout + 5s headroom)")
 		idleTimeout  = fs.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout, 0 disables")
+		slowRequest  = fs.Duration("slow-request", 0, "also log requests slower than this at warn level (0 disables)")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 		faults       = fs.String("faults", os.Getenv("SMM_FAULTS"),
 			`arm fault injection for chaos testing, e.g. "seed=42;server.plan=error:0.1;core.layer=latency:0.05:2ms" (default $SMM_FAULTS)`)
+		logFlags = cli.RegisterLogFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logFlags.Logger(out)
+	if err != nil {
 		return err
 	}
 	if *faults != "" {
@@ -70,7 +87,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		defer faultinject.Disable()
-		fmt.Fprintf(out, "smm-serve: FAULT INJECTION ARMED (%s) — not for production\n", *faults)
+		faultinject.SetObserver(func(site string, kind faultinject.Kind) {
+			logger.Warn("fault injected", "site", site, "kind", kind.String())
+		})
+		defer faultinject.SetObserver(nil)
+		logger.Warn("FAULT INJECTION ARMED — not for production", "spec", *faults)
 	}
 
 	srv := server.New(server.Config{
@@ -78,6 +99,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		CacheEntries: *cache,
 		Timeout:      *timeout,
 		QueueDepth:   *queue,
+		Logger:       logger,
+		SlowRequest:  *slowRequest,
 	})
 	if *writeTimeout == 0 {
 		// The handlers enforce their own deadline; give writes headroom
@@ -92,12 +115,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		IdleTimeout:       *idleTimeout,
 	}
 
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dln.Close()
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go http.Serve(dln, dbg)
+		logger.Info("debug server listening", "debug_addr", dln.Addr().String())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "smm-serve: listening on %s (workers %d, cache %d entries, timeout %s)\n",
-		ln.Addr(), *workers, *cache, *timeout)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", *workers, "cache", *cache, "timeout", *timeout)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -107,7 +146,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(out, "smm-serve: shutting down, draining in-flight requests")
+	logger.Info("shutting down, draining in-flight requests", "drain", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -117,7 +156,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	cs := srv.CacheStats()
-	fmt.Fprintf(out, "smm-serve: bye (cache: %d hits, %d misses, %d coalesced, %d evictions)\n",
-		cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions)
+	logger.Info("bye", "cache_hits", cs.Hits, "cache_misses", cs.Misses,
+		"cache_coalesced", cs.Coalesced, "cache_evictions", cs.Evictions)
 	return nil
 }

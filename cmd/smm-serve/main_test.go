@@ -32,7 +32,8 @@ func (b *syncBuffer) String() string {
 	return b.sb.String()
 }
 
-var listenRe = regexp.MustCompile(`listening on ([^\s(]+)`)
+// The startup record is a slog line like `... msg=listening addr=127.0.0.1:41231 ...`.
+var listenRe = regexp.MustCompile(`msg=listening addr=([^\s]+)`)
 
 // TestServeLifecycle boots the real binary path on an ephemeral port,
 // exercises a plan round trip and the cache-hit counter, then shuts down
@@ -103,7 +104,7 @@ func TestServeLifecycle(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("server did not shut down")
 	}
-	if s := out.String(); !strings.Contains(s, "draining") || !strings.Contains(s, "1 hits") {
+	if s := out.String(); !strings.Contains(s, "draining") || !strings.Contains(s, "cache_hits=1") {
 		t.Errorf("shutdown log incomplete:\n%s", s)
 	}
 }
@@ -158,6 +159,13 @@ func TestServeFaultsFlag(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("injected 503 missing Retry-After")
 	}
+	// The observer logs every fired fault through the server's logger.
+	for !strings.Contains(out.String(), "fault injected") {
+		if time.Now().After(deadline) {
+			t.Fatalf("fired fault never logged; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 
 	cancel()
 	select {
@@ -170,6 +178,52 @@ func TestServeFaultsFlag(t *testing.T) {
 	}
 	if faultinject.Enabled() {
 		t.Error("faults still armed after run returned")
+	}
+}
+
+// TestServeDebugAddr: -debug-addr serves net/http/pprof on its own
+// listener, announced through the structured log.
+func TestServeDebugAddr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0"}, out)
+	}()
+
+	debugRe := regexp.MustCompile(`debug_addr=([^\s]+)`)
+	var debugBase string
+	deadline := time.Now().Add(5 * time.Second)
+	for debugBase == "" {
+		if m := debugRe.FindStringSubmatch(out.String()); m != nil {
+			debugBase = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("debug server never announced; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(debugBase + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "goroutine") {
+		t.Errorf("pprof index: status %d body %.80q", resp.StatusCode, b)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }
 

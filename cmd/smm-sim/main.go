@@ -8,6 +8,7 @@
 //
 //	smm-sim -model TinyCNN -glb 64 -objective latency
 //	smm-sim -model TinyCNN -glb 32 -trace dma.csv -dram
+//	smm-sim -model TinyCNN -glb 32 -trace-out trace.json   (open in Perfetto)
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"scratchmem/internal/dram"
 	"scratchmem/internal/engine"
 	"scratchmem/internal/layer"
+	"scratchmem/internal/obs"
 	"scratchmem/internal/report"
 	"scratchmem/internal/tensor"
 	"scratchmem/internal/trace"
@@ -45,6 +47,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		objective = fs.String("objective", "accesses", "optimisation objective: accesses or latency")
 		seed      = fs.Int64("seed", 1, "seed for the synthetic activations and weights")
 		traceOut  = fs.String("trace", "", "write a CSV DMA/compute trace to this path")
+		perfetto  = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this path")
 		useDRAM   = fs.Bool("dram", false, "also replay the DMA trace through the banked DRAM model")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,7 +68,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	var log *trace.Log
-	if *traceOut != "" || *useDRAM {
+	if *traceOut != "" || *perfetto != "" || *useDRAM {
 		log = &trace.Log{}
 	}
 	r := rand.New(rand.NewSource(*seed))
@@ -137,6 +140,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %d trace events to %s\n", log.Len(), *traceOut)
+	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTrace(f, log, plan.Cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote Perfetto timeline (%d events) to %s\n", log.Len(), *perfetto)
 	}
 	return nil
 }

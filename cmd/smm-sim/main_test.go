@@ -2,8 +2,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -56,6 +58,86 @@ func TestRunLatencyObjective(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "objective latency") {
 		t.Error("objective not reflected")
+	}
+}
+
+// TestRunPerfettoTrace: -trace-out writes a valid Chrome trace-event JSON
+// document whose per-kind duration sums equal the CSV trace totals at the
+// paper's default rates (16 B/cycle DMA, 256 MACs/cycle — exact dyadic
+// floats at 8-bit width).
+func TestRunPerfettoTrace(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "trace.csv")
+	jsonPath := filepath.Join(dir, "trace.json")
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-model", "TinyCNN", "-glb", "32", "-trace", csvPath, "-trace-out", jsonPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote Perfetto timeline") {
+		t.Errorf("missing Perfetto confirmation line:\n%s", sb.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-trace-out wrote invalid JSON: %v", err)
+	}
+	durs := map[string]float64{}
+	threads := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			threads[ev.Name] = true
+		case "X":
+			if ev.PID != 1 || ev.TS < 0 || ev.Dur < 0 || (ev.TID != 1 && ev.TID != 2) {
+				t.Errorf("bad complete event: %+v", ev)
+			}
+			durs[ev.Name] += ev.Dur
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if !threads["thread_name"] || !threads["process_name"] {
+		t.Error("missing track metadata events")
+	}
+
+	// Per-kind element totals from the CSV trace of the same run.
+	totals := map[string]int64{}
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(csvData)), "\n")[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != 4 {
+			t.Fatalf("bad CSV line %q", line)
+		}
+		elems, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals[f[2]] += elems
+	}
+	for _, kind := range []string{"load_ifmap", "load_filter", "store_ofmap"} {
+		if want := float64(totals[kind]) / 16; durs[kind] != want {
+			t.Errorf("%s duration sum = %v cycles, want %v", kind, durs[kind], want)
+		}
+	}
+	if want := float64(totals["compute"]) / 256; durs["compute"] != want {
+		t.Errorf("compute duration sum = %v cycles, want %v", durs["compute"], want)
 	}
 }
 

@@ -9,14 +9,57 @@ package cli
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"scratchmem/internal/obs"
+	"scratchmem/internal/progress"
 	"scratchmem/internal/smmerr"
 )
+
+// LogFlags holds the shared structured-logging flags every binary
+// registers, so `-log-level debug -log-format json` means the same thing
+// across the whole tool set.
+type LogFlags struct {
+	Level  *string
+	Format *string
+}
+
+// RegisterLogFlags adds -log-level and -log-format to fs.
+func RegisterLogFlags(fs *flag.FlagSet) *LogFlags {
+	return &LogFlags{
+		Level:  fs.String("log-level", "info", "log level: debug, info, warn or error"),
+		Format: fs.String("log-format", "text", "log format: text or json"),
+	}
+}
+
+// Logger builds the slog.Logger the flags describe, writing to w. Call
+// after flag parsing.
+func (lf *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	return obs.NewLogger(w, *lf.Level, *lf.Format)
+}
+
+// LogProgress returns a pipeline progress hook that emits one debug record
+// per event, so any tool gains per-layer visibility with `-log-level
+// debug`. The hook is safe for the parallel experiment drivers: slog
+// handlers serialise their writes.
+func LogProgress(l *slog.Logger) progress.Func {
+	return func(ev progress.Event) {
+		if !l.Enabled(context.Background(), slog.LevelDebug) {
+			return
+		}
+		attrs := []any{"phase", ev.Phase, "index", ev.Index + 1, "total", ev.Total, "name", ev.Name}
+		if ev.Policy != "" {
+			attrs = append(attrs, "policy", ev.Policy)
+		}
+		l.Debug("progress", attrs...)
+	}
+}
 
 // Exit codes. 130 follows the shell convention for death-by-SIGINT
 // (128 + signal number); 2 and 3 distinguish the two request-side error

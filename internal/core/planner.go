@@ -143,7 +143,7 @@ func (pl *Planner) independentLayers(ctx context.Context, n *model.Network, prog
 		accesses += e.AccessElems
 		cycles += e.LatencyCycles
 		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: len(n.Layers), Name: n.Layers[i].Name,
-			AccessElems: accesses, LatencyCycles: cycles})
+			Policy: policy.ShortVariant(e.Policy, e.Opts.Prefetch), AccessElems: accesses, LatencyCycles: cycles})
 	}
 	return out, nil
 }
@@ -277,7 +277,7 @@ func (pl *Planner) HomogeneousCtx(ctx context.Context, n *model.Network, id poli
 		accesses += e.AccessElems
 		cycles += e.LatencyCycles
 		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: len(n.Layers), Name: l.Name,
-			AccessElems: accesses, LatencyCycles: cycles})
+			Policy: policy.ShortVariant(e.Policy, e.Opts.Prefetch), AccessElems: accesses, LatencyCycles: cycles})
 	}
 	return plan, nil
 }
@@ -402,7 +402,7 @@ func (pl *Planner) interLayerGreedy(ctx context.Context, n *model.Network, prog 
 		accesses += best.AccessElems
 		cycles += best.LatencyCycles
 		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: L, Name: n.Layers[i].Name,
-			AccessElems: accesses, LatencyCycles: cycles})
+			Policy: policy.ShortVariant(best.Policy, best.Opts.Prefetch), AccessElems: accesses, LatencyCycles: cycles})
 		resident = keep
 	}
 	return out, nil

@@ -109,7 +109,30 @@ type registry struct {
 var (
 	enabled atomic.Bool
 	reg     = &registry{}
+	// observer is notified of every fired fault; see SetObserver.
+	observer atomic.Value // holds observerFunc
 )
+
+type observerFunc func(site string, kind Kind)
+
+// SetObserver installs fn to be called once per fired fault with the site
+// and kind, outside the registry lock on the hitting goroutine (so fn may
+// log). Panic faults notify before panicking. A nil fn removes the
+// observer. Observers must be fast and safe for concurrent use.
+func SetObserver(fn func(site string, kind Kind)) {
+	if fn == nil {
+		observer.Store(observerFunc(nil))
+		return
+	}
+	observer.Store(observerFunc(fn))
+}
+
+// notify fans a fired fault out to the observer, if any.
+func notify(site string, kind Kind) {
+	if fn, _ := observer.Load().(observerFunc); fn != nil {
+		fn(site, kind)
+	}
+}
 
 // Enabled reports whether fault injection is active. It is the fast path
 // every Hit takes first.
@@ -164,6 +187,7 @@ func (r *registry) hit(site string) error {
 	st.Hits++
 	var fired *Fault
 	var delay time.Duration
+	var delayed bool
 	for i := range fs {
 		if r.rng.Float64() >= fs[i].P {
 			continue
@@ -172,18 +196,23 @@ func (r *registry) hit(site string) error {
 		if fs[i].Kind == KindLatency {
 			// Latency composes with a subsequent error/panic fault.
 			delay += fs[i].Delay
+			delayed = true
 			continue
 		}
 		fired = &fs[i]
 		break
 	}
 	r.mu.Unlock()
+	if delayed {
+		notify(site, KindLatency)
+	}
 	if delay > 0 {
 		time.Sleep(delay)
 	}
 	if fired == nil {
 		return nil
 	}
+	notify(site, fired.Kind)
 	switch fired.Kind {
 	case KindPanic:
 		panic(&PanicValue{Site: site})

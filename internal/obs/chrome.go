@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"scratchmem/internal/policy"
+	"scratchmem/internal/trace"
+)
+
+// This file renders execution traces in the Chrome trace-event format
+// (the JSON Perfetto and chrome://tracing load): an object with a
+// "traceEvents" array of complete ("ph":"X") events carrying ts/dur in
+// microseconds. The engine's trace.Log has no wall-clock — events carry
+// element counts — so the writer lays events on an idealised timeline
+// where one accelerator cycle maps to one microsecond: DMA transfers run
+// at Config.DRAMBytesPerCycle on the "DMA" track and compute bursts retire
+// Config.MACsPerCycle on the "PE array" track. Tracks advance
+// independently within a layer (that overlap is exactly what the
+// prefetching "+p" policy variants buy) and re-synchronise at layer
+// boundaries, because layers execute back to back.
+//
+// The rendering is analytically faithful: summing the emitted durations
+// per event kind reproduces the trace.Log totals under the configured
+// rates, the same equality the estimator tests pin (obs/chrome_test.go
+// asserts it).
+
+// TraceEvent is one Chrome trace_event record. Field order is fixed so
+// the rendering is deterministic and golden-testable.
+type TraceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	Args any     `json:"args,omitempty"`
+}
+
+// ChromeDoc is the top-level trace-event JSON document.
+type ChromeDoc struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Track assignment inside the plan process.
+const (
+	chromePID  = 1
+	tidDMA     = 1
+	tidCompute = 2
+)
+
+type dmaArgs struct {
+	Layer string `json:"layer"`
+	Step  int    `json:"step"`
+	Elems int64  `json:"elems"`
+	Bytes int64  `json:"bytes"`
+}
+
+type computeArgs struct {
+	Layer string `json:"layer"`
+	Step  int    `json:"step"`
+	MACs  int64  `json:"macs"`
+}
+
+type nameArgs struct {
+	Name string `json:"name"`
+}
+
+// ChromeTraceLog lays a trace.Log on the two-track cycle timeline and
+// returns the events, metadata first.
+func ChromeTraceLog(log *trace.Log, cfg policy.Config) []TraceEvent {
+	events := []TraceEvent{
+		{Name: "process_name", Ph: "M", PID: chromePID, Args: nameArgs{Name: "plan execution"}},
+		{Name: "thread_name", Ph: "M", PID: chromePID, TID: tidDMA, Args: nameArgs{Name: "DMA (off-chip)"}},
+		{Name: "thread_name", Ph: "M", PID: chromePID, TID: tidCompute, Args: nameArgs{Name: "PE array"}},
+	}
+	bw := float64(cfg.DRAMBytesPerCycle)
+	macRate := float64(cfg.MACsPerCycle())
+	var dmaClock, compClock float64
+	curLayer, haveLayer := "", false
+	for _, e := range log.Events {
+		if !haveLayer || e.Layer != curLayer {
+			// Layers serialise: both engines idle until the slower one
+			// finishes the previous layer.
+			sync := max(dmaClock, compClock)
+			dmaClock, compClock = sync, sync
+			curLayer, haveLayer = e.Layer, true
+		}
+		ev := TraceEvent{Name: e.Kind.String(), Ph: "X", PID: chromePID}
+		if e.Kind == trace.Compute {
+			ev.Cat = "compute"
+			ev.TID = tidCompute
+			ev.TS = compClock
+			ev.Dur = float64(e.Elems) / macRate
+			compClock += ev.Dur
+			ev.Args = computeArgs{Layer: e.Layer, Step: e.Step, MACs: e.Elems}
+		} else {
+			bytes := cfg.Bytes(e.Elems)
+			ev.Cat = "dma"
+			ev.TID = tidDMA
+			ev.TS = dmaClock
+			ev.Dur = float64(bytes) / bw
+			dmaClock += ev.Dur
+			ev.Args = dmaArgs{Layer: e.Layer, Step: e.Step, Elems: e.Elems, Bytes: bytes}
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// WriteChromeTrace renders log as a complete Chrome trace-event JSON
+// document (Perfetto-loadable), one event per line for diffable goldens.
+func WriteChromeTrace(w io.Writer, log *trace.Log, cfg policy.Config) error {
+	return writeChromeDoc(w, ChromeTraceLog(log, cfg))
+}
+
+// ChromeSpans renders finished server spans as trace events: one complete
+// event per span on a per-trace row, with span events as instant ("i")
+// marks. Timestamps are wall-clock microseconds relative to the earliest
+// span start.
+func ChromeSpans(spans []*Span) []TraceEvent {
+	events := []TraceEvent{
+		{Name: "process_name", Ph: "M", PID: chromePID, Args: nameArgs{Name: "smm-serve spans"}},
+	}
+	if len(spans) == 0 {
+		return events
+	}
+	epoch := spans[0].Start
+	for _, s := range spans {
+		if s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	// One row per trace, in first-seen order, so concurrent requests render
+	// side by side instead of interleaved.
+	rows := make(map[string]int)
+	for _, s := range spans {
+		row, ok := rows[s.TraceID]
+		if !ok {
+			row = len(rows) + 1
+			rows[s.TraceID] = row
+			events = append(events, TraceEvent{
+				Name: "thread_name", Ph: "M", PID: chromePID, TID: row,
+				Args: nameArgs{Name: "trace " + s.TraceID},
+			})
+		}
+		args := map[string]any{"trace_id": s.TraceID, "span_id": s.SpanID}
+		if s.ParentID != "" {
+			args["parent_id"] = s.ParentID
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = fmt.Sprint(a.Value)
+		}
+		events = append(events, TraceEvent{
+			Name: s.Name, Cat: "span", Ph: "X",
+			TS:  float64(s.Start.Sub(epoch).Microseconds()),
+			Dur: float64(s.EndTime.Sub(s.Start).Microseconds()),
+			PID: chromePID, TID: row, Args: args,
+		})
+		for _, ev := range s.Events {
+			events = append(events, TraceEvent{
+				Name: s.Name + "/" + ev.Name, Cat: "event", Ph: "i",
+				TS:  float64(ev.Time.Sub(epoch).Microseconds()),
+				PID: chromePID, TID: row,
+			})
+		}
+	}
+	return events
+}
+
+// WriteChromeSpans renders spans as a complete trace-event document.
+func WriteChromeSpans(w io.Writer, spans []*Span) error {
+	return writeChromeDoc(w, ChromeSpans(spans))
+}
+
+// writeChromeDoc emits the document with one event per line: loadable by
+// Perfetto, readable in a diff.
+func writeChromeDoc(w io.Writer, events []TraceEvent) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\": [\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(append([]byte("  "), b...), sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "], \"displayTimeUnit\": \"ms\"}\n")
+	return err
+}

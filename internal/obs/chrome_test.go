@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scratchmem/internal/engine"
+	"scratchmem/internal/layer"
+	"scratchmem/internal/model"
+	"scratchmem/internal/policy"
+	"scratchmem/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// bestFeasible picks the minimum-access feasible (policy, prefetch) for l,
+// the same decision the planner's requested-objective path makes.
+func bestFeasible(t *testing.T, l *layer.Layer, cfg policy.Config) policy.Result {
+	t.Helper()
+	var best policy.Result
+	for _, id := range policy.IDs() {
+		for _, pf := range []bool{false, true} {
+			r := policy.Estimate(l, id, policy.Options{Prefetch: pf}, cfg)
+			if !r.Feasible {
+				continue
+			}
+			if !best.Feasible || r.AccessElems < best.AccessElems {
+				best = r
+			}
+		}
+	}
+	if !best.Feasible {
+		t.Fatalf("no feasible policy for %s", l.Name)
+	}
+	return best
+}
+
+// dryRunLog executes l's chosen schedule without arithmetic and returns the
+// event log.
+func dryRunLog(t *testing.T, l *layer.Layer, est *policy.Result, cfg policy.Config) *trace.Log {
+	t.Helper()
+	var log trace.Log
+	if _, err := engine.DryRunCtx(context.Background(), l, est, cfg, &log); err != nil {
+		t.Fatalf("DryRun(%s): %v", l.Name, err)
+	}
+	if log.Len() == 0 {
+		t.Fatalf("DryRun(%s) emitted no events", l.Name)
+	}
+	return &log
+}
+
+// checkChromeDoc parses raw as a Chrome trace-event document and validates
+// the schema every event must satisfy: known phase, the plan PID,
+// non-negative timestamps and durations.
+func checkChromeDoc(t *testing.T, raw []byte) ChromeDoc {
+	t.Helper()
+	var doc ChromeDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid trace-event JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "M" && ev.Ph != "X" && ev.Ph != "i" {
+			t.Errorf("event %d: unknown phase %q", i, ev.Ph)
+		}
+		if ev.PID != chromePID {
+			t.Errorf("event %d: pid = %d, want %d", i, ev.PID, chromePID)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %d: negative ts/dur (%v/%v)", i, ev.TS, ev.Dur)
+		}
+		if ev.Name == "" {
+			t.Errorf("event %d: empty name", i)
+		}
+		if ev.Ph == "X" && ev.TID != tidDMA && ev.TID != tidCompute {
+			t.Errorf("event %d: complete event on unknown track %d", i, ev.TID)
+		}
+	}
+	return doc
+}
+
+// TestChromeTraceGolden pins the rendered document byte-for-byte on a small
+// TinyCNN layer, so any drift in field order, track naming or the timeline
+// math shows up as a readable diff.
+func TestChromeTraceGolden(t *testing.T) {
+	net, err := model.Builtin("TinyCNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &net.Layers[0]
+	cfg := policy.Default(32)
+	est := bestFeasible(t, l, cfg)
+	log := dryRunLog(t, l, &est, cfg)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, log, cfg); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tinycnn_conv1_chrome.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("golden mismatch for %s (run with -update after intentional changes)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+	checkChromeDoc(t, buf.Bytes())
+}
+
+// TestChromeTraceAlexNetEquality renders an AlexNet layer and asserts the
+// timeline is analytically faithful: the per-kind duration sums equal the
+// trace.Log totals converted at the configured DMA and MAC rates, and those
+// totals in turn equal the planner's analytical estimate. Equality is exact:
+// at 8-bit width bytes == elems, and the default rates (16 B/cycle, 256
+// MACs/cycle) are powers of two, so every division is a dyadic float.
+func TestChromeTraceAlexNetEquality(t *testing.T) {
+	net, err := model.Builtin("AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &net.Layers[0] // conv1: 227x227x3, the paper's running example
+	cfg := policy.Default(256)
+	est := bestFeasible(t, l, cfg)
+	log := dryRunLog(t, l, &est, cfg)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, log, cfg); err != nil {
+		t.Fatal(err)
+	}
+	doc := checkChromeDoc(t, buf.Bytes())
+
+	durs := map[string]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			durs[ev.Name] += ev.Dur
+		}
+	}
+	totals := log.Totals()
+	bw := float64(cfg.DRAMBytesPerCycle)
+	for _, k := range []trace.Kind{trace.LoadIfmap, trace.LoadFilter, trace.StoreOfmap} {
+		want := float64(cfg.Bytes(totals[k])) / bw
+		if got := durs[k.String()]; got != want {
+			t.Errorf("%s duration sum = %v cycles, want %v", k, got, want)
+		}
+	}
+	wantCompute := float64(totals[trace.Compute]) / float64(cfg.MACsPerCycle())
+	if got := durs["compute"]; got != wantCompute {
+		t.Errorf("compute duration sum = %v cycles, want %v", got, wantCompute)
+	}
+
+	// The executed schedule matches the analytical estimate, so the timeline
+	// is a faithful rendering of what the planner promised.
+	if totals[trace.LoadIfmap] != est.AccessIfmap {
+		t.Errorf("ifmap trace total %d != estimate %d", totals[trace.LoadIfmap], est.AccessIfmap)
+	}
+	if totals[trace.LoadFilter] != est.AccessFilter {
+		t.Errorf("filter trace total %d != estimate %d", totals[trace.LoadFilter], est.AccessFilter)
+	}
+	if totals[trace.StoreOfmap] != est.AccessOfmap {
+		t.Errorf("ofmap trace total %d != estimate %d", totals[trace.StoreOfmap], est.AccessOfmap)
+	}
+	if totals[trace.Compute] != l.MACs() {
+		t.Errorf("compute trace total %d != layer MACs %d", totals[trace.Compute], l.MACs())
+	}
+}
+
+// TestChromeTraceLayerSync: tracks advance independently within a layer but
+// re-synchronise at layer boundaries — no event of layer N+1 starts before
+// both clocks of layer N have drained.
+func TestChromeTraceLayerSync(t *testing.T) {
+	var log trace.Log
+	log.Add("conv1", 0, trace.LoadIfmap, 160) // 10 cycles DMA
+	log.Add("conv1", 1, trace.Compute, 256)   // 1 cycle compute
+	log.Add("conv2", 0, trace.LoadIfmap, 16)  // must start at cycle 10, not 1
+	log.Add("conv2", 1, trace.Compute, 512)
+
+	cfg := policy.Default(64)
+	events := ChromeTraceLog(&log, cfg)
+	var conv1End float64
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		switch a := ev.Args.(type) {
+		case dmaArgs:
+			if a.Layer == "conv1" {
+				conv1End = max(conv1End, ev.TS+ev.Dur)
+			}
+		case computeArgs:
+			if a.Layer == "conv1" {
+				conv1End = max(conv1End, ev.TS+ev.Dur)
+			}
+		}
+	}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		layerName := ""
+		switch a := ev.Args.(type) {
+		case dmaArgs:
+			layerName = a.Layer
+		case computeArgs:
+			layerName = a.Layer
+		}
+		if layerName == "conv2" && ev.TS < conv1End {
+			t.Errorf("conv2 %s starts at %v, before conv1 drained at %v", ev.Name, ev.TS, conv1End)
+		}
+	}
+	// Within conv1 both tracks start at 0 — that overlap is the point.
+	if events[3].TS != 0 || events[4].TS != 0 {
+		t.Errorf("conv1 tracks should both start at 0, got ts %v and %v", events[3].TS, events[4].TS)
+	}
+}
+
+// TestChromeSpans: server spans render one row per trace with attrs
+// stringified and span events as instants.
+func TestChromeSpans(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := WithTracer(context.Background(), tr)
+	ctx1, root := StartSpan(ctx, "request")
+	root.SetAttr("route", "/v1/plan")
+	root.SetAttr("status", 200)
+	_, child := StartSpan(ctx1, "plan")
+	child.Event("layer", Attr{Key: "name", Value: "conv1"})
+	child.End()
+	root.End()
+	_, other := StartSpan(ctx, "request") // separate trace, own row
+	other.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc ChromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid spans JSON: %v", err)
+	}
+	rows := map[int]bool{}
+	var complete, instants, threads int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			rows[ev.TID] = true
+			args, ok := ev.Args.(map[string]any)
+			if !ok {
+				t.Fatalf("span args decoded as %T", ev.Args)
+			}
+			if id, _ := args["trace_id"].(string); id == "" {
+				t.Error("span event missing trace_id arg")
+			}
+			if ev.Name == "request" && ev.TID == 1 && args["route"] != "/v1/plan" {
+				t.Errorf("root span args = %v", args)
+			}
+		case "i":
+			instants++
+		case "M":
+			threads++
+		default:
+			t.Errorf("unknown phase %q", ev.Ph)
+		}
+	}
+	if complete != 3 {
+		t.Errorf("complete events = %d, want 3", complete)
+	}
+	if instants != 1 {
+		t.Errorf("instant events = %d, want 1", instants)
+	}
+	if len(rows) != 2 {
+		t.Errorf("trace rows = %d, want 2 (two traces)", len(rows))
+	}
+	// Empty input still renders a valid document.
+	buf.Reset()
+	if err := WriteChromeSpans(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty spans doc invalid: %v", err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package obs is the observability layer of the serving stack: lightweight
+// request tracing (spans propagated through context.Context), structured
+// logging helpers (log/slog), and a Chrome trace-event renderer that makes
+// a plan's DMA/compute overlap visible on a Perfetto timeline.
+//
+// The package is a near-leaf: it imports only the leaf packages
+// internal/progress, internal/trace and internal/policy, so every layer of
+// the stack — the HTTP server, the plan cache, the planner facade, the
+// simulators — can create spans and log records without import cycles.
+//
+// Tracing is strictly opt-in and nil-safe. A context without a Tracer makes
+// StartSpan return a nil *Span, and every Span method is a no-op on a nil
+// receiver, so instrumented pipeline code pays one context lookup and zero
+// allocations when nobody is observing (the BenchmarkPlanModel_Ctx
+// guarantee). A Tracer collects finished spans into a bounded ring and
+// fans them out to OnFinish hooks — the server derives its phase-latency
+// histograms from exactly that hook.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scratchmem/internal/progress"
+)
+
+// Attr is one key/value annotation on a span or span event. Values are
+// kept as any so call sites can attach counters without formatting; the
+// exporters render them with encoding/json.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// SpanEvent is one timestamped point annotation inside a span — the
+// pipeline's progress events re-emitted into the trace.
+type SpanEvent struct {
+	Time  time.Time
+	Name  string
+	Attrs []Attr
+}
+
+// Span is one timed operation of a trace. Spans form a tree via ParentID;
+// all spans of one request share a TraceID. Fields are written by exactly
+// one goroutine between StartSpan and End and must only be read after End
+// (the Tracer hands out finished spans only).
+type Span struct {
+	TraceID  string
+	SpanID   string
+	ParentID string
+	Name     string
+	Start    time.Time
+	EndTime  time.Time
+	Attrs    []Attr
+	Events   []SpanEvent
+
+	tracer *Tracer
+}
+
+// SetAttr annotates the span; a nil receiver is a no-op.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// Attr returns the last value set for key, or nil. Nil-safe.
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	for i := len(s.Attrs) - 1; i >= 0; i-- {
+		if s.Attrs[i].Key == key {
+			return s.Attrs[i].Value
+		}
+	}
+	return nil
+}
+
+// Event appends a timestamped point annotation; a nil receiver is a no-op.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.Events = append(s.Events, SpanEvent{Time: time.Now(), Name: name, Attrs: attrs})
+}
+
+// End stamps the span's end time and hands it to its tracer. Ending a nil
+// span is a no-op; ending twice records only the first end.
+func (s *Span) End() {
+	if s == nil || !s.EndTime.IsZero() {
+		return
+	}
+	s.EndTime = time.Now()
+	s.tracer.finish(s)
+}
+
+// Duration is the span's wall time (zero until End). Nil-safe.
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.EndTime.IsZero() {
+		return 0
+	}
+	return s.EndTime.Sub(s.Start)
+}
+
+// Trace returns the span's trace ID, or "" for a nil span, so log call
+// sites can attach the ID unconditionally.
+func (s *Span) Trace() string {
+	if s == nil {
+		return ""
+	}
+	return s.TraceID
+}
+
+// Tracer mints IDs and collects finished spans. Construct with NewTracer;
+// the zero value is not usable. Tracer is safe for concurrent use.
+type Tracer struct {
+	mu       sync.Mutex
+	keep     int
+	spans    []*Span // ring of the last keep finished spans
+	next     int     // ring write position
+	onFinish []func(*Span)
+	finished atomic.Int64
+
+	seq  atomic.Uint64
+	rnd  uint64 // process entropy mixed into trace IDs
+	rseq atomic.Uint64
+}
+
+// NewTracer returns a tracer retaining the last keep finished spans
+// (keep <= 0 retains none; OnFinish hooks still fire, so a keep-nothing
+// tracer is the right shape for metrics-only derivation).
+func NewTracer(keep int) *Tracer {
+	if keep < 0 {
+		keep = 0
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return &Tracer{keep: keep, rnd: binary.LittleEndian.Uint64(b[:])}
+}
+
+// OnFinish registers fn to run synchronously whenever a span ends. Hooks
+// must be fast and concurrency-safe; they run on the ending goroutine.
+func (t *Tracer) OnFinish(fn func(*Span)) {
+	t.mu.Lock()
+	t.onFinish = append(t.onFinish, fn)
+	t.mu.Unlock()
+}
+
+// Spans snapshots the retained finished spans, oldest first.
+func (t *Tracer) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, 0, len(t.spans))
+	for i := 0; i < len(t.spans); i++ {
+		if s := t.spans[(t.next+i)%len(t.spans)]; s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Finished returns how many spans have ended on this tracer (including
+// ones the ring no longer retains).
+func (t *Tracer) Finished() int64 { return t.finished.Load() }
+
+// newTraceID mints a 16-hex-digit trace ID unique within the process.
+func (t *Tracer) newTraceID() string {
+	return hex16(t.rnd ^ (t.rseq.Add(1) * 0x9e3779b97f4a7c15))
+}
+
+func (t *Tracer) newSpanID() string { return hex16(t.seq.Add(1)) }
+
+func (t *Tracer) finish(s *Span) {
+	t.finished.Add(1)
+	t.mu.Lock()
+	hooks := t.onFinish
+	if t.keep > 0 {
+		if len(t.spans) < t.keep {
+			t.spans = append(t.spans, s)
+			t.next = 0 // ring not yet full; Spans reads in append order
+		} else {
+			t.spans[t.next] = s
+			t.next = (t.next + 1) % t.keep
+		}
+	}
+	t.mu.Unlock()
+	for _, fn := range hooks {
+		fn(s)
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+func hex16(v uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	loggerKey
+)
+
+// WithTracer arms tracing on the context: subsequent StartSpan calls mint
+// real spans.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// SpanFrom returns the context's active span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan opens a span named name as a child of the context's active
+// span. Without a tracer on the context it returns (ctx, nil) untouched —
+// the zero-cost disabled path. The caller must End the returned span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{Name: name, Start: time.Now(), SpanID: t.newSpanID(), tracer: t}
+	if parent := SpanFrom(ctx); parent != nil {
+		s.TraceID, s.ParentID = parent.TraceID, parent.SpanID
+	} else {
+		s.TraceID = t.newTraceID()
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// Detach returns a fresh context carrying ctx's observability values —
+// tracer, active span, logger — but none of its deadline or cancelation.
+// It is for computations that outlive any single caller, like the plan
+// cache's single-flight executions: the flight keeps emitting spans into
+// the leader's trace while its lifetime is governed by the waiter count,
+// not the leader's deadline.
+func Detach(ctx context.Context) context.Context {
+	out := context.Background()
+	if t := TracerFrom(ctx); t != nil {
+		out = context.WithValue(out, tracerKey, t)
+	}
+	if s := SpanFrom(ctx); s != nil {
+		out = context.WithValue(out, spanKey, s)
+	}
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok {
+		out = context.WithValue(out, loggerKey, l)
+	}
+	return out
+}
+
+// SpanProgress re-emits pipeline progress events as span events, then
+// forwards them to next. With a nil span it returns next unchanged, so the
+// disabled path allocates nothing.
+func SpanProgress(s *Span, next progress.Func) progress.Func {
+	if s == nil {
+		return next
+	}
+	return func(ev progress.Event) {
+		attrs := []Attr{{Key: "name", Value: ev.Name}, {Key: "index", Value: ev.Index}, {Key: "total", Value: ev.Total}}
+		if ev.Policy != "" {
+			attrs = append(attrs, Attr{Key: "policy", Value: ev.Policy})
+		}
+		if ev.AccessElems != 0 {
+			attrs = append(attrs, Attr{Key: "access_elems", Value: ev.AccessElems})
+		}
+		if ev.LatencyCycles != 0 {
+			attrs = append(attrs, Attr{Key: "latency_cycles", Value: ev.LatencyCycles})
+		}
+		s.Event(ev.Phase, attrs...)
+		next.Emit(ev)
+	}
+}

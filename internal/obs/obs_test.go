@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"scratchmem/internal/progress"
+)
+
+// TestDisabledPath: without a tracer on the context every operation is a
+// no-op on nils — the zero-cost contract instrumented pipeline code relies
+// on.
+func TestDisabledPath(t *testing.T) {
+	ctx := context.Background()
+	ctx2, span := StartSpan(ctx, "plan")
+	if ctx2 != ctx {
+		t.Error("StartSpan without tracer should return the context untouched")
+	}
+	if span != nil {
+		t.Fatal("StartSpan without tracer should return a nil span")
+	}
+	// Every nil-span method must be callable.
+	span.SetAttr("k", 1)
+	span.Event("e")
+	span.End()
+	if span.Trace() != "" {
+		t.Error("nil span Trace() should be empty")
+	}
+	if span.Attr("k") != nil {
+		t.Error("nil span Attr() should be nil")
+	}
+	if span.Duration() != 0 {
+		t.Error("nil span Duration() should be zero")
+	}
+	var calls int
+	next := progress.Func(func(progress.Event) { calls++ })
+	SpanProgress(nil, next)(progress.Event{Phase: "plan"})
+	if calls != 1 {
+		t.Error("SpanProgress(nil, next) must forward to next")
+	}
+}
+
+// TestDisabledPathAllocs pins the zero-cost contract quantitatively: with
+// no tracer on the context, the full instrumentation sequence a pipeline
+// entry point runs (StartSpan, attrs, progress wrap, End) allocates
+// nothing.
+func TestDisabledPathAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		_, span := StartSpan(ctx, "plan")
+		span.SetAttr("model", "x")
+		_ = SpanProgress(span, nil)
+		span.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %.0f objects per run, want 0", allocs)
+	}
+}
+
+// TestSpanTree: children inherit the trace ID, spans finish into the ring,
+// and OnFinish hooks fire once per End.
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(8)
+	var finished []string
+	tr.OnFinish(func(s *Span) { finished = append(finished, s.Name) })
+
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "request")
+	if root == nil || root.TraceID == "" || root.ParentID != "" {
+		t.Fatalf("root span malformed: %+v", root)
+	}
+	ctx, child := StartSpan(ctx, "plan")
+	if child.TraceID != root.TraceID {
+		t.Errorf("child trace %s != root trace %s", child.TraceID, root.TraceID)
+	}
+	if child.ParentID != root.SpanID {
+		t.Errorf("child parent %s != root span %s", child.ParentID, root.SpanID)
+	}
+	if got := SpanFrom(ctx); got != child {
+		t.Error("SpanFrom should return the innermost span")
+	}
+	child.SetAttr("layers", 3)
+	child.SetAttr("layers", 4) // last write wins
+	child.End()
+	child.End() // idempotent
+	root.End()
+
+	if got := tr.Finished(); got != 2 {
+		t.Errorf("Finished() = %d, want 2", got)
+	}
+	if len(finished) != 2 || finished[0] != "plan" || finished[1] != "request" {
+		t.Errorf("OnFinish order = %v", finished)
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "plan" || spans[1].Name != "request" {
+		t.Fatalf("Spans() = %v", spans)
+	}
+	if v, ok := spans[0].Attr("layers").(int); !ok || v != 4 {
+		t.Errorf("Attr(layers) = %v, want 4 (last write wins)", spans[0].Attr("layers"))
+	}
+	if spans[0].Duration() <= 0 {
+		t.Error("finished span should have positive duration")
+	}
+}
+
+// TestTracerRing: the ring keeps only the last keep spans, oldest first,
+// and keep=0 retains nothing while still counting and firing hooks.
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := WithTracer(context.Background(), tr)
+	for _, name := range []string{"a", "b", "c"} {
+		_, s := StartSpan(ctx, name)
+		s.End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "b" || spans[1].Name != "c" {
+		got := make([]string, len(spans))
+		for i, s := range spans {
+			got[i] = s.Name
+		}
+		t.Errorf("ring = %v, want [b c]", got)
+	}
+
+	none := NewTracer(0)
+	hooks := 0
+	none.OnFinish(func(*Span) { hooks++ })
+	_, s := StartSpan(WithTracer(context.Background(), none), "x")
+	s.End()
+	if len(none.Spans()) != 0 || none.Finished() != 1 || hooks != 1 {
+		t.Errorf("keep=0: spans=%d finished=%d hooks=%d", len(none.Spans()), none.Finished(), hooks)
+	}
+}
+
+// TestTraceIDsUnique: distinct root spans get distinct trace IDs and all
+// IDs are 16 hex digits.
+func TestTraceIDsUnique(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		_, s := StartSpan(ctx, "r")
+		if len(s.TraceID) != 16 || len(s.SpanID) != 16 {
+			t.Fatalf("ID lengths: trace %q span %q", s.TraceID, s.SpanID)
+		}
+		if seen[s.TraceID] {
+			t.Fatalf("duplicate trace ID %s", s.TraceID)
+		}
+		seen[s.TraceID] = true
+		s.End()
+	}
+}
+
+// TestDetach: the detached context keeps tracer, span and logger but drops
+// cancelation.
+func TestDetach(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, span := StartSpan(ctx, "request")
+	logger, err := NewLogger(io.Discard, "info", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx = WithLogger(ctx, logger)
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+
+	d := Detach(cctx)
+	if d.Err() != nil {
+		t.Error("detached context must not inherit cancelation")
+	}
+	if TracerFrom(d) != tr {
+		t.Error("detached context lost the tracer")
+	}
+	if SpanFrom(d) != span {
+		t.Error("detached context lost the span")
+	}
+	if LoggerFrom(d) != logger {
+		t.Error("detached context lost the logger")
+	}
+	// A span started on the detached context still joins the trace.
+	_, child := StartSpan(d, "plan")
+	if child.TraceID != span.TraceID {
+		t.Error("span on detached context left the trace")
+	}
+	child.End()
+	span.End()
+}
+
+// TestSpanProgress: progress events become span events carrying the
+// pipeline fields, and still reach the wrapped hook.
+func TestSpanProgress(t *testing.T) {
+	tr := NewTracer(1)
+	_, span := StartSpan(WithTracer(context.Background(), tr), "plan")
+	var got []progress.Event
+	hook := SpanProgress(span, func(ev progress.Event) { got = append(got, ev) })
+	hook(progress.Event{Phase: "plan", Index: 0, Total: 2, Name: "conv1", Policy: "p2+p", AccessElems: 10, LatencyCycles: 20})
+	hook(progress.Event{Phase: "plan", Index: 1, Total: 2, Name: "fc"})
+	span.End()
+
+	if len(got) != 2 {
+		t.Fatalf("forwarded %d events, want 2", len(got))
+	}
+	if len(span.Events) != 2 {
+		t.Fatalf("span has %d events, want 2", len(span.Events))
+	}
+	ev := span.Events[0]
+	if ev.Name != "plan" {
+		t.Errorf("span event name %q", ev.Name)
+	}
+	attrs := map[string]any{}
+	for _, a := range ev.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["policy"] != "p2+p" || attrs["name"] != "conv1" || attrs["access_elems"] != int64(10) {
+		t.Errorf("span event attrs = %v", attrs)
+	}
+	// Zero-valued optional fields are omitted.
+	attrs = map[string]any{}
+	for _, a := range span.Events[1].Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if _, ok := attrs["policy"]; ok {
+		t.Error("empty policy should be omitted from span event attrs")
+	}
+}
+
+// TestLoggerPlumbing: NewLogger levels/formats, context attachment, and
+// the discard fallback.
+func TestLoggerPlumbing(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, `"msg":"kept"`) {
+		t.Errorf("level/format wrong: %q", out)
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "yaml"); err == nil {
+		t.Error("bad format accepted")
+	}
+
+	ctx := context.Background()
+	if LoggerFrom(ctx) != Discard() {
+		t.Error("LoggerFrom without logger should return Discard()")
+	}
+	ctx = WithLogger(ctx, l)
+	if LoggerFrom(ctx) != l {
+		t.Error("LoggerFrom lost the attached logger")
+	}
+	if Discard().Enabled(ctx, 12) {
+		t.Error("discard logger should be disabled at every level")
+	}
+}

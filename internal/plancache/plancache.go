@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"scratchmem/internal/faultinject"
+	"scratchmem/internal/obs"
 )
 
 // ErrPanic marks flight computations that panicked: the panic is recovered
@@ -115,22 +116,34 @@ func (c *Cache) Get(key string) (any, bool) {
 // successful result cached for future requests. Errors and panics in fn
 // are returned to all current waiters and are never cached.
 func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (val any, shared bool, err error) {
+	ctx, span := obs.StartSpan(ctx, "cache")
+	if span != nil {
+		span.SetAttr("key", key)
+		defer span.End()
+	}
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
 		v := el.Value.(*entry).val
 		c.mu.Unlock()
+		span.SetAttr("outcome", "hit")
 		return v, true, nil
 	}
 	if cl, ok := c.inflight[key]; ok && cl.waiters > 0 {
 		cl.waiters++
 		c.coalesced++
 		c.mu.Unlock()
+		span.SetAttr("outcome", "coalesced")
 		return c.wait(ctx, cl, true)
 	}
 	c.misses++
-	callCtx, cancel := context.WithCancel(context.Background())
+	span.SetAttr("outcome", "miss")
+	// The flight owns its lifetime (see above) but keeps the caller's
+	// observability: Detach carries the tracer, span and logger across
+	// without the deadline, so spans opened inside fn land in the leader's
+	// trace even though the computation can outlive the leader.
+	callCtx, cancel := context.WithCancel(obs.Detach(ctx))
 	cl := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	c.inflight[key] = cl
 	c.mu.Unlock()

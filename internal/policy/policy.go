@@ -186,6 +186,28 @@ func Variant(id ID, prefetch bool) string {
 	return id.String()
 }
 
+// ShortVariant is Variant in the compact Figure-6 labelling ("p2+p",
+// "intra", "fb") — the form reports, progress events and metric labels
+// share.
+func ShortVariant(id ID, prefetch bool) string {
+	if prefetch {
+		return id.Short() + "+p"
+	}
+	return id.Short()
+}
+
+// ShortVariants lists every selectable (policy, prefetch) label, paper
+// order then fallback, prefetch-less first — the fixed label set of the
+// server's smm_policy_selected_total metric.
+func ShortVariants() []string {
+	ids := append(IDs(), FallbackTiled)
+	out := make([]string, 0, 2*len(ids))
+	for _, id := range ids {
+		out = append(out, ShortVariant(id, false), ShortVariant(id, true))
+	}
+	return out
+}
+
 // Tiles holds the per-data-type tile sizes of a policy instantiation, in
 // elements. For inter-layer variants Ifmap/Ofmap refer to the resident
 // regions.

@@ -18,6 +18,12 @@ type Event struct {
 	Index, Total int
 	// Name identifies the unit (layer name, model name, sweep point).
 	Name string
+	// Policy is the short variant label of the decision just made
+	// ("p2+p", "fb", ...) where the phase selects one — per-layer planning
+	// and simulation — and "" elsewhere. It lets observers (span events,
+	// structured logs, live dashboards) see which policy won each layer
+	// without re-deriving the plan.
+	Policy string
 	// AccessElems / LatencyCycles carry the pipeline's running totals
 	// where they are meaningful (planning), and are zero elsewhere.
 	AccessElems   int64

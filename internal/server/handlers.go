@@ -10,10 +10,13 @@ import (
 	"time"
 
 	scratchmem "scratchmem"
+	"scratchmem/internal/engine"
 	"scratchmem/internal/faultinject"
 	"scratchmem/internal/model"
+	"scratchmem/internal/obs"
 	"scratchmem/internal/parallel"
 	"scratchmem/internal/smmerr"
+	"scratchmem/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies; the largest builtin network is a few
@@ -243,7 +246,11 @@ func (s *Server) planned(ctx context.Context, key string, net *scratchmem.Networ
 		}
 		if p.Degraded {
 			s.met.degradedPlan()
+			obs.LoggerFrom(ctx).Warn("plan degraded", "model", net.Name, "mode", p.DegradedMode)
 		}
+		// Freshly computed only: cache hits must not re-count the plan's
+		// policy choices or planned DRAM traffic.
+		s.met.planOutcome(p)
 		body, err := scratchmem.PlanDocument(p).MarshalIndent()
 		if err != nil {
 			return nil, err
@@ -272,12 +279,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	span := obs.SpanFrom(r.Context())
+	span.SetAttr("model_hash", key)
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	entry, shared, err := s.planned(ctx, key, net, opts)
 	if err != nil {
 		s.fail(w, err)
 		return
+	}
+	if entry.plan.Degraded {
+		span.SetAttr("degraded_mode", entry.plan.DegradedMode)
 	}
 	cacheHeader(w, shared)
 	w.Header().Set("X-SMM-Plan-Key", key)
@@ -301,6 +313,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	obs.SpanFrom(r.Context()).SetAttr("model_hash", key)
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	if req.Baseline != nil {
@@ -405,6 +418,7 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	obs.SpanFrom(r.Context()).SetAttr("model_hash", key)
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	v, shared, err := s.cache.Do(ctx, "dse:"+key, func(ctx context.Context) (any, error) {
@@ -453,5 +467,75 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.met.write(w, s.cache.Stats(), s.sem.InUse(), s.sem.Cap())
+	s.met.write(w, s.cache.Stats(), s.sem.InUse(), s.sem.Cap(), s.tracer.Finished())
+}
+
+// handleTrace renders the execution trace of an already-planned model:
+// plan first (POST /v1/plan returns the key in X-SMM-Plan-Key), then GET
+// /v1/trace/{key}?format=perfetto|csv. The event stream is computed once
+// per key by dry-running every layer's tile schedule and cached alongside
+// the plan, so repeat downloads are a lookup.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	obs.SpanFrom(r.Context()).SetAttr("model_hash", key)
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "perfetto", "csv":
+	default:
+		s.fail(w, badRequestf("unknown format %q (want perfetto or csv)", format))
+		return
+	}
+	v, ok := s.cache.Get("plan:" + key)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no cached plan for key "+key+"; POST /v1/plan first")
+		return
+	}
+	plan := v.(*planEntry).plan
+	if !plan.Feasible() {
+		s.fail(w, fmt.Errorf("plan for %s needs %d bytes of GLB but only %d are available, cannot trace: %w",
+			plan.Model, plan.MaxMemoryBytes(), plan.Cfg.GLBBytes, scratchmem.ErrInfeasible))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	tv, shared, err := s.cache.Do(ctx, "trace:"+key, func(ctx context.Context) (any, error) {
+		if err := s.sem.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.sem.Release()
+		return traceLog(ctx, plan)
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	log := tv.(*trace.Log)
+	cacheHeader(w, shared)
+	if format == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		log.WriteCSV(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeTrace(w, log, plan.Cfg)
+}
+
+// traceLog executes a plan's tile schedules in dry-run mode, collecting the
+// network-wide DMA/compute event stream.
+func traceLog(ctx context.Context, p *scratchmem.Plan) (*trace.Log, error) {
+	log := &trace.Log{}
+	for i := range p.Layers {
+		lp := &p.Layers[i]
+		if _, err := engine.DryRunCtx(ctx, &lp.Layer, &lp.Est, p.Cfg, log); err != nil {
+			return nil, err
+		}
+	}
+	return log, nil
+}
+
+// handleSpans renders the tracer's retained finished spans as a Perfetto
+// timeline: one row per trace, span events as instant marks.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeSpans(w, s.tracer.Spans())
 }

@@ -10,21 +10,30 @@
 //
 // Routes:
 //
-//	POST /v1/plan      — run the analyser (paper Algorithm 1), return a PlanDoc
-//	POST /v1/simulate  — time a plan end-to-end, or run the SCALE-Sim baseline
-//	POST /v1/dse       — exhaustive tile-size search (off-chip traffic optimum)
-//	GET  /v1/models    — list the built-in networks
-//	GET  /healthz      — liveness probe
-//	GET  /metrics      — plain-text counters (requests, cache, latency histogram)
+//	POST /v1/plan        — run the analyser (paper Algorithm 1), return a PlanDoc
+//	POST /v1/simulate    — time a plan end-to-end, or run the SCALE-Sim baseline
+//	POST /v1/dse         — exhaustive tile-size search (off-chip traffic optimum)
+//	GET  /v1/trace/{key} — a planned model's execution trace (Perfetto JSON or CSV)
+//	GET  /v1/spans       — recent request spans as a Perfetto timeline
+//	GET  /v1/models      — list the built-in networks
+//	GET  /healthz        — liveness probe
+//	GET  /metrics        — plain-text counters (requests, cache, latency histograms)
+//
+// Every request runs under a trace span (internal/obs); handlers down the
+// stack open child spans (cache, plan, simulate), and the per-request
+// structured logger carries the trace ID so one grep connects a log record
+// to its spans.
 package server
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"time"
 
 	scratchmem "scratchmem"
 	"scratchmem/internal/faultinject"
+	"scratchmem/internal/obs"
 	"scratchmem/internal/parallel"
 	"scratchmem/internal/plancache"
 )
@@ -53,6 +62,16 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker fast-fails before
 	// admitting a half-open probe (DefaultBreakerCooldown when <= 0).
 	BreakerCooldown time.Duration
+	// Logger receives the access log and request-scoped records (a discard
+	// logger when nil, so the server never nil-checks).
+	Logger *slog.Logger
+	// Tracer collects request spans. When nil the server builds its own
+	// retaining DefaultSpanRing finished spans; the phase-latency metrics
+	// are derived from its OnFinish hook either way.
+	Tracer *obs.Tracer
+	// SlowRequest is the threshold past which a completed request is also
+	// logged at warn level (0 disables slow-request logging).
+	SlowRequest time.Duration
 }
 
 // Defaults for Config zero values.
@@ -62,6 +81,9 @@ const (
 	DefaultQueueDepth       = 64
 	DefaultBreakerThreshold = 3
 	DefaultBreakerCooldown  = 5 * time.Second
+	// DefaultSpanRing is how many finished spans the server's own tracer
+	// retains for GET /v1/spans when Config.Tracer is nil.
+	DefaultSpanRing = 256
 )
 
 // Server wires the public scratchmem API behind HTTP handlers with a
@@ -73,6 +95,8 @@ type Server struct {
 	met      *metrics
 	mux      *http.ServeMux
 	breakers map[string]*breaker // per compute route
+	log      *slog.Logger
+	tracer   *obs.Tracer
 
 	// planFn runs the planner; a test seam (defaults to
 	// scratchmem.PlanModelCtx). The context is the flight's, not any single
@@ -84,12 +108,13 @@ type Server struct {
 }
 
 // routes is the fixed set of request-counter labels.
-var routes = []string{"/v1/plan", "/v1/simulate", "/v1/dse", "/v1/models", "/healthz", "/metrics"}
+var routes = []string{"/v1/plan", "/v1/simulate", "/v1/dse", "/v1/trace", "/v1/spans", "/v1/models", "/healthz", "/metrics"}
 
 // computeRoutes are the routes that run planner/simulator/DSE work; each
 // gets its own circuit breaker, so a panicking planner does not take the
-// cheap informational routes down with it.
-var computeRoutes = []string{"/v1/plan", "/v1/simulate", "/v1/dse"}
+// cheap informational routes down with it. /v1/trace belongs here because
+// it dry-runs every layer's tile schedule on a trace-cache miss.
+var computeRoutes = []string{"/v1/plan", "/v1/simulate", "/v1/dse", "/v1/trace"}
 
 // New builds a Server with its cache, semaphore and handler set.
 func New(cfg Config) *Server {
@@ -107,12 +132,22 @@ func New(cfg Config) *Server {
 	if queue == 0 {
 		queue = DefaultQueueDepth
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Discard()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(DefaultSpanRing)
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    plancache.New(entries),
 		sem:      parallel.NewQueuedSemaphore(cfg.Workers, queue),
 		met:      newMetrics(routes),
 		breakers: make(map[string]*breaker, len(computeRoutes)),
+		log:      logger,
+		tracer:   tracer,
 		planFn: func(ctx context.Context, n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
 			if err := faultinject.Hit("server.plan"); err != nil {
 				return nil, err
@@ -129,10 +164,15 @@ func New(cfg Config) *Server {
 	for _, route := range computeRoutes {
 		s.breakers[route] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
+	// The phase-latency histograms are derived from finished spans: every
+	// plan/simulate/cache span anywhere down the stack lands here.
+	s.tracer.OnFinish(s.met.observeSpan)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.counted("/v1/plan", s.handlePlan))
 	mux.HandleFunc("POST /v1/simulate", s.counted("/v1/simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/dse", s.counted("/v1/dse", s.handleDSE))
+	mux.HandleFunc("GET /v1/trace/{key}", s.counted("/v1/trace", s.handleTrace))
+	mux.HandleFunc("GET /v1/spans", s.counted("/v1/spans", s.handleSpans))
 	mux.HandleFunc("GET /v1/models", s.counted("/v1/models", s.handleModels))
 	mux.HandleFunc("GET /healthz", s.counted("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.counted("/metrics", s.handleMetrics))
@@ -147,35 +187,69 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) CacheStats() plancache.Stats { return s.cache.Stats() }
 
 // counted wraps a handler with its request counter, the route's circuit
-// breaker, and a recover that converts a panic escaping the handler into a
-// 500 instead of killing the server. Panics in the compute pipeline mostly
-// surface as 500 responses rather than handler panics (the plancache
-// flight goroutine recovers them into plancache.ErrPanic), so the breaker
-// counts 500s: enough consecutive ones trip the route to fast-503 with
-// Retry-After until a half-open probe succeeds.
+// breaker, the request span and access log, and a recover that converts a
+// panic escaping the handler into a 500 instead of killing the server.
+// Panics in the compute pipeline mostly surface as 500 responses rather
+// than handler panics (the plancache flight goroutine recovers them into
+// plancache.ErrPanic), so the breaker counts 500s: enough consecutive ones
+// trip the route to fast-503 with Retry-After until a half-open probe
+// succeeds.
+//
+// Every request gets a "request" span rooted at the server's tracer and a
+// logger stamped with the trace ID; handlers annotate the span (model_hash,
+// degraded_mode) and the access-log record reads the annotations back, so
+// the log line and the span agree by construction.
 func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
 	br := s.breakers[route] // nil for non-compute routes: always allows
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.met.request(route)
-		if !br.allow() {
-			s.met.breakerOpened()
-			s.writeShed(w, "circuit breaker open for "+route)
-			return
-		}
+		start := time.Now()
+		ctx, span := obs.StartSpan(obs.WithTracer(r.Context(), s.tracer), "request")
+		span.SetAttr("route", route)
+		span.SetAttr("method", r.Method)
+		logger := s.log.With("trace_id", span.Trace(), "route", route)
+		ctx = obs.WithLogger(ctx, logger)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		rejected := false // breaker fast-fail: not the handler's outcome
 		defer func() {
-			if rec := recover(); rec != nil {
-				br.failure()
+			rec := recover()
+			if rec != nil {
 				s.writeError(w, http.StatusInternalServerError, "internal error")
-				return
+				sw.status = http.StatusInternalServerError
 			}
-			if sw.status == http.StatusInternalServerError {
-				br.failure()
+			if !rejected {
+				if sw.status == http.StatusInternalServerError {
+					br.failure()
+				} else {
+					br.success()
+				}
+			}
+			span.SetAttr("status", sw.status)
+			span.End()
+			d := time.Since(start)
+			attrs := []any{"method", r.Method, "status", sw.status, "duration", d}
+			if mh := span.Attr("model_hash"); mh != nil {
+				attrs = append(attrs, "model_hash", mh)
+			}
+			if dm := span.Attr("degraded_mode"); dm != nil {
+				attrs = append(attrs, "degraded_mode", dm)
+			}
+			if rec != nil {
+				logger.Error("handler panic", append(attrs, "panic", rec)...)
 			} else {
-				br.success()
+				logger.Info("request", attrs...)
+			}
+			if s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest {
+				logger.Warn("slow request", "duration", d, "threshold", s.cfg.SlowRequest, "status", sw.status)
 			}
 		}()
-		h(sw, r)
+		if !br.allow() {
+			rejected = true
+			s.met.breakerOpened()
+			s.writeShed(sw, "circuit breaker open for "+route)
+			return
+		}
+		h(sw, r.WithContext(ctx))
 	}
 }
 

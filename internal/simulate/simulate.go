@@ -14,6 +14,7 @@ import (
 	"scratchmem/internal/core"
 	"scratchmem/internal/dram"
 	"scratchmem/internal/engine"
+	"scratchmem/internal/policy"
 	"scratchmem/internal/progress"
 	"scratchmem/internal/smmerr"
 	"scratchmem/internal/trace"
@@ -131,7 +132,7 @@ func RunCtx(ctx context.Context, p *core.Plan, o Options, prog progress.Func) (*
 		res.Cycles += cycles
 		res.EstimateCycles += lp.Est.LatencyCycles
 		prog.Emit(progress.Event{Phase: "simulate", Index: i, Total: len(p.Layers), Name: lp.Layer.Name,
-			AccessElems: er.AccessElems(), LatencyCycles: res.Cycles})
+			Policy: policy.ShortVariant(lp.Est.Policy, lp.Est.Opts.Prefetch), AccessElems: er.AccessElems(), LatencyCycles: res.Cycles})
 	}
 	return res, nil
 }

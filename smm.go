@@ -39,6 +39,7 @@ import (
 	"scratchmem/internal/core"
 	"scratchmem/internal/dse"
 	"scratchmem/internal/model"
+	"scratchmem/internal/obs"
 	"scratchmem/internal/policy"
 	"scratchmem/internal/program"
 	"scratchmem/internal/scalesim"
@@ -226,6 +227,28 @@ func PlanModelCtx(ctx context.Context, n *Network, o PlanOptions, prog Progress)
 	if err != nil {
 		return nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "plan")
+	if span != nil {
+		span.SetAttr("model", n.Name)
+		span.SetAttr("layers", len(n.Layers))
+		span.SetAttr("objective", o.Objective.String())
+		prog = obs.SpanProgress(span, prog)
+		defer span.End()
+	}
+	plan, err := planLadder(ctx, cfg, n, o, prog)
+	if span != nil {
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		} else if plan.Degraded {
+			span.SetAttr("degraded_mode", plan.DegradedMode)
+		}
+	}
+	return plan, err
+}
+
+// planLadder is PlanModelCtx after option resolution and instrumentation:
+// the requested plan plus the degradation ladder.
+func planLadder(ctx context.Context, cfg Config, n *Network, o PlanOptions, prog Progress) (*Plan, error) {
 	pl := &core.Planner{
 		Cfg:             cfg,
 		Objective:       o.Objective,
@@ -326,10 +349,19 @@ func SimulatePlan(p *Plan) (measured, estimated int64, err error) {
 // SimulatePlanCtx is SimulatePlan with cancellation (checked per layer and
 // inside each layer's schedule walk) and "simulate" progress events.
 func SimulatePlanCtx(ctx context.Context, p *Plan, prog Progress) (measured, estimated int64, err error) {
+	ctx, span := obs.StartSpan(ctx, "simulate")
+	if span != nil {
+		span.SetAttr("model", p.Model)
+		span.SetAttr("layers", len(p.Layers))
+		prog = obs.SpanProgress(span, prog)
+		defer span.End()
+	}
 	r, err := simulate.RunCtx(ctx, p, simulate.Options{}, prog)
 	if err != nil {
+		span.SetAttr("error", err.Error())
 		return 0, 0, err
 	}
+	span.SetAttr("cycles", r.Cycles)
 	return r.Cycles, r.EstimateCycles, nil
 }
 
@@ -344,5 +376,14 @@ func DSEAccessElems(n *Network, cfg Config) (elems int64, feasible bool) {
 // and per candidate filter-block size inside the grid search, so even a
 // single large layer's sweep aborts promptly — and "dse" progress events.
 func DSEAccessElemsCtx(ctx context.Context, n *Network, cfg Config, prog Progress) (elems int64, feasible bool, err error) {
-	return dse.NetworkAccessElemsCtx(ctx, n, cfg, prog)
+	ctx, span := obs.StartSpan(ctx, "dse")
+	if span != nil {
+		span.SetAttr("model", n.Name)
+		span.SetAttr("layers", len(n.Layers))
+		prog = obs.SpanProgress(span, prog)
+		defer span.End()
+	}
+	elems, feasible, err = dse.NetworkAccessElemsCtx(ctx, n, cfg, prog)
+	span.SetAttr("feasible", feasible)
+	return elems, feasible, err
 }
