@@ -1,0 +1,264 @@
+// Command smm-bench measures the planning hot paths and emits a
+// machine-readable before/after document (BENCH_5.json by default), so the
+// memoization + fan-out work of PR 5 stays pinned to numbers a CI step or a
+// reviewer can diff.
+//
+// Document format (schema "smm-bench/v1"):
+//
+//	{
+//	  "schema": "smm-bench/v1",
+//	  "gomaxprocs": 1,
+//	  "benchmarks": [
+//	    {
+//	      "name": "PlannerAllModels",         // matches the Go benchmark name
+//	      "before_ns_per_op": 7160979,        // pre-optimisation cost
+//	      "before_source": "seed",            // "seed": recorded at the seed
+//	                                          // commit; "measured": the
+//	                                          // sequential memo-free path run
+//	                                          // by this invocation
+//	      "after_ns_per_op": 2262410,         // measured by this invocation
+//	      "speedup": 3.17,
+//	      "sequential_ns_per_op": 7011234     // optional: the memo-free
+//	                                          // reference measured live, for
+//	                                          // workloads that expose one
+//	    }, ...
+//	  ]
+//	}
+//
+// Usage:
+//
+//	smm-bench                 # ~1s per workload, writes BENCH_5.json
+//	smm-bench -time 5 -count 3 -o /tmp/bench.json
+//	smm-bench -quick          # single iteration per workload (CI smoke)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	scratchmem "scratchmem"
+	"scratchmem/internal/cli"
+	"scratchmem/internal/core"
+	"scratchmem/internal/dse"
+	"scratchmem/internal/experiments"
+	"scratchmem/internal/layer"
+	"scratchmem/internal/model"
+	"scratchmem/internal/policy"
+)
+
+// seedNsPerOp records `go test -bench -benchtime 30x` at the seed commit
+// (the tree immediately before this PR) on the reference machine, so every
+// emitted document carries the baseline the optimisation was measured
+// against even where the old code path no longer exists.
+var seedNsPerOp = map[string]int64{
+	"Estimate":         237,
+	"PlanModel":        45006,
+	"PlannerHet":       45351,
+	"PlannerAllModels": 7160979,
+	"Fig5_Accesses":    14971223,
+	"Fig8_Latency":     26905313,
+	"DSELayer":         85865,
+}
+
+// entry is one benchmark row of the emitted document.
+type entry struct {
+	Name         string  `json:"name"`
+	BeforeNsOp   int64   `json:"before_ns_per_op"`
+	BeforeSource string  `json:"before_source"`
+	AfterNsOp    int64   `json:"after_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	SequentialNs int64   `json:"sequential_ns_per_op,omitempty"`
+}
+
+// document is the whole BENCH_5.json payload.
+type document struct {
+	Schema     string  `json:"schema"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// workload names one measured code path. run must perform exactly one
+// operation (one figure regeneration, one plan, one estimate); sequential
+// optionally performs the same operation through the memo-free, one-worker
+// reference path.
+type workload struct {
+	name       string
+	run        func()
+	sequential func()
+}
+
+// seqPlanner is the pre-PR reference: no estimate memo, no winner caches,
+// one worker.
+func seqPlanner(kb int, obj core.Objective) *core.Planner {
+	pl := &core.Planner{Cfg: policy.Default(kb), Objective: obj, Workers: 1}
+	pl.UseMemo(nil)
+	return pl
+}
+
+func mustPlan(_ *core.Plan, err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// workloads mirrors the headline Go benchmarks (bench_test.go) so the JSON
+// rows line up with `go test -bench` output by name.
+func workloads() []workload {
+	resnet, err := model.Builtin("ResNet18")
+	if err != nil {
+		panic(err)
+	}
+	nets := model.Builtins()
+	dseL := layer.MustNew("c", layer.Conv, 14, 14, 256, 3, 3, 512, 1, 1)
+	estL := layer.MustNew("c", layer.Conv, 56, 56, 64, 3, 3, 128, 1, 1)
+	cfg64 := policy.Default(64)
+
+	allModels := func(newPlanner func(int, core.Objective) *core.Planner) {
+		for _, n := range nets {
+			for _, kb := range experiments.PaperSizesKB {
+				for _, obj := range []core.Objective{core.MinAccesses, core.MinLatency} {
+					mustPlan(newPlanner(kb, obj).Heterogeneous(n))
+				}
+			}
+		}
+	}
+
+	return []workload{
+		{
+			name: "Estimate",
+			run:  func() { policy.Estimate(&estL, policy.P5PartialPerChannel, policy.Options{Prefetch: true}, cfg64) },
+		},
+		{
+			name: "PlanModel",
+			run: func() {
+				if _, err := scratchmem.PlanModel(resnet, scratchmem.PlanOptions{GLBKiloBytes: 64}); err != nil {
+					panic(err)
+				}
+			},
+			sequential: func() { mustPlan(seqPlanner(64, core.MinAccesses).Heterogeneous(resnet)) },
+		},
+		{
+			name:       "PlannerHet",
+			run:        func() { mustPlan(core.NewPlanner(64, core.MinAccesses).Heterogeneous(resnet)) },
+			sequential: func() { mustPlan(seqPlanner(64, core.MinAccesses).Heterogeneous(resnet)) },
+		},
+		{
+			name:       "PlannerAllModels",
+			run:        func() { allModels(core.NewPlanner) },
+			sequential: func() { allModels(seqPlanner) },
+		},
+		{
+			name: "Fig5_Accesses",
+			run:  func() { experiments.Fig5(experiments.DefaultSetup()) },
+		},
+		{
+			name: "Fig8_Latency",
+			run:  func() { experiments.Fig8(experiments.DefaultSetup()) },
+		},
+		{
+			name: "DSELayer",
+			run: func() {
+				if r := dse.Best(&dseL, cfg64); !r.Feasible {
+					panic("dse infeasible")
+				}
+			},
+		},
+	}
+}
+
+// measure times f like a testing.B loop: warm once, then grow the iteration
+// count until one timed run lasts at least minTime, and report ns/op of the
+// final run. Repeated count times, keeping the fastest (least-noisy) run.
+func measure(f func(), minTime time.Duration, count int) int64 {
+	f() // warm caches, page in code
+	best := int64(0)
+	for c := 0; c < count; c++ {
+		n := 1
+		for {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				f()
+			}
+			elapsed := time.Since(start)
+			if elapsed >= minTime || n >= 1<<20 {
+				ns := elapsed.Nanoseconds() / int64(n)
+				if best == 0 || ns < best {
+					best = ns
+				}
+				break
+			}
+			// Grow geometrically toward the target duration.
+			n *= 2
+			if elapsed > 0 {
+				if pred := int(int64(n) * int64(minTime) / elapsed.Nanoseconds()); pred > n {
+					n = pred
+				}
+			}
+		}
+	}
+	return best
+}
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	cli.Exit("smm-bench", err)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("smm-bench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		outPath   = fs.String("o", "BENCH_5.json", "output path for the benchmark document")
+		benchTime = fs.Float64("time", 1.0, "minimum seconds to spend per workload")
+		count     = fs.Int("count", 1, "repetitions per workload (fastest run wins)")
+		quick     = fs.Bool("quick", false, "single iteration per workload — a CI smoke run, not a measurement")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	minTime := time.Duration(*benchTime * float64(time.Second))
+	if *quick {
+		minTime, *count = 0, 1
+	}
+	if *count < 1 {
+		return fmt.Errorf("-count must be >= 1, got %d", *count)
+	}
+
+	doc := document{Schema: "smm-bench/v1", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, w := range workloads() {
+		after := measure(w.run, minTime, *count)
+		e := entry{Name: w.name, AfterNsOp: after}
+		if w.sequential != nil {
+			e.SequentialNs = measure(w.sequential, minTime, *count)
+		}
+		if seed, ok := seedNsPerOp[w.name]; ok {
+			e.BeforeNsOp, e.BeforeSource = seed, "seed"
+		} else if e.SequentialNs > 0 {
+			e.BeforeNsOp, e.BeforeSource = e.SequentialNs, "measured"
+		} else {
+			e.BeforeNsOp, e.BeforeSource = after, "measured"
+		}
+		if after > 0 {
+			e.Speedup = float64(e.BeforeNsOp) / float64(after)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, e)
+		fmt.Fprintf(out, "%-18s before %12d ns/op  after %12d ns/op  %.2fx\n",
+			w.name, e.BeforeNsOp, e.AfterNsOp, e.Speedup)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunQuickEmitsValidDocument: a -quick run touches every workload once
+// and writes a decodable smm-bench/v1 document with positive timings.
+func TestRunQuickEmitsValidDocument(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_5.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-o", out}, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("document does not decode: %v", err)
+	}
+	if doc.Schema != "smm-bench/v1" {
+		t.Errorf("schema = %q, want smm-bench/v1", doc.Schema)
+	}
+	if len(doc.Benchmarks) != len(workloads()) {
+		t.Fatalf("document has %d rows, want %d", len(doc.Benchmarks), len(workloads()))
+	}
+	for _, e := range doc.Benchmarks {
+		if e.Name == "" || e.AfterNsOp <= 0 || e.BeforeNsOp <= 0 || e.Speedup <= 0 {
+			t.Errorf("row %+v carries non-positive measurements", e)
+		}
+		if e.BeforeSource != "seed" && e.BeforeSource != "measured" {
+			t.Errorf("row %s: before_source = %q", e.Name, e.BeforeSource)
+		}
+	}
+}
+
+// TestRunRejectsBadCount: the flag seam fails loudly instead of dividing by
+// zero later.
+func TestRunRejectsBadCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-count", "0", "-o", filepath.Join(t.TempDir(), "x.json")}, &buf); err == nil {
+		t.Fatal("run accepted -count 0")
+	}
+}

@@ -1,0 +1,101 @@
+package scratchmem
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"scratchmem/internal/core"
+	"scratchmem/internal/model"
+	"scratchmem/internal/policy"
+)
+
+// equivSizesKB mirrors the paper's sweep (experiments.PaperSizesKB).
+var equivSizesKB = []int{64, 128, 256, 512, 1024}
+
+// planScheme names one planning entry point for the equivalence matrix.
+type planScheme struct {
+	name string
+	run  func(context.Context, *core.Planner, *Network) (*Plan, error)
+}
+
+var planSchemes = []planScheme{
+	{"het", func(ctx context.Context, pl *core.Planner, n *Network) (*Plan, error) {
+		return pl.HeterogeneousCtx(ctx, n, nil)
+	}},
+	{"hom", func(ctx context.Context, pl *core.Planner, n *Network) (*Plan, error) {
+		return pl.BestHomogeneousCtx(ctx, n, nil)
+	}},
+	{"inter", func(ctx context.Context, pl *core.Planner, n *Network) (*Plan, error) {
+		il := *pl
+		il.InterLayer = true
+		return il.HeterogeneousCtx(ctx, n, nil)
+	}},
+}
+
+// TestMemoizedPlanningEquivalence is the PR's golden equivalence property:
+// across every builtin model, every paper GLB size, both objectives and
+// every planning scheme, the memoized, parallel-sweep planner produces a
+// plan that is deeply equal — and renders to byte-identical canonical
+// PlanDoc JSON — to the sequential, memo-free reference. Run it under
+// -race to also exercise the fan-out's synchronisation.
+func TestMemoizedPlanningEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range model.BuiltinNames() {
+		n, err := model.Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kb := range equivSizesKB {
+			for _, obj := range []Objective{MinAccesses, MinLatency} {
+				for _, sc := range planSchemes {
+					// Reference: no memo, no winner cache, sequential sweeps.
+					ref := &core.Planner{Cfg: policy.Default(kb), Objective: obj, Workers: 1}
+					ref.UseMemo(nil)
+					want, wantErr := sc.run(ctx, ref, n)
+
+					// Optimized: fresh memo + companion caches, parallel sweeps.
+					opt := core.NewPlanner(kb, obj)
+					opt.Workers = 8
+					got, gotErr := sc.run(ctx, opt, n)
+
+					tag := name + "/" + sc.name
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("%s@%dkB %v: errors diverge: ref=%v opt=%v", tag, kb, obj, wantErr, gotErr)
+					}
+					if wantErr != nil {
+						continue
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s@%dkB %v: plans diverge", tag, kb, obj)
+					}
+					wantJSON, err := PlanDocument(want).MarshalIndent()
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotJSON, err := PlanDocument(got).MarshalIndent()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(gotJSON, wantJSON) {
+						t.Fatalf("%s@%dkB %v: canonical plan documents diverge", tag, kb, obj)
+					}
+
+					// A second planner sharing the first's warm caches (the
+					// figure drivers' pattern) answers identically too.
+					shared := core.NewPlanner(kb, obj)
+					shared.UseMemo(opt.Memo)
+					shared.Workers = 8
+					again, err := sc.run(ctx, shared, n)
+					if err != nil {
+						t.Fatalf("%s@%dkB %v: warm-cache replan failed: %v", tag, kb, obj, err)
+					}
+					if !reflect.DeepEqual(again, want) {
+						t.Fatalf("%s@%dkB %v: warm-cache plan diverges", tag, kb, obj)
+					}
+				}
+			}
+		}
+	}
+}

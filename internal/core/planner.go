@@ -3,9 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"scratchmem/internal/faultinject"
+	"scratchmem/internal/layer"
 	"scratchmem/internal/model"
+	"scratchmem/internal/parallel"
 	"scratchmem/internal/policy"
 	"scratchmem/internal/progress"
 	"scratchmem/internal/smmerr"
@@ -31,39 +34,138 @@ type Planner struct {
 	// with a one-pass greedy rule (enable retention whenever the local pair
 	// improves); an ablation knob — the DP is never worse.
 	InterLayerGreedy bool
+	// Memo is the estimate table shared across one planning run: repeated
+	// layer shapes and the DP's (resident, keep) re-probes become map
+	// lookups. nil disables memoization entirely — the sequential
+	// reference path the golden equivalence tests compare against.
+	// NewPlanner installs a fresh table; literal constructions opt in via
+	// UseMemo. Every memoized path produces plans identical to the direct
+	// path.
+	Memo *policy.Memo
+	// Workers bounds BestHomogeneousCtx's per-variant fan-out: 0 uses
+	// GOMAXPROCS, 1 plans the variants sequentially on the caller's
+	// goroutine. The fan-out reduces results in deterministic variant
+	// order, so the worker count never changes the selected plan.
+	Workers int
+
+	// best caches bestForLayer/bestFallback winners; installed alongside
+	// Memo by UseMemo. A pointer, so value copies of the Planner (the
+	// degradation ladder's rungs) share it — the key carries every field a
+	// copy might change.
+	best *bestCache
 }
 
 // NewPlanner returns a Planner with the paper's default accelerator
-// specification for the given GLB size in kB and the given objective.
+// specification for the given GLB size in kB and the given objective,
+// with a fresh estimate memo installed.
 func NewPlanner(glbKB int, obj Objective) *Planner {
-	return &Planner{Cfg: policy.Default(glbKB), Objective: obj}
+	pl := &Planner{Cfg: policy.Default(glbKB), Objective: obj}
+	pl.UseMemo(policy.NewMemo())
+	return pl
 }
 
-// prefetchChoices returns the prefetch settings the planner may use.
+// UseMemo installs m as the planner's estimate table (sharing one table
+// across planners is safe and useful: the estimators do not depend on the
+// objective). A nil m removes memoization, restoring the sequential
+// reference behaviour.
+func (pl *Planner) UseMemo(m *policy.Memo) {
+	pl.Memo = m
+	if m == nil {
+		pl.best = nil
+		return
+	}
+	pl.best = bestCacheFor(m)
+}
+
+// planIDs and prefetchAll back prefetchChoices and the candidate loops
+// without per-call allocations.
+var (
+	planIDs     = policy.IDs()
+	prefetchAll = [2]bool{false, true}
+)
+
+// prefetchChoices returns the prefetch settings the planner may use. The
+// result aliases a shared read-only array; callers must not mutate it.
 func (pl *Planner) prefetchChoices() []bool {
 	if pl.DisablePrefetch {
-		return []bool{false}
+		return prefetchAll[:1]
 	}
-	return []bool{false, true}
+	return prefetchAll[:]
+}
+
+// objIndex maps an objective to its bestPair slot.
+func objIndex(o Objective) int {
+	if o == MinLatency {
+		return 1
+	}
+	return 0
 }
 
 // bestForLayer runs Algorithm 1's inner loop (lines 6-19) for one layer
 // under the given inter-layer options, returning the winning estimate or an
-// infeasible fallback estimate if nothing fits.
+// infeasible fallback estimate if nothing fits. With a memo installed the
+// whole candidate sweep is cached per layer shape — under both objectives
+// at once — so the inter-layer DP's re-probes, repeated shapes, and a
+// sibling planner with the other objective all answer without
+// re-estimating anything.
 func (pl *Planner) bestForLayer(lp *model.Network, idx int, resident, keep bool) policy.Result {
+	var r policy.Result
+	pl.bestForLayerInto(&r, lp, idx, resident, keep)
+	return r
+}
+
+// bestForLayerInto is bestForLayer writing the winner in place.
+func (pl *Planner) bestForLayerInto(e *policy.Result, lp *model.Network, idx int, resident, keep bool) {
 	l := &lp.Layers[idx]
-	var best policy.Result
+	if pl.best == nil {
+		p := pl.bestForLayerDirect(l, resident, keep)
+		*e = p[objIndex(pl.Objective)]
+		return
+	}
+	k := bestKey{shape: policy.KeyOf(l), cfg: pl.Cfg,
+		noPrefetch: pl.DisablePrefetch, resident: resident, keep: keep}
+	if p := pl.best.get(&k); p != nil {
+		pl.Memo.CountHit()
+		*e = p[objIndex(pl.Objective)]
+		e.Layer = l.Name
+		return
+	}
+	pl.Memo.CountMiss()
+	p := pl.bestForLayerDirect(l, resident, keep)
+	*e = p[objIndex(pl.Objective)]
+	pl.best.put(&k, &p)
+}
+
+func (pl *Planner) bestForLayerDirect(l *layer.Layer, resident, keep bool) bestPair {
+	var p bestPair
 	found := false
-	for _, id := range policy.IDs() {
+	// consider folds a feasible candidate into both objectives' running
+	// winners with the same strict first-best-wins comparison the
+	// single-objective loop used, so each slot is exactly what a dedicated
+	// sweep under that objective would have picked.
+	consider := func(e *policy.Result) {
+		if !found {
+			p[0], p[1] = *e, *e
+			found = true
+			return
+		}
+		if better(MinAccesses, e, &p[0]) {
+			p[0] = *e
+		}
+		if better(MinLatency, e, &p[1]) {
+			p[1] = *e
+		}
+	}
+	sh := policy.NewShape(l, pl.Cfg.IncludePadding)
+	var e policy.Result
+	for _, id := range planIDs {
 		for _, pf := range pl.prefetchChoices() {
 			o := policy.Options{Prefetch: pf, ResidentIfmap: resident, KeepOfmap: keep}
-			e := policy.Estimate(l, id, o, pl.Cfg)
+			sh.EstimateFastInto(&e, id, o, pl.Cfg)
 			if !e.Feasible {
 				continue
 			}
-			if !found || better(pl.Objective, &e, &best) {
-				best, found = e, true
-			}
+			consider(&e)
 		}
 	}
 	// Algorithm 1's escape hatch — fallback tiling — is evaluated as a
@@ -72,20 +174,20 @@ func (pl *Planner) bestForLayer(lp *model.Network, idx int, resident, keep bool)
 	// including it keeps Het dominant over every homogeneous scheme.
 	for _, pf := range pl.prefetchChoices() {
 		o := policy.Options{Prefetch: pf, ResidentIfmap: resident, KeepOfmap: keep}
-		e := policy.FallbackEstimate(l, o, pl.Cfg)
+		sh.FallbackInto(&e, o, pl.Cfg)
 		if !e.Feasible {
 			continue
 		}
-		if !found || better(pl.Objective, &e, &best) {
-			best, found = e, true
-		}
+		consider(&e)
 	}
 	if found {
-		return best
+		return p
 	}
 	// Even fallback tiling does not fit; report the (infeasible) fallback
 	// so callers can surface a precise error.
-	return policy.FallbackEstimate(l, policy.Options{ResidentIfmap: resident, KeepOfmap: keep}, pl.Cfg)
+	sh.FallbackInto(&e, policy.Options{ResidentIfmap: resident, KeepOfmap: keep}, pl.Cfg)
+	p[0], p[1] = e, e
+	return p
 }
 
 // Heterogeneous produces the paper's Het scheme: the best feasible policy
@@ -134,16 +236,19 @@ func (pl *Planner) independentLayers(ctx context.Context, n *model.Network, prog
 		if err := layerGate(ctx); err != nil {
 			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
 		}
-		e := pl.bestForLayer(n, i, false, false)
+		out[i].Layer = n.Layers[i]
+		e := &out[i].Est
+		pl.bestForLayerInto(e, n, i, false, false)
 		if !e.Feasible {
 			return nil, smmerr.Layer(i, n.Layers[i].Name,
 				&smmerr.InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes})
 		}
-		out[i] = LayerPlan{Layer: n.Layers[i], Est: e}
 		accesses += e.AccessElems
 		cycles += e.LatencyCycles
-		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: len(n.Layers), Name: n.Layers[i].Name,
-			Policy: policy.ShortVariant(e.Policy, e.Opts.Prefetch), AccessElems: accesses, LatencyCycles: cycles})
+		if prog != nil {
+			prog(progress.Event{Phase: "plan", Index: i, Total: len(n.Layers), Name: n.Layers[i].Name,
+				Policy: policy.ShortVariant(e.Policy, e.Opts.Prefetch), AccessElems: accesses, LatencyCycles: cycles})
+		}
 	}
 	return out, nil
 }
@@ -177,9 +282,9 @@ func (pl *Planner) interLayerDP(ctx context.Context, n *model.Network, prog prog
 			if !dp[i][s].ok {
 				continue
 			}
-			keeps := []bool{false}
+			keeps := prefetchAll[:1] // {false}
 			if canKeep {
-				keeps = append(keeps, true)
+				keeps = prefetchAll[:] // {false, true}
 			}
 			for _, keep := range keeps {
 				e := pl.bestForLayer(n, i, s == 1, keep)
@@ -254,50 +359,99 @@ func (pl *Planner) HomogeneousCtx(ctx context.Context, n *model.Network, id poli
 	if err := n.Validate(); err != nil {
 		return nil, smmerr.BadModel(err)
 	}
+	return pl.homogeneousPlanned(ctx, n, id, prefetch, prog)
+}
+
+// homogeneousPlanned is HomogeneousCtx after validation — the per-variant
+// body BestHomogeneousCtx fans out (validating once, not twelve times).
+func (pl *Planner) homogeneousPlanned(ctx context.Context, n *model.Network, id policy.ID, prefetch bool, prog progress.Func) (*Plan, error) {
 	plan := &Plan{
 		Model: n.Name, Cfg: pl.Cfg, Objective: pl.Objective,
 		Scheme:               "hom " + policy.Variant(id, prefetch),
 		ChainableTransitions: countChainable(n),
 	}
+	plan.Layers = make([]LayerPlan, 0, len(n.Layers))
 	var accesses, cycles int64
 	for i := range n.Layers {
 		if err := layerGate(ctx); err != nil {
 			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
 		}
 		l := &n.Layers[i]
-		e := policy.Estimate(l, id, policy.Options{Prefetch: prefetch}, pl.Cfg)
+		// Fill the plan slot in place: the estimate lands directly in its
+		// final location instead of bouncing through stack copies.
+		plan.Layers = append(plan.Layers, LayerPlan{Layer: *l})
+		e := &plan.Layers[i].Est
+		pl.Memo.EstimateInto(e, l, id, policy.Options{Prefetch: prefetch}, pl.Cfg)
 		if !e.Feasible {
-			e = pl.bestFallback(n, i)
+			pl.bestFallbackInto(e, l)
 			if !e.Feasible {
 				return nil, smmerr.Layer(i, l.Name,
 					&smmerr.InfeasibleError{Model: n.Name, Layer: l.Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes})
 			}
 		}
-		plan.Layers = append(plan.Layers, LayerPlan{Layer: *l, Est: e})
 		accesses += e.AccessElems
 		cycles += e.LatencyCycles
-		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: len(n.Layers), Name: l.Name,
-			Policy: policy.ShortVariant(e.Policy, e.Opts.Prefetch), AccessElems: accesses, LatencyCycles: cycles})
+		if prog != nil {
+			prog(progress.Event{Phase: "plan", Index: i, Total: len(n.Layers), Name: l.Name,
+				Policy: policy.ShortVariant(e.Policy, e.Opts.Prefetch), AccessElems: accesses, LatencyCycles: cycles})
+		}
 	}
 	return plan, nil
 }
 
-func (pl *Planner) bestFallback(n *model.Network, idx int) policy.Result {
-	var best policy.Result
+func (pl *Planner) bestFallback(l *layer.Layer) policy.Result {
+	var r policy.Result
+	pl.bestFallbackInto(&r, l)
+	return r
+}
+
+// bestFallbackInto is bestFallback writing the winner in place.
+func (pl *Planner) bestFallbackInto(e *policy.Result, l *layer.Layer) {
+	if pl.best == nil {
+		p := pl.bestFallbackDirect(l)
+		*e = p[objIndex(pl.Objective)]
+		return
+	}
+	k := bestKey{shape: policy.KeyOf(l), cfg: pl.Cfg,
+		noPrefetch: pl.DisablePrefetch, fallback: true}
+	if p := pl.best.get(&k); p != nil {
+		pl.Memo.CountHit()
+		*e = p[objIndex(pl.Objective)]
+		e.Layer = l.Name
+		return
+	}
+	pl.Memo.CountMiss()
+	p := pl.bestFallbackDirect(l)
+	*e = p[objIndex(pl.Objective)]
+	pl.best.put(&k, &p)
+}
+
+func (pl *Planner) bestFallbackDirect(l *layer.Layer) bestPair {
+	var p bestPair
 	found := false
 	for _, pf := range pl.prefetchChoices() {
-		e := policy.FallbackEstimate(&n.Layers[idx], policy.Options{Prefetch: pf}, pl.Cfg)
+		e := pl.Memo.Fallback(l, policy.Options{Prefetch: pf}, pl.Cfg)
 		if !e.Feasible {
 			continue
 		}
-		if !found || better(pl.Objective, &e, &best) {
-			best, found = e, true
+		if !found {
+			p[0], p[1] = e, e
+			found = true
+			continue
+		}
+		if better(MinAccesses, &e, &p[0]) {
+			p[0] = e
+		}
+		if better(MinLatency, &e, &p[1]) {
+			p[1] = e
 		}
 	}
 	if found {
-		return best
+		return p
 	}
-	return policy.FallbackEstimate(&n.Layers[idx], policy.Options{}, pl.Cfg)
+	e := pl.Memo.Fallback(l, policy.Options{}, pl.Cfg)
+	p[0], p[1] = e, e
+	return p
 }
 
 // BestHomogeneous evaluates every homogeneous scheme (each policy, with and
@@ -307,40 +461,218 @@ func (pl *Planner) BestHomogeneous(n *model.Network) (*Plan, error) {
 	return pl.BestHomogeneousCtx(context.Background(), n, nil)
 }
 
-// BestHomogeneousCtx is BestHomogeneous with cancellation: ctx is checked
-// once per candidate (policy, ±prefetch) variant and threaded into each
-// per-variant planning pass. Cancellation surfaces immediately rather than
-// being mistaken for an infeasible variant.
+// BestHomogeneousCtx is BestHomogeneous with cancellation and, when
+// Workers permits, a parallel fan-out: the candidate (policy, ±prefetch)
+// variants are planned concurrently over a worker pool and reduced in
+// deterministic variant order, so the selected plan is byte-identical to
+// the sequential walk no matter the worker count or finish order.
+// Progress events from concurrent variant passes are tagged with the
+// variant's Cell label and delivered one at a time, so a single-goroutine
+// observer (a span, a log hook) needs no locking of its own. Cancellation
+// and injected faults surface immediately rather than being mistaken for
+// an infeasible variant.
 func (pl *Planner) BestHomogeneousCtx(ctx context.Context, n *model.Network, prog progress.Func) (*Plan, error) {
+	if err := pl.Cfg.Validate(); err != nil {
+		return nil, smmerr.BadModel(err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, smmerr.BadModel(err)
+	}
+	if prog == nil {
+		// No observer to feed per-variant events: take the shape-deduped
+		// scoring path and assemble only the winning variant's plan.
+		return pl.bestHomogeneousFast(ctx, n)
+	}
+	variants := homVariants(pl.prefetchChoices())
+	plans := make([]*Plan, len(variants))
+	errs := make([]error, len(variants))
+	var emitMu sync.Mutex
+	err := parallel.ForEachCtx(ctx, len(variants), pl.Workers, func(ctx context.Context, i int) error {
+		v := variants[i]
+		cell := policy.ShortVariant(v.id, v.pf)
+		vprog := func(ev progress.Event) {
+			ev.Cell = cell
+			emitMu.Lock()
+			prog(ev)
+			emitMu.Unlock()
+		}
+		p, verr := pl.homogeneousPlanned(ctx, n, v.id, v.pf, vprog)
+		if verr != nil {
+			// Cancellation and injected faults are transient, not a
+			// property of the variant: stop the fan-out and surface them.
+			if smmerr.IsCanceled(verr) || faultinject.IsInjected(verr) {
+				return verr
+			}
+			errs[i] = verr
+			return nil
+		}
+		plans[i] = p
+		return nil
+	})
+	if err != nil {
+		// A bare sentinel means the fan-out feeder stopped before entering
+		// a variant (the sequential path's pre-variant ctx check); errors
+		// from inside a variant pass are already wrapped.
+		if err == context.Canceled || err == context.DeadlineExceeded { //nolint:errorlint // identity, not tree, distinguishes the feeder
+			return nil, fmt.Errorf("core: %s: %w", n.Name, err)
+		}
+		return nil, err
+	}
+	// Reduce in variant order: first-best wins ties, exactly as the
+	// sequential loop's strict planBetter comparison would.
 	var best *Plan
 	var firstErr error
-	for _, id := range policy.IDs() {
-		for _, pf := range pl.prefetchChoices() {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: %s: %w", n.Name, err)
+	for i := range variants {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
 			}
-			p, err := pl.HomogeneousCtx(ctx, n, id, pf, prog)
-			if err != nil {
-				// Cancellation and injected faults are transient, not a
-				// property of the variant: surface them instead of treating
-				// the variant as infeasible.
-				if smmerr.IsCanceled(err) || faultinject.IsInjected(err) {
-					return nil, err
-				}
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			if best == nil || planBetter(pl.Objective, p, best) {
-				best = p
-			}
+			continue
+		}
+		if p := plans[i]; p != nil && (best == nil || planBetter(pl.Objective, p, best)) {
+			best = p
 		}
 	}
 	if best == nil {
 		return nil, firstErr
 	}
 	return best, nil
+}
+
+// homVariant is one homogeneous candidate scheme: a policy with or without
+// prefetching.
+type homVariant struct {
+	id policy.ID
+	pf bool
+}
+
+func homVariants(prefetch []bool) []homVariant {
+	variants := make([]homVariant, 0, 2*len(planIDs))
+	for _, id := range planIDs {
+		for _, pf := range prefetch {
+			variants = append(variants, homVariant{id, pf})
+		}
+	}
+	return variants
+}
+
+// bestHomogeneousFast is BestHomogeneousCtx without an observer: networks
+// repeat layer shapes heavily, and the estimators are pure functions of
+// (shape, variant, config), so the pass dedupes the network into its
+// distinct shapes, sweeps every variant once per shape (fanned over the
+// worker pool), and scores variants by accumulating the dense per-shape
+// contributions in layer order. Totals, failure layers and tie-breaks are
+// exactly those of the per-variant walk — the winning variant's plan,
+// assembled at the end from the now-warm caches, is byte-identical — but
+// the work drops from variants×layers probes to variants×shapes sweeps
+// and a single plan materialisation.
+func (pl *Planner) bestHomogeneousFast(ctx context.Context, n *model.Network) (*Plan, error) {
+	variants := homVariants(pl.prefetchChoices())
+	L := len(n.Layers)
+	shapeIdx := make([]int, L)    // layer -> dense shape index
+	repLayer := make([]int, 0, 8) // shape index -> representative layer
+	idxOf := make(map[policy.LayerKey]int, L)
+	for i := range n.Layers {
+		k := policy.KeyOf(&n.Layers[i])
+		j, ok := idxOf[k]
+		if !ok {
+			j = len(repLayer)
+			idxOf[k] = j
+			repLayer = append(repLayer, i)
+		}
+		shapeIdx[i] = j
+	}
+	contribs := make([]homContribs, len(repLayer))
+	err := parallel.ForEachCtx(ctx, len(repLayer), pl.Workers, func(ctx context.Context, si int) error {
+		li := repLayer[si]
+		if err := layerGate(ctx); err != nil {
+			return smmerr.Layer(li, n.Layers[li].Name, err)
+		}
+		l := &n.Layers[li]
+		k := homKey{shape: policy.KeyOf(l), cfg: pl.Cfg, noPrefetch: pl.DisablePrefetch}
+		if pl.best != nil {
+			if row := pl.best.homGet(&k); row != nil {
+				pl.Memo.CountHit()
+				contribs[si] = *row
+				return nil
+			}
+			pl.Memo.CountMiss()
+		}
+		// Miss: estimate every variant straight from the shape. The shared
+		// estimate memo is deliberately bypassed here — its per-probe
+		// hash/store costs more than the estimator on this dense sweep —
+		// and the whole row is published once instead.
+		sh := policy.NewShape(l, pl.Cfg.IncludePadding)
+		var row homContribs
+		var e policy.Result
+		for vi, v := range variants {
+			sh.EstimateFastInto(&e, v.id, policy.Options{Prefetch: v.pf}, pl.Cfg)
+			if !e.Feasible {
+				pl.bestFallbackInto(&e, l)
+			}
+			if e.Feasible {
+				row[vi] = homContrib{acc: e.AccessElems, lat: e.LatencyCycles, ok: true}
+			} else {
+				row[vi] = homContrib{need: e.MemoryBytes}
+			}
+		}
+		contribs[si] = row
+		if pl.best != nil {
+			pl.best.homPut(&k, &row)
+		}
+		return nil
+	})
+	if err != nil {
+		if err == context.Canceled || err == context.DeadlineExceeded { //nolint:errorlint // identity, not tree, distinguishes the feeder
+			return nil, fmt.Errorf("core: %s: %w", n.Name, err)
+		}
+		return nil, err
+	}
+	// Score variants in variant order; within one, walk layers in order so
+	// the failure layer and the running sums match the sequential pass.
+	bestIdx := -1
+	var bestTotals [2]int64
+	var firstErr error
+	for vi := range variants {
+		var acc, lat int64
+		var verr error
+		for i := 0; i < L; i++ {
+			c := &contribs[shapeIdx[i]][vi]
+			if !c.ok {
+				verr = smmerr.Layer(i, n.Layers[i].Name,
+					&smmerr.InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: c.need, Have: pl.Cfg.GLBBytes})
+				break
+			}
+			acc += c.acc
+			lat += c.lat
+		}
+		if verr != nil {
+			if firstErr == nil {
+				firstErr = verr
+			}
+			continue
+		}
+		t := [2]int64{acc, lat}
+		if bestIdx < 0 || totalsBetter(pl.Objective, t, bestTotals) {
+			bestIdx, bestTotals = vi, t
+		}
+	}
+	if bestIdx < 0 {
+		return nil, firstErr
+	}
+	return pl.homogeneousPlanned(ctx, n, variants[bestIdx].id, variants[bestIdx].pf, nil)
+}
+
+// totalsBetter is planBetter on precomputed {accesses, cycles} sums.
+func totalsBetter(o Objective, a, b [2]int64) bool {
+	ap, as, bp, bs := a[0], a[1], b[0], b[1]
+	if o == MinLatency {
+		ap, as, bp, bs = a[1], a[0], b[1], b[0]
+	}
+	if ap != bp {
+		return ap < bp
+	}
+	return as < bs
 }
 
 func planBetter(o Objective, a, b *Plan) bool {

@@ -119,6 +119,20 @@ func Best(l *layer.Layer, cfg policy.Config) Result {
 // BestCtx is Best with cancellation: the grid walk checks ctx once per
 // candidate filter-block size n (the outermost loop), so a canceled search
 // returns within one n-column of grid evaluations.
+//
+// The walk prunes the grid without changing the answer. Two bounds apply:
+//
+//   - Traffic: a point's access count is at least ceil(F#/n) ifmap sweeps
+//     (one, if the whole channel depth is resident) plus one filter load
+//     plus one ofmap store. Cells whose lower bound strictly exceeds the
+//     best traffic seen so far — seeded by evaluating the whole-layer tile
+//     up front — cannot beat or tie the eventual optimum (the final best
+//     never exceeds the bound), so skipping them preserves the exact
+//     selection, tie-breaks included.
+//   - Memory: a cell's smallest variant footprint grows monotonically in
+//     both tc and n, so once it exceeds the GLB the rest of the tc column
+//     — and, when even the first tc fails, all larger n — is infeasible
+//     and would be discarded anyway.
 func BestCtx(ctx context.Context, l *layer.Layer, cfg policy.Config) (Result, error) {
 	if l.Kind == layer.DepthwiseConv {
 		e := policy.Estimate(l, policy.P5PartialPerChannel, policy.Options{}, cfg)
@@ -129,14 +143,62 @@ func BestCtx(ctx context.Context, l *layer.Layer, cfg policy.Config) (Result, er
 			Feasible:    e.Feasible,
 		}, ctx.Err()
 	}
+	ihe, iwe := int64(l.IH), int64(l.IW)
+	if cfg.IncludePadding {
+		ihe, iwe = int64(l.PaddedIH()), int64(l.PaddedIW())
+	}
+	fh, fw := int64(l.FH), int64(l.FW)
+	ci, f := int64(l.CI), int64(l.F)
+	ow := int64(l.OW())
+	b := cfg.BatchSize()
+	ifmapAll := ihe * iwe * ci
+	filterAll := l.FilterElems()
+	ofmapAll := l.OfmapElems()
+	lbBase := filterAll + b*ofmapAll
+	minTileH := fh
+	if ihe < fh {
+		minTileH = ihe
+	}
+
+	// Seed the pruning bound with the whole-layer tile (always a grid
+	// point): its traffic is the theoretical minimum whenever it fits, so
+	// most of the grid prunes immediately on small layers.
+	bound := int64(1) << 62
+	for _, fullH := range boolBoth {
+		for _, fullO := range boolBoth {
+			r := Evaluate(l, Tiling{N: l.F, TC: l.CI, FullHeight: fullH, FullOfmap: fullO}, cfg)
+			if r.Feasible && r.AccessElems < bound {
+				bound = r.AccessElems
+			}
+		}
+	}
+
 	var best Result
 	for _, n := range gridValues(l.F) {
 		if err := ctx.Err(); err != nil {
 			return best, err
 		}
+		nn := int64(n)
+		colAccI := ceilDiv(f, nn) * ifmapAll * b // lower bound unless fully resident
+		resAccI := ifmapAll * b                  // tc == ci can hold the ifmap
+		anyFit := false
 		for _, tc := range gridValues(l.CI) {
-			for _, fullH := range []bool{false, true} {
-				for _, fullO := range []bool{false, true} {
+			tcc := int64(tc)
+			// Smallest footprint any of the cell's four variants can have.
+			minMem := minTileH*iwe*tcc + fh*fw*tcc*nn + ow*nn
+			if cfg.Bytes(minMem) > cfg.GLBBytes {
+				break // memory grows with tc: the rest of the column is infeasible
+			}
+			anyFit = true
+			lb := colAccI
+			if tcc == ci {
+				lb = resAccI
+			}
+			if lb+lbBase > bound {
+				continue // cannot beat or tie the incumbent
+			}
+			for _, fullH := range boolBoth {
+				for _, fullO := range boolBoth {
 					r := Evaluate(l, Tiling{N: n, TC: tc, FullHeight: fullH, FullOfmap: fullO}, cfg)
 					if !r.Feasible {
 						continue
@@ -145,9 +207,15 @@ func BestCtx(ctx context.Context, l *layer.Layer, cfg policy.Config) (Result, er
 						r.AccessElems < best.AccessElems ||
 						(r.AccessElems == best.AccessElems && r.MemoryElems < best.MemoryElems) {
 						best = r
+						if best.AccessElems < bound {
+							bound = best.AccessElems
+						}
 					}
 				}
 			}
+		}
+		if !anyFit {
+			break // memory grows with n too: no larger column can fit
 		}
 	}
 	if !best.Feasible {
@@ -156,6 +224,8 @@ func BestCtx(ctx context.Context, l *layer.Layer, cfg policy.Config) (Result, er
 	}
 	return best, nil
 }
+
+var boolBoth = [2]bool{false, true}
 
 // gridValues samples a dimension: every power of two up to max, the exact
 // max, and a coarse linear sweep, deduplicated and sorted.
@@ -196,10 +266,22 @@ func NetworkAccessElems(n *model.Network, cfg policy.Config) (int64, bool) {
 func NetworkAccessElemsCtx(ctx context.Context, n *model.Network, cfg policy.Config, prog progress.Func) (int64, bool, error) {
 	var total int64
 	ok := true
+	// BestCtx is a pure function of (shape, cfg), so repeated layer shapes
+	// (ResNet blocks, inverted-residual stacks) search the grid once.
+	seen := make(map[policy.LayerKey]Result, len(n.Layers))
 	for i := range n.Layers {
-		r, err := BestCtx(ctx, &n.Layers[i], cfg)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			return total, false, smmerr.Layer(i, n.Layers[i].Name, err)
+		}
+		k := policy.KeyOf(&n.Layers[i])
+		r, hit := seen[k]
+		if !hit {
+			var err error
+			r, err = BestCtx(ctx, &n.Layers[i], cfg)
+			if err != nil {
+				return total, false, smmerr.Layer(i, n.Layers[i].Name, err)
+			}
+			seen[k] = r
 		}
 		total += r.AccessElems
 		ok = ok && r.Feasible

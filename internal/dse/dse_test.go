@@ -138,3 +138,61 @@ func TestInfeasibleReporting(t *testing.T) {
 		t.Error("64-byte GLB reported feasible")
 	}
 }
+
+// bruteBest is the pre-pruning reference: evaluate every grid point in the
+// same order with no bounds, first-best-wins on (accesses, memory).
+func bruteBest(l *layer.Layer, cfg policy.Config) Result {
+	if l.Kind == layer.DepthwiseConv {
+		e := policy.Estimate(l, policy.P5PartialPerChannel, policy.Options{}, cfg)
+		return Result{
+			Tiling:      Tiling{N: 1, TC: 1},
+			AccessElems: e.AccessElems, MemoryElems: e.MemoryElems,
+			Feasible: e.Feasible,
+		}
+	}
+	var best Result
+	for _, n := range gridValues(l.F) {
+		for _, tc := range gridValues(l.CI) {
+			for _, fullH := range []bool{false, true} {
+				for _, fullO := range []bool{false, true} {
+					r := Evaluate(l, Tiling{N: n, TC: tc, FullHeight: fullH, FullOfmap: fullO}, cfg)
+					if !r.Feasible {
+						continue
+					}
+					if !best.Feasible ||
+						r.AccessElems < best.AccessElems ||
+						(r.AccessElems == best.AccessElems && r.MemoryElems < best.MemoryElems) {
+						best = r
+					}
+				}
+			}
+		}
+	}
+	if !best.Feasible {
+		best = Evaluate(l, Tiling{N: 1, TC: 1}, cfg)
+	}
+	return best
+}
+
+// TestPrunedBestMatchesBruteForce: the dominance/early-exit bounds never
+// change the selected tiling — every builtin layer, several GLB sizes,
+// exact equality including tie-breaks.
+func TestPrunedBestMatchesBruteForce(t *testing.T) {
+	for _, name := range model.BuiltinNames() {
+		n, err := model.Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kb := range []int{32, 64, 256, 1024} {
+			cfg := policy.Default(kb)
+			for i := range n.Layers {
+				l := &n.Layers[i]
+				got := Best(l, cfg)
+				want := bruteBest(l, cfg)
+				if got != want {
+					t.Fatalf("%s %s @%dkB: pruned %+v != brute-force %+v", name, l.Name, kb, got, want)
+				}
+			}
+		}
+	}
+}

@@ -55,6 +55,17 @@ func mustBuiltin(name string) *model.Network {
 	return n
 }
 
+// builtinsByName materialises the named built-ins once, so cell loops that
+// fan out over (model, size) grids share one read-only network per model
+// instead of rebuilding it in every cell.
+func builtinsByName(names []string) []*model.Network {
+	out := make([]*model.Network, len(names))
+	for i, name := range names {
+		out[i] = mustBuiltin(name)
+	}
+	return out
+}
+
 func mustPlan(p *core.Plan, err error) *core.Plan {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: planning failed: %v", err))

@@ -46,10 +46,11 @@ func ExtEnergyCtx(ctx context.Context, s Setup, prog progress.Func) ([]EnergyCel
 	models := model.BuiltinNames()
 	sizes := s.sizes()
 	m := energy.Default()
+	nets := builtinsByName(models)
 	cells := make([]EnergyCell, len(models)*len(sizes))
 	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		name, kb := models[i/len(sizes)], sizes[i%len(sizes)]
-		n := mustBuiltin(name)
+		n := nets[i/len(sizes)]
 		_, baseBytes, err := baselineBestCtx(ctx, n, kb, 8)
 		if err != nil {
 			return err
@@ -159,13 +160,17 @@ func ExtInterLayerAblation(s Setup) ([]AblationCell, *report.Table) {
 func ExtInterLayerAblationCtx(ctx context.Context, s Setup, prog progress.Func) ([]AblationCell, *report.Table, error) {
 	models := model.BuiltinNames()
 	sizes := s.sizes()
+	nets := builtinsByName(models)
 	cells := make([]AblationCell, len(models)*len(sizes))
 	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		name, kb := models[i/len(sizes)], sizes[i%len(sizes)]
-		n := mustBuiltin(name)
+		n := nets[i/len(sizes)]
 		dpPl := core.NewPlanner(kb, core.MinAccesses)
 		dpPl.InterLayer = true
 		grPl := core.NewPlanner(kb, core.MinAccesses)
+		// DP and greedy ask the same per-layer questions in a different
+		// order; sharing the memo makes the second traversal all hits.
+		grPl.UseMemo(dpPl.Memo)
 		grPl.InterLayer = true
 		grPl.InterLayerGreedy = true
 		dpPlan, err := dpPl.HeterogeneousCtx(ctx, n, nil)
@@ -292,10 +297,11 @@ func ExtDataflow(s Setup, glbKB int) ([]DataflowCell, *report.Table) {
 func ExtDataflowCtx(ctx context.Context, s Setup, glbKB int, prog progress.Func) ([]DataflowCell, *report.Table, error) {
 	models := model.BuiltinNames()
 	flows := []scalesim.Dataflow{scalesim.OutputStationary, scalesim.WeightStationary, scalesim.InputStationary}
+	nets := builtinsByName(models)
 	cells := make([]DataflowCell, len(models)*len(flows))
 	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		name, flow := models[i/len(flows)], flows[i%len(flows)]
-		n := mustBuiltin(name)
+		n := nets[i/len(flows)]
 		cfg := scalesim.Split("sa_50_50", glbKB, 50, 8)
 		cfg.Flow = flow
 		res, err := scalesim.SimulateNetworkCtx(ctx, n, cfg, nil)
@@ -545,10 +551,11 @@ func ExtClassics(s Setup) ([]ClassicCell, *report.Table) {
 func ExtClassicsCtx(ctx context.Context, s Setup, prog progress.Func) ([]ClassicCell, *report.Table, error) {
 	models := []string{"AlexNet", "VGG16"}
 	sizes := s.sizes()
+	nets := builtinsByName(models)
 	cells := make([]ClassicCell, len(models)*len(sizes))
 	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		name, kb := models[i/len(sizes)], sizes[i%len(sizes)]
-		n := mustBuiltin(name)
+		n := nets[i/len(sizes)]
 		_, base, err := baselineBestCtx(ctx, n, kb, 8)
 		if err != nil {
 			return err

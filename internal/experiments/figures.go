@@ -34,10 +34,11 @@ func Fig5(s Setup) ([]Fig5Cell, *report.Table) {
 func Fig5Ctx(ctx context.Context, s Setup, prog progress.Func) ([]Fig5Cell, *report.Table, error) {
 	models := model.BuiltinNames()
 	sizes := s.sizes()
+	nets := builtinsByName(models)
 	cells := make([]Fig5Cell, len(models)*len(sizes))
 	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		m, kb := models[i/len(sizes)], sizes[i%len(sizes)]
-		n := mustBuiltin(m)
+		n := nets[i/len(sizes)]
 		cell := Fig5Cell{Model: m, SizeKB: kb, Baselines: map[string]int64{}}
 		for _, c := range scalesim.PaperSplits(kb, 8) {
 			r, err := scalesim.SimulateNetworkCtx(ctx, n, c, nil)
@@ -155,16 +156,21 @@ func Fig8(s Setup) ([]Fig8Cell, *report.Table) {
 func Fig8Ctx(ctx context.Context, s Setup, prog progress.Func) ([]Fig8Cell, *report.Table, error) {
 	models := model.BuiltinNames()
 	sizes := s.sizes()
+	nets := builtinsByName(models)
 	cells := make([]Fig8Cell, len(models)*len(sizes))
 	err := forEachCtx(ctx, s, len(cells), func(ctx context.Context, i int) error {
 		m, kb := models[i/len(sizes)], sizes[i%len(sizes)]
-		n := mustBuiltin(m)
+		n := nets[i/len(sizes)]
 		base, err := scalesim.SimulateNetworkCtx(ctx, n, scalesim.Split("sa_50_50", kb, 50, 8), nil)
 		if err != nil {
 			return err
 		}
+		// Both planners share one estimate memo: candidate sweeps are
+		// cached under both objectives at once, so the latency-optimised
+		// pair answers mostly from the access-optimised pair's work.
 		plA := core.NewPlanner(kb, core.MinAccesses)
 		plL := core.NewPlanner(kb, core.MinLatency)
+		plL.UseMemo(plA.Memo)
 		cell := Fig8Cell{Model: m, SizeKB: kb, Baseline: base.Cycles()}
 		for _, p := range []struct {
 			dst *int64
@@ -224,11 +230,14 @@ func Fig9Ctx(ctx context.Context, s Setup, glbKB int, prog progress.Func) ([]Fig
 	cells := make([]Fig9Cell, len(models))
 	err := forEachCtx(ctx, s, len(models), func(ctx context.Context, i int) error {
 		n := mustBuiltin(models[i])
-		pa, err := core.NewPlanner(glbKB, core.MinAccesses).HeterogeneousCtx(ctx, n, nil)
+		pla := core.NewPlanner(glbKB, core.MinAccesses)
+		pll := core.NewPlanner(glbKB, core.MinLatency)
+		pll.UseMemo(pla.Memo) // one sweep serves both objectives
+		pa, err := pla.HeterogeneousCtx(ctx, n, nil)
 		if err != nil {
 			return err
 		}
-		pl, err := core.NewPlanner(glbKB, core.MinLatency).HeterogeneousCtx(ctx, n, nil)
+		pl, err := pll.HeterogeneousCtx(ctx, n, nil)
 		if err != nil {
 			return err
 		}
@@ -281,6 +290,7 @@ func Fig10Ctx(ctx context.Context, s Setup, modelName string, prog progress.Func
 		kb := sizes[i]
 		with := core.NewPlanner(kb, core.MinLatency)
 		without := core.NewPlanner(kb, core.MinLatency)
+		without.UseMemo(with.Memo) // DisablePrefetch is part of the cache key
 		without.DisablePrefetch = true
 		pw, err := with.HeterogeneousCtx(ctx, n, nil)
 		if err != nil {
@@ -339,6 +349,9 @@ func Fig11Ctx(ctx context.Context, s Setup, modelName string, prog progress.Func
 		kb := sizes[i]
 		base := core.NewPlanner(kb, core.MinAccesses)
 		inter := core.NewPlanner(kb, core.MinAccesses)
+		// The DP probes every (resident, keep) variant; the independent
+		// pass only (false, false) — shared cache, disjoint-or-equal keys.
+		inter.UseMemo(base.Memo)
 		inter.InterLayer = true
 		pb, err := base.HeterogeneousCtx(ctx, n, nil)
 		if err != nil {
@@ -376,11 +389,13 @@ func Fig11Ctx(ctx context.Context, s Setup, modelName string, prog progress.Func
 	interLat := make([]int64, len(models))
 	if err := forEachCtx(ctx, s, len(models), func(ctx context.Context, i int) error {
 		nn := mustBuiltin(models[i])
-		pb, err := core.NewPlanner(big, core.MinAccesses).HeterogeneousCtx(ctx, nn, nil)
+		bpl := core.NewPlanner(big, core.MinAccesses)
+		pb, err := bpl.HeterogeneousCtx(ctx, nn, nil)
 		if err != nil {
 			return err
 		}
 		ipl := core.NewPlanner(big, core.MinAccesses)
+		ipl.UseMemo(bpl.Memo)
 		ipl.InterLayer = true
 		pi, err := ipl.HeterogeneousCtx(ctx, nn, nil)
 		if err != nil {

@@ -27,9 +27,25 @@ func (p *Panic) Error() string {
 	return fmt.Sprintf("parallel: worker panic: %v\n%s", p.Value, p.Stack)
 }
 
+// workerCount resolves a caller's worker knob: 0 means "let the runtime
+// decide" (GOMAXPROCS, so fan-out scales with cores rather than a
+// hardcoded literal), positive counts are honoured as-is, and negative
+// counts are a programming error worth failing loudly on — a silent
+// default would mask the caller's broken arithmetic.
+func workerCount(workers int) int {
+	if workers < 0 {
+		panic(fmt.Sprintf("parallel: negative worker count %d (0 selects GOMAXPROCS)", workers))
+	}
+	if workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // ForEach runs f(i) for every i in [0, n), distributing indices over
-// workers goroutines (GOMAXPROCS when workers <= 0). It returns when all
-// calls completed. f must only write to per-index state.
+// workers goroutines (GOMAXPROCS when workers is 0; negative counts
+// panic). It returns when all calls completed. f must only write to
+// per-index state.
 //
 // A panic inside f does not kill the process from an anonymous worker
 // goroutine: the first panic is recovered, every remaining index still
@@ -37,11 +53,9 @@ func (p *Panic) Error() string {
 // goroutine wrapped in *Panic — so a server handler can convert it into a
 // 500 with recover().
 func ForEach(n, workers int, f func(i int)) {
+	workers = workerCount(workers)
 	if n <= 0 {
 		return
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
@@ -121,11 +135,9 @@ func Map[T any](n, workers int, f func(i int) T) []T {
 // never run. Worker panics propagate to the caller wrapped in *Panic,
 // exactly like ForEach.
 func ForEachCtx(ctx context.Context, n, workers int, f func(ctx context.Context, i int) error) error {
+	workers = workerCount(workers)
 	if n <= 0 {
 		return ctx.Err()
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n

@@ -3,6 +3,8 @@ package parallel
 import (
 	"context"
 	"errors"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -246,5 +248,59 @@ func TestMapCtxError(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestWorkerCountDefaultsToGOMAXPROCS: a zero worker knob resolves to the
+// runtime's GOMAXPROCS rather than any hardcoded literal.
+func TestWorkerCountDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := workerCount(0), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("workerCount(0) = %d, want GOMAXPROCS = %d", got, want)
+	}
+	if got := workerCount(3); got != 3 {
+		t.Fatalf("workerCount(3) = %d, want 3", got)
+	}
+	// The zero default actually runs work (and from more than one
+	// goroutine when the machine has them).
+	var n atomic.Int64
+	ForEach(100, 0, func(i int) { n.Add(1) })
+	if n.Load() != 100 {
+		t.Fatalf("ForEach with default workers ran %d calls, want 100", n.Load())
+	}
+	out, err := MapCtx(context.Background(), 10, 0, func(ctx context.Context, i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("MapCtx[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestNegativeWorkersPanic: a negative worker count is a programming
+// error and fails loudly, naming the offending value.
+func TestNegativeWorkersPanic(t *testing.T) {
+	for name, call := range map[string]func(){
+		"ForEach":    func() { ForEach(1, -1, func(int) {}) },
+		"ForEachCtx": func() { _ = ForEachCtx(context.Background(), 1, -2, func(context.Context, int) error { return nil }) },
+		"Map":        func() { _ = Map(1, -1, func(int) int { return 0 }) },
+		"MapCtx": func() {
+			_, _ = MapCtx(context.Background(), 1, -3, func(context.Context, int) (int, error) { return 0, nil })
+		},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s with negative workers did not panic", name)
+					return
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "negative worker count") {
+					t.Errorf("%s panic = %v, want a message naming the negative worker count", name, r)
+				}
+			}()
+			call()
+		}()
 	}
 }

@@ -15,6 +15,7 @@ type shapeOf struct {
 	ifmapLive int64 // unpadded ifmap footprint (resident data)
 	filterAll int64
 	ofmapAll  int64
+	macs      int64 // layer.MACs(), hoisted out of the candidate sweep
 	depthwise bool
 }
 
@@ -33,12 +34,13 @@ func newShape(l *layer.Layer, padded bool) shapeOf {
 	s.ifmapLive = int64(l.IH) * int64(l.IW) * s.ci
 	s.filterAll = l.FilterElems()
 	s.ofmapAll = l.OfmapElems()
+	s.macs = l.MACs()
 	return s
 }
 
 // tilesFor returns the per-data-type tile sizes of a policy (paper §3.2)
 // for a given filter-block size n (only meaningful for P4/P5).
-func tilesFor(id ID, s shapeOf, n int64) Tiles {
+func tilesFor(id ID, s *shapeOf, n int64) Tiles {
 	switch id {
 	case IntraLayer:
 		return Tiles{Ifmap: s.ifmapAll, Filter: s.filterAll, Ofmap: s.ofmapAll}
@@ -90,7 +92,7 @@ func tilesFor(id ID, s shapeOf, n int64) Tiles {
 // sliding window already spans the entire ifmap (then nothing is evicted
 // between blocks) or the layer is depth-wise (one filter per channel, one
 // pass).
-func ifmapLoads(id ID, s shapeOf, n int64) int64 {
+func ifmapLoads(id ID, s *shapeOf, n int64) int64 {
 	switch id {
 	case P4PartialIfmap:
 		if s.depthwise || s.fh >= s.ihe {
@@ -119,7 +121,7 @@ func ceilDiv(a, b int64) int64 {
 // variants adjust the ifmap/ofmap terms: a resident ifmap occupies its live
 // (unpadded) footprint and is never double-buffered; a kept ofmap occupies
 // the full ofmap and is never double-buffered.
-func memoryElems(t Tiles, s shapeOf, o Options) (total int64, extra Tiles) {
+func memoryElems(t Tiles, s *shapeOf, o Options) (total int64, extra Tiles) {
 	iTerm, fTerm, oTerm := t.Ifmap, t.Filter, t.Ofmap
 	if o.ResidentIfmap {
 		iTerm = s.ifmapLive
@@ -147,8 +149,8 @@ func memoryElems(t Tiles, s shapeOf, o Options) (total int64, extra Tiles) {
 // estimate is returned with Feasible=false (the planner then falls back).
 func Estimate(l *layer.Layer, id ID, o Options, cfg Config) Result {
 	s := newShape(l, cfg.IncludePadding)
-	n := bestBlockSize(id, s, o, cfg)
-	return estimateWithN(l, id, o, cfg, s, n)
+	n := bestBlockSize(id, &s, o, cfg)
+	return estimateWithN(l, id, o, cfg, &s, n)
 }
 
 // EstimateN is Estimate with the filter-block size forced to n instead of
@@ -163,14 +165,14 @@ func EstimateN(l *layer.Layer, id ID, o Options, cfg Config, n int64) Result {
 	case s.depthwise || n < 1:
 		n = 1
 	}
-	return estimateWithN(l, id, o, cfg, s, n)
+	return estimateWithN(l, id, o, cfg, &s, n)
 }
 
 // bestBlockSize returns the largest n in [1, F#) (F# for depth-wise or
 // single-filter layers) whose memory requirement fits the GLB; 1 if none
 // fits (the estimate will be infeasible); and 0 for policies without a
 // block size.
-func bestBlockSize(id ID, s shapeOf, o Options, cfg Config) int64 {
+func bestBlockSize(id ID, s *shapeOf, o Options, cfg Config) int64 {
 	if id != P4PartialIfmap && id != P5PartialPerChannel {
 		return 0
 	}
@@ -209,9 +211,22 @@ func filterResident(id ID) bool {
 	return id == IntraLayer || id == P1IfmapReuse || id == P4PartialIfmap
 }
 
-func estimateWithN(l *layer.Layer, id ID, o Options, cfg Config, s shapeOf, n int64) Result {
+func estimateWithN(l *layer.Layer, id ID, o Options, cfg Config, s *shapeOf, n int64) Result {
 	t := tilesFor(id, s, n)
 	memElems, extra := memoryElems(t, s, o)
+	e := Result{
+		Policy: id, Opts: o, Layer: l.Name, N: int(n),
+		Tiles: t, DoubleBuffered: extra,
+		MemoryElems: memElems, MemoryBytes: cfg.Bytes(memElems),
+	}
+	e.Feasible = e.MemoryBytes <= cfg.GLBBytes
+	finishEstimate(&e, l, id, o, cfg, s, n)
+	return e
+}
+
+// finishEstimate fills the traffic and latency fields of an estimate whose
+// capacity fields are already set.
+func finishEstimate(e *Result, l *layer.Layer, id ID, o Options, cfg Config, s *shapeOf, n int64) {
 	x := ifmapLoads(id, s, n)
 	b := cfg.BatchSize()
 
@@ -230,26 +245,80 @@ func estimateWithN(l *layer.Layer, id ID, o Options, cfg Config, s shapeOf, n in
 	}
 	acc := accI + accF + accO
 
-	e := Result{
-		Policy: id, Opts: o, Layer: l.Name, N: int(n),
-		Tiles: t, DoubleBuffered: extra,
-		MemoryElems: memElems, MemoryBytes: cfg.Bytes(memElems),
-		IfmapLoads: x, FilterLoads: fLoads,
-		AccessIfmap: accI, AccessFilter: accF, AccessOfmap: accO,
-		AccessElems: acc, AccessBytes: cfg.Bytes(acc),
-	}
-	e.ComputeCycles = ceilDiv(l.MACs()*b, cfg.MACsPerCycle())
+	e.IfmapLoads, e.FilterLoads = x, fLoads
+	e.AccessIfmap, e.AccessFilter, e.AccessOfmap = accI, accF, accO
+	e.AccessElems, e.AccessBytes = acc, cfg.Bytes(acc)
+	e.ComputeCycles = ceilDiv(s.macs*b, cfg.MACsPerCycle())
 	e.TransferCycles = ceilDiv(e.AccessBytes, int64(cfg.DRAMBytesPerCycle))
 	e.LatencyCycles = latency(e, o, cfg)
-	e.Feasible = e.MemoryBytes <= cfg.GLBBytes
+}
+
+// EstimateFast is Estimate for candidate sweeps: feasible results are
+// byte-identical to Estimate's, but infeasible ones stop at the capacity
+// check and carry only the identifying and memory fields (zero traffic and
+// latency) — a planner discards an infeasible candidate after reading
+// Feasible and, on its error paths, MemoryBytes, so the cheap contract is
+// enough and skips roughly half the estimator's arithmetic on the sweeps'
+// many non-fitting candidates.
+func EstimateFast(l *layer.Layer, id ID, o Options, cfg Config) Result {
+	sh := NewShape(l, cfg.IncludePadding)
+	return sh.EstimateFast(id, o, cfg)
+}
+
+// Shape is the precomputed geometry of one layer under one padding rule.
+// A candidate sweep evaluates up to sixteen (policy, ±prefetch) variants of
+// the same layer; computing the derived extents once and reusing them
+// across the sweep removes the dominant per-candidate cost.
+type Shape struct {
+	l *layer.Layer
+	s shapeOf
+	// padded records the rule the shape was derived under; estimates must
+	// be asked with a Config whose IncludePadding matches.
+	padded bool
+}
+
+// NewShape precomputes l's geometry. The padded flag must equal the
+// IncludePadding of every Config later passed to this shape's estimators.
+func NewShape(l *layer.Layer, padded bool) Shape {
+	return Shape{l: l, s: newShape(l, padded), padded: padded}
+}
+
+// EstimateFast is EstimateFast against the precomputed geometry.
+func (sh *Shape) EstimateFast(id ID, o Options, cfg Config) Result {
+	var e Result
+	sh.EstimateFastInto(&e, id, o, cfg)
 	return e
+}
+
+// EstimateFastInto is EstimateFast writing its result in place, for sweeps
+// that evaluate many candidates into one reused Result. A feasible result
+// has every field written; an infeasible one has only the identifying and
+// capacity fields plus Feasible written — the traffic and latency fields
+// keep e's prior contents, so reuse-minded callers must read nothing else
+// from a rejected candidate (the sweep contract; EstimateFast itself hands
+// the Into form a zeroed Result, preserving its zero-fields guarantee).
+func (sh *Shape) EstimateFastInto(e *Result, id ID, o Options, cfg Config) {
+	s := &sh.s
+	n := bestBlockSize(id, s, o, cfg)
+	t := tilesFor(id, s, n)
+	memElems, extra := memoryElems(t, s, o)
+	e.Policy, e.Opts, e.Layer, e.N = id, o, sh.l.Name, int(n)
+	e.Tiles, e.DoubleBuffered = t, extra
+	e.MemoryElems = memElems
+	e.MemoryBytes = cfg.Bytes(memElems)
+	if e.MemoryBytes > cfg.GLBBytes {
+		e.Feasible = false
+		return
+	}
+	e.Feasible = true
+	finishEstimate(e, sh.l, id, o, cfg, s, n)
 }
 
 // latency models the paper's estimate_latency: without prefetching, loads
 // serialise with compute; with prefetching, the first input tile fills the
 // pipeline, compute overlaps the remaining transfers, and the last output
 // tile drains.
-func latency(e Result, o Options, cfg Config) int64 {
+func latency(e *Result, o Options, cfg Config) int64 {
 	if !o.Prefetch {
 		return e.ComputeCycles + e.TransferCycles
 	}
@@ -277,10 +346,10 @@ func latency(e Result, o Options, cfg Config) int64 {
 // the paper's Algorithm 1 policy set (12 variants).
 func All(l *layer.Layer, cfg Config) []Result {
 	out := make([]Result, 0, 2*numPolicies)
-	for _, id := range IDs() {
-		for _, pf := range []bool{false, true} {
-			out = append(out, Estimate(l, id, Options{Prefetch: pf}, cfg))
-		}
+	for _, id := range allIDs {
+		out = append(out,
+			Estimate(l, id, Options{}, cfg),
+			Estimate(l, id, Options{Prefetch: true}, cfg))
 	}
 	return out
 }

@@ -21,6 +21,26 @@ const FallbackTiled ID = numPolicies
 // out of All — Algorithm 1 only consults it when nothing else fits.
 func FallbackEstimate(l *layer.Layer, o Options, cfg Config) Result {
 	s := newShape(l, cfg.IncludePadding)
+	return fallbackShaped(l, &s, o, cfg)
+}
+
+// Fallback is FallbackEstimate against the precomputed geometry.
+func (sh *Shape) Fallback(o Options, cfg Config) Result {
+	return fallbackShaped(sh.l, &sh.s, o, cfg)
+}
+
+// FallbackInto is Fallback writing its result in place.
+func (sh *Shape) FallbackInto(e *Result, o Options, cfg Config) {
+	fallbackShapedInto(e, sh.l, &sh.s, o, cfg)
+}
+
+func fallbackShaped(l *layer.Layer, sp *shapeOf, o Options, cfg Config) Result {
+	var e Result
+	fallbackShapedInto(&e, l, sp, o, cfg)
+	return e
+}
+
+func fallbackShapedInto(r *Result, l *layer.Layer, s *shapeOf, o Options, cfg Config) {
 	t := fallbackTiles(s)
 
 	memElems, extra := memoryElems(t, s, o)
@@ -57,7 +77,7 @@ func FallbackEstimate(l *layer.Layer, o Options, cfg Config) Result {
 	}
 	acc := accI + accF + accO
 
-	e := Result{
+	*r = Result{
 		Policy: FallbackTiled, Opts: o, Layer: l.Name, N: 1,
 		Tiles: t, DoubleBuffered: extra,
 		MemoryElems: memElems, MemoryBytes: cfg.Bytes(memElems),
@@ -65,14 +85,13 @@ func FallbackEstimate(l *layer.Layer, o Options, cfg Config) Result {
 		AccessIfmap: accI, AccessFilter: accF, AccessOfmap: accO,
 		AccessElems: acc, AccessBytes: cfg.Bytes(acc),
 	}
-	e.ComputeCycles = ceilDiv(l.MACs()*b, cfg.MACsPerCycle())
-	e.TransferCycles = ceilDiv(e.AccessBytes, int64(cfg.DRAMBytesPerCycle))
-	e.LatencyCycles = latency(e, o, cfg)
-	e.Feasible = e.MemoryBytes <= cfg.GLBBytes
-	return e
+	r.ComputeCycles = ceilDiv(s.macs*b, cfg.MACsPerCycle())
+	r.TransferCycles = ceilDiv(r.AccessBytes, int64(cfg.DRAMBytesPerCycle))
+	r.LatencyCycles = latency(r, o, cfg)
+	r.Feasible = r.MemoryBytes <= cfg.GLBBytes
 }
 
-func fallbackTiles(s shapeOf) Tiles {
+func fallbackTiles(s *shapeOf) Tiles {
 	if s.depthwise {
 		return Tiles{Ifmap: s.fh * s.iwe, Filter: s.fh * s.fw, Ofmap: s.ow}
 	}

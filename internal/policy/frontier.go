@@ -38,7 +38,7 @@ func Frontier(l *layer.Layer, cfg Config) []FrontierPoint {
 	for _, pf := range []bool{false, true} {
 		o := Options{Prefetch: pf}
 		for _, id := range []ID{IntraLayer, P1IfmapReuse, P2FilterReuse, P3PerChannel} {
-			add(estimateWithN(l, id, o, cfg, s, 0))
+			add(estimateWithN(l, id, o, cfg, &s, 0))
 		}
 		for _, id := range []ID{P4PartialIfmap, P5PartialPerChannel} {
 			maxN := int64(l.F)
@@ -46,7 +46,7 @@ func Frontier(l *layer.Layer, cfg Config) []FrontierPoint {
 				maxN--
 			}
 			for _, n := range blockSamples(maxN) {
-				add(estimateWithN(l, id, o, cfg, s, n))
+				add(estimateWithN(l, id, o, cfg, &s, n))
 			}
 		}
 		add(FallbackEstimate(l, o, cfg))

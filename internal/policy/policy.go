@@ -40,11 +40,22 @@ const (
 	P5PartialPerChannel
 
 	numPolicies = 6
+
+	// NumPolicies is the size of the paper's policy set, exported so
+	// fixed-size per-policy tables elsewhere need no runtime sizing.
+	NumPolicies = numPolicies
 )
 
-// IDs lists every policy in paper order.
+// allIDs is the paper-order policy set as a fixed array, so hot loops can
+// range over it without the per-call slice allocation of IDs.
+var allIDs = [numPolicies]ID{IntraLayer, P1IfmapReuse, P2FilterReuse, P3PerChannel, P4PartialIfmap, P5PartialPerChannel}
+
+// IDs lists every policy in paper order. The slice is freshly allocated,
+// so callers may append to or reorder it.
 func IDs() []ID {
-	return []ID{IntraLayer, P1IfmapReuse, P2FilterReuse, P3PerChannel, P4PartialIfmap, P5PartialPerChannel}
+	out := make([]ID, numPolicies)
+	copy(out, allIDs[:])
+	return out
 }
 
 // String returns the paper's name for the policy.
@@ -69,14 +80,19 @@ func (id ID) String() string {
 	}
 }
 
-// Short returns a compact label ("intra", "p1", ... "p5") used in the
-// paper's Figure 6 annotations.
+// shortNames and shortNamesP are the compact labels, indexed by ID, as
+// constants: the planner emits one per progress event, so the labels must
+// not allocate (pinned by the policy alloc tests).
+var (
+	shortNames  = [numPolicies + 1]string{"intra", "p1", "p2", "p3", "p4", "p5", "fb"}
+	shortNamesP = [numPolicies + 1]string{"intra+p", "p1+p", "p2+p", "p3+p", "p4+p", "p5+p", "fb+p"}
+)
+
+// Short returns a compact label ("intra", "p1", ... "p5", "fb") used in
+// the paper's Figure 6 annotations.
 func (id ID) Short() string {
-	if id == IntraLayer {
-		return "intra"
-	}
-	if id == FallbackTiled {
-		return "fb"
+	if id >= 0 && int(id) < len(shortNames) {
+		return shortNames[id]
 	}
 	return fmt.Sprintf("p%d", int(id))
 }
@@ -190,10 +206,13 @@ func Variant(id ID, prefetch bool) string {
 // "intra", "fb") — the form reports, progress events and metric labels
 // share.
 func ShortVariant(id ID, prefetch bool) string {
-	if prefetch {
-		return id.Short() + "+p"
+	if !prefetch {
+		return id.Short()
 	}
-	return id.Short()
+	if id >= 0 && int(id) < len(shortNamesP) {
+		return shortNamesP[id]
+	}
+	return id.Short() + "+p"
 }
 
 // ShortVariants lists every selectable (policy, prefetch) label, paper

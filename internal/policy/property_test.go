@@ -36,7 +36,7 @@ func TestBestBlockSizeMatchesScan(t *testing.T) {
 			best := int64(1)
 			feasible := false
 			for n := int64(1); n <= maxN; n++ {
-				mem, _ := memoryElems(tilesFor(id, s, n), s, o)
+				mem, _ := memoryElems(tilesFor(id, &s, n), &s, o)
 				if mem <= cfg.CapacityElems() {
 					best, feasible = n, true
 				}

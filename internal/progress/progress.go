@@ -18,6 +18,12 @@ type Event struct {
 	Index, Total int
 	// Name identifies the unit (layer name, model name, sweep point).
 	Name string
+	// Cell tags the sweep cell an event belongs to when independent cells
+	// run concurrently and their events interleave — the homogeneous-scheme
+	// search labels each candidate variant's pass ("p2+p", "fb", ...), and
+	// the experiment drivers their (model, size) cell. "" on sequential
+	// single-cell phases.
+	Cell string
 	// Policy is the short variant label of the decision just made
 	// ("p2+p", "fb", ...) where the phase selects one — per-layer planning
 	// and simulation — and "" elsewhere. It lets observers (span events,

@@ -179,7 +179,7 @@ func (m *metrics) planOutcome(p *scratchmem.Plan) {
 }
 
 // write renders the counters as plain-text expvar/Prometheus-style lines.
-func (m *metrics) write(w io.Writer, cs plancache.Stats, inflight, workers int, spans int64) {
+func (m *metrics) write(w io.Writer, cs plancache.Stats, ms policy.MemoStats, inflight, workers int, spans int64) {
 	routes := make([]string, 0, len(m.requests))
 	for r := range m.requests {
 		routes = append(routes, r)
@@ -220,6 +220,9 @@ func (m *metrics) write(w io.Writer, cs plancache.Stats, inflight, workers int, 
 	fmt.Fprintf(w, "smm_cache_evictions_total %d\n", cs.Evictions)
 	fmt.Fprintf(w, "smm_cache_entries %d\n", cs.Entries)
 	fmt.Fprintf(w, "smm_cache_capacity %d\n", cs.Capacity)
+	fmt.Fprintf(w, "smm_estimate_memo_hits_total %d\n", ms.Hits)
+	fmt.Fprintf(w, "smm_estimate_memo_misses_total %d\n", ms.Misses)
+	fmt.Fprintf(w, "smm_estimate_memo_entries %d\n", ms.Entries)
 	fmt.Fprintf(w, "smm_inflight_executions %d\n", inflight)
 	fmt.Fprintf(w, "smm_worker_slots %d\n", workers)
 	fmt.Fprintf(w, "smm_spans_finished_total %d\n", spans)

@@ -249,3 +249,31 @@ func TestMetricsGolden(t *testing.T) {
 		t.Errorf("metrics drifted from golden file:\ngot:\n%s\nwant:\n%s", body, want)
 	}
 }
+
+// TestEstimateMemoMetrics: the server-lifetime estimate memo is visible on
+// /metrics, and the serving path actually exercises it. The first plan of a
+// model populates the tables (misses); a second request for the same
+// network under the other objective is a plan-cache miss but — the
+// per-layer winner cache is objective-free — answers its candidate sweeps
+// from the first request's work, so hits become non-zero.
+func TestEstimateMemoMetrics(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	if resp, body := post(t, ts, "/v1/plan", tinyPlanBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: status %d: %s", resp.StatusCode, body)
+	}
+	_, mbody := get(t, ts, "/metrics")
+	if n := metric(t, mbody, "smm_estimate_memo_misses_total"); n == 0 {
+		t.Error("first plan produced no estimate-memo misses")
+	}
+
+	latency := `{"model": "TinyCNN", "glb_kb": 32, "objective": "latency"}`
+	if resp, body := post(t, ts, "/v1/plan", latency); resp.StatusCode != http.StatusOK {
+		t.Fatalf("latency plan: status %d: %s", resp.StatusCode, body)
+	}
+	_, mbody = get(t, ts, "/metrics")
+	if n := metric(t, mbody, "smm_estimate_memo_hits_total"); n == 0 {
+		t.Error("second objective's plan produced no estimate-memo hits")
+	}
+}

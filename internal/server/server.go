@@ -36,6 +36,7 @@ import (
 	"scratchmem/internal/obs"
 	"scratchmem/internal/parallel"
 	"scratchmem/internal/plancache"
+	"scratchmem/internal/policy"
 )
 
 // Config parameterises a Server.
@@ -84,6 +85,11 @@ const (
 	// DefaultSpanRing is how many finished spans the server's own tracer
 	// retains for GET /v1/spans when Config.Tracer is nil.
 	DefaultSpanRing = 256
+	// DefaultMemoEntries caps the server-lifetime estimate memo. An entry
+	// is a few hundred bytes, so the cap bounds the table at tens of MB
+	// while comfortably holding every shape of the built-in model set many
+	// configurations over.
+	DefaultMemoEntries = 1 << 16
 )
 
 // Server wires the public scratchmem API behind HTTP handlers with a
@@ -97,6 +103,12 @@ type Server struct {
 	breakers map[string]*breaker // per compute route
 	log      *slog.Logger
 	tracer   *obs.Tracer
+	// memo is the server-lifetime estimate memo: plan executions share it
+	// via the request context, so repeated shapes — across layers of one
+	// model or across distinct requests that miss the plan cache (different
+	// options, same network) — cost one estimation. Capped so a hostile
+	// stream of novel shapes cannot grow it without bound.
+	memo *policy.Memo
 
 	// planFn runs the planner; a test seam (defaults to
 	// scratchmem.PlanModelCtx). The context is the flight's, not any single
@@ -140,6 +152,7 @@ func New(cfg Config) *Server {
 	if tracer == nil {
 		tracer = obs.NewTracer(DefaultSpanRing)
 	}
+	memo := policy.NewMemoCap(DefaultMemoEntries)
 	s := &Server{
 		cfg:      cfg,
 		cache:    plancache.New(entries),
@@ -148,11 +161,12 @@ func New(cfg Config) *Server {
 		breakers: make(map[string]*breaker, len(computeRoutes)),
 		log:      logger,
 		tracer:   tracer,
+		memo:     memo,
 		planFn: func(ctx context.Context, n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
 			if err := faultinject.Hit("server.plan"); err != nil {
 				return nil, err
 			}
-			return scratchmem.PlanModelCtx(ctx, n, o, nil)
+			return scratchmem.PlanModelCtx(policy.WithMemo(ctx, memo), n, o, nil)
 		},
 		simFn: func(ctx context.Context, p *scratchmem.Plan) (int64, int64, error) {
 			if err := faultinject.Hit("server.simulate"); err != nil {

@@ -255,6 +255,16 @@ func planLadder(ctx context.Context, cfg Config, n *Network, o PlanOptions, prog
 		DisablePrefetch: o.DisablePrefetch,
 		InterLayer:      o.InterLayerReuse,
 	}
+	// One estimate table per planning run — or the caller's long-lived one
+	// (the server scopes a capped table to its lifetime via policy.WithMemo
+	// so /metrics can report serving-path hit rates). The ladder's rungs
+	// are Planner copies, so they share the table and re-plan from cached
+	// estimates.
+	memo := policy.MemoFrom(ctx)
+	if memo == nil {
+		memo = policy.NewMemo()
+	}
+	pl.UseMemo(memo)
 	plan, err := planRequested(ctx, pl, n, o.Homogeneous, prog)
 	if err == nil {
 		return plan, nil
