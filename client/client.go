@@ -160,9 +160,17 @@ func (c *Client) Models(ctx context.Context) ([]server.ModelInfo, error) {
 	return infos, nil
 }
 
-// do runs the retry loop around once: classify, back off (full jitter with
-// the server's Retry-After as a floor), respect the deadline budget.
+// do runs the retry loop against the client's own base URL.
 func (c *Client) do(ctx context.Context, method, path string, payload any) ([]byte, error) {
+	return c.doAt(ctx, c.BaseURL, method, path, payload)
+}
+
+// doAt runs the retry loop around once: classify, back off (full jitter with
+// the server's Retry-After as a floor), respect the deadline budget. The
+// base URL is explicit so the same client (and its retry policy, jitter
+// source, and test seams) can address any member of a fleet — the
+// cluster.Transport adapter depends on this.
+func (c *Client) doAt(ctx context.Context, baseURL, method, path string, payload any) ([]byte, error) {
 	var body []byte
 	if payload != nil {
 		var err error
@@ -178,7 +186,7 @@ func (c *Client) do(ctx context.Context, method, path string, payload any) ([]by
 		retries = 0
 	}
 	for attempt := 0; ; attempt++ {
-		res, err := c.once(ctx, method, path, body)
+		res, err := c.once(ctx, baseURL, method, path, body)
 		if err == nil || attempt >= retries || !Retryable(err) {
 			return res, err
 		}
@@ -195,12 +203,12 @@ func (c *Client) do(ctx context.Context, method, path string, payload any) ([]by
 }
 
 // once performs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+func (c *Client) once(ctx context.Context, baseURL, method, path string, body []byte) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, baseURL+path, rd)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,69 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"scratchmem/internal/cluster"
+	"scratchmem/internal/server"
+)
+
+// PlanBatch plans many requests in one round trip through POST
+// /v1/plan/batch. The server shares one estimate memo across the whole
+// batch, so a DSE-style sweep is substantially cheaper than the same
+// requests issued one by one. Items succeed and fail independently; check
+// each BatchItem.Status.
+func (c *Client) PlanBatch(ctx context.Context, reqs []server.PlanRequest) (*server.BatchResponse, error) {
+	body, err := c.do(ctx, http.MethodPost, "/v1/plan/batch", server.BatchRequest{Requests: reqs})
+	if err != nil {
+		return nil, err
+	}
+	var res server.BatchResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("client: invalid batch response: %w", err)
+	}
+	return &res, nil
+}
+
+// PeerFill asks the server to compute (or serve from cache) a plan on its
+// own, never forwarding to another ring member. It is the sending half of
+// the cluster cache-fill protocol; the body is the canonical plan document,
+// byte-identical to POST /v1/plan.
+func (c *Client) PeerFill(ctx context.Context, req server.PlanRequest) ([]byte, error) {
+	return c.do(ctx, http.MethodPost, "/v1/peer/fill", req)
+}
+
+// Snapshot fetches the server's cache snapshot stream (GET
+// /v1/cache/snapshot): newline-delimited SnapshotRecord JSON, most recently
+// used first, ready to feed server.RestoreSnapshot on another node.
+func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/cache/snapshot", nil)
+}
+
+// Version fetches the server's build information.
+func (c *Client) Version(ctx context.Context) (*server.VersionInfo, error) {
+	body, err := c.do(ctx, http.MethodGet, "/v1/version", nil)
+	if err != nil {
+		return nil, err
+	}
+	var v server.VersionInfo
+	if err := json.Unmarshal(body, &v); err != nil {
+		return nil, fmt.Errorf("client: invalid version response: %w", err)
+	}
+	return &v, nil
+}
+
+// Transport adapts the client into a cluster.Transport: peer fills go to
+// whichever member owns the key, through this client's retry policy and
+// backoff seams. The client's own BaseURL is ignored for these calls —
+// configure a dedicated Client (typically with few or no retries, since the
+// Peer backend already breaks the circuit and falls back to planning
+// locally) and hand its Transport to cluster.NewPeer.
+func (c *Client) Transport() cluster.Transport {
+	return cluster.TransportFunc(func(ctx context.Context, baseURL string, request any) ([]byte, error) {
+		return c.doAt(ctx, strings.TrimRight(baseURL, "/"), http.MethodPost, "/v1/peer/fill", request)
+	})
+}

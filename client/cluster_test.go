@@ -1,0 +1,217 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scratchmem/internal/server"
+)
+
+// TestPeerFillFlappingPeer pins the retry contract the cluster transport
+// leans on: a peer that sheds twice with Retry-After: 2 and then answers is
+// still a successful fill, and every backoff respected the 2s floor rather
+// than the (much smaller) jittered default.
+func TestPeerFillFlappingPeer(t *testing.T) {
+	var calls atomic.Int32
+	planBody := []byte(`{"model": "TinyCNN"}`)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/peer/fill" {
+			t.Errorf("peer fill hit %s", r.URL.Path)
+		}
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error": "shed"}`))
+			return
+		}
+		w.Write(planBody)
+	}))
+	defer ts.Close()
+	var slept []time.Duration
+	c := testClient(ts, &slept)
+
+	body, err := c.PeerFill(context.Background(), server.PlanRequest{Model: "TinyCNN", GLBKiloBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, planBody) {
+		t.Errorf("fill body = %s", body)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("peer saw %d calls, want 3", n)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	for i, d := range slept {
+		if d < 2*time.Second {
+			t.Errorf("backoff %d = %v, below the 2s Retry-After floor", i, d)
+		}
+	}
+}
+
+// TestPeerFillRetryBudgetExhausted: when the flapping peer's Retry-After
+// floor cannot fit inside the caller's deadline, the client gives up
+// immediately — no sleep, no extra attempt — and surfaces the underlying
+// 503 inside a budget error so the Peer backend can fall back to planning
+// locally with the deadline still mostly intact.
+func TestPeerFillRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error": "shed"}`))
+	}))
+	defer ts.Close()
+	var slept []time.Duration
+	c := testClient(ts, &slept)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.PeerFill(ctx, server.PlanRequest{Model: "TinyCNN", GLBKiloBytes: 32})
+	if elapsed := time.Since(start); elapsed > 400*time.Millisecond {
+		t.Errorf("budget-bounded fill took %v", elapsed)
+	}
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("err = %v, want a retry-budget error", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Errorf("err = %v, want the underlying 503 preserved", err)
+	}
+	if calls.Load() != 1 || len(slept) != 0 {
+		t.Errorf("exhausted budget: %d calls, %d sleeps; want 1, 0", calls.Load(), len(slept))
+	}
+}
+
+// TestPlanBatchAgainstRealServer round-trips a small mixed batch: healthy
+// items return documents, the broken one carries its own 400 without
+// failing the call.
+func TestPlanBatchAgainstRealServer(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	var slept []time.Duration
+	c := testClient(ts, &slept)
+
+	res, err := c.PlanBatch(context.Background(), []server.PlanRequest{
+		{Model: "TinyCNN", GLBKiloBytes: 32},
+		{Model: "NoSuchNet", GLBKiloBytes: 32},
+		{Model: "TinyCNN", GLBKiloBytes: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(res.Results))
+	}
+	for _, i := range []int{0, 2} {
+		item := res.Results[i]
+		if item.Status != http.StatusOK || len(item.Plan) == 0 {
+			t.Errorf("item %d: status %d, %d plan bytes (%s)", i, item.Status, len(item.Plan), item.Error)
+		}
+	}
+	if res.Results[1].Status != http.StatusBadRequest {
+		t.Errorf("bad item status %d, want 400", res.Results[1].Status)
+	}
+	if len(slept) != 0 {
+		t.Errorf("healthy batch slept %v", slept)
+	}
+}
+
+// TestSnapshotFetchAndRestore moves a warm cache between servers through
+// the client: plan on A, Snapshot, RestoreSnapshot into B, and B's first
+// request is already a cache hit serving the identical document.
+func TestSnapshotFetchAndRestore(t *testing.T) {
+	srvA := server.New(server.Config{})
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+	var slept []time.Duration
+	c := testClient(tsA, &slept)
+
+	want, err := c.PlanRaw(context.Background(), server.PlanRequest{Model: "TinyCNN", GLBKiloBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srvB := server.New(server.Config{})
+	added, skipped, err := srvB.RestoreSnapshot(bytes.NewReader(snap))
+	if err != nil || added != 1 || skipped != 0 {
+		t.Fatalf("RestoreSnapshot = (%d, %d, %v), want (1, 0, nil)", added, skipped, err)
+	}
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+	resp, err := http.Post(tsB.URL+"/v1/plan", "application/json", strings.NewReader(`{"model": "TinyCNN", "glb_kb": 32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr := resp.Header.Get("X-SMM-Cache"); hdr != "hit" {
+		t.Errorf("restored server X-SMM-Cache = %q, want hit", hdr)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("restored server served a different document")
+	}
+}
+
+// TestTransportAddressesThePeer: the cluster.Transport adapter posts the
+// wire request to the base URL it is handed, not the client's own.
+func TestTransportAddressesThePeer(t *testing.T) {
+	var gotPath atomic.Value
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath.Store(r.URL.Path)
+		var req server.PlanRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Model != "TinyCNN" {
+			t.Errorf("peer fill body: model=%q err=%v", req.Model, err)
+		}
+		w.Write([]byte(`{"model": "TinyCNN"}`))
+	}))
+	defer peer.Close()
+	c := New("http://client-base-url-must-not-be-used.invalid")
+	c.MaxRetries = -1
+
+	body, err := c.Transport().Fill(context.Background(), peer.URL+"/", server.PlanRequest{Model: "TinyCNN", GLBKiloBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Error("empty fill body")
+	}
+	if p, _ := gotPath.Load().(string); p != "/v1/peer/fill" {
+		t.Errorf("fill hit %q, want /v1/peer/fill", p)
+	}
+}
+
+// TestVersionOverTheWire: GET /v1/version decodes through the client.
+func TestVersionOverTheWire(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	var slept []time.Duration
+	c := testClient(ts, &slept)
+
+	v, err := c.Version(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Module != "scratchmem" || !strings.HasPrefix(v.Go, "go") {
+		t.Errorf("version = %+v", v)
+	}
+}

@@ -8,18 +8,33 @@
 //	smm-serve -addr :8080 -workers 8 -cache 512 -timeout 30s -queue 64
 //	smm-serve -log-format json -slow-request 2s -debug-addr 127.0.0.1:6060
 //	smm-serve -faults "seed=42;server.plan=error:0.1"   (chaos testing; also $SMM_FAULTS)
+//	smm-serve -peers http://n1:8080,http://n2:8080 -self http://n1:8080   (fleet member)
+//	smm-serve -warm-from http://n1:8080            (boot with a peer's cache)
+//	smm-serve -version
 //
 // Endpoints:
 //
-//	POST /v1/plan        {"model": "ResNet18", "glb_kb": 64}
-//	POST /v1/simulate    {"model": "TinyCNN", "glb_kb": 32}            (plan timing)
-//	POST /v1/simulate    {..., "baseline": {"split_percent": 50}}      (SCALE-Sim baseline)
-//	POST /v1/dse         {"model": "TinyCNN", "glb_kb": 32}
-//	GET  /v1/trace/{key} (?format=perfetto|csv — key from X-SMM-Plan-Key)
+//	POST /v1/plan           {"model": "ResNet18", "glb_kb": 64}
+//	POST /v1/plan/batch     {"requests": [{...}, ...]}                    (shared estimate memo)
+//	POST /v1/simulate       {"model": "TinyCNN", "glb_kb": 32}            (plan timing)
+//	POST /v1/simulate       {..., "baseline": {"split_percent": 50}}      (SCALE-Sim baseline)
+//	POST /v1/dse            {"model": "TinyCNN", "glb_kb": 32}
+//	POST /v1/peer/fill      (cluster-internal: compute locally, never forward)
+//	GET  /v1/cache/snapshot (ndjson plan-cache dump for -warm-from)
+//	GET  /v1/trace/{key}    (?format=perfetto|csv — key from X-SMM-Plan-Key)
 //	GET  /v1/spans
 //	GET  /v1/models
+//	GET  /v1/version
 //	GET  /healthz
 //	GET  /metrics
+//
+// With -peers, the static member list forms a consistent-hash ring over
+// plan keys: a node that does not own a key asks the owner over POST
+// /v1/peer/fill before planning locally, so each plan is computed once
+// fleet-wide, and a per-peer circuit breaker plus local fallback keep a
+// dead owner from taking the fleet down with it. -self must match this
+// node's own entry in -peers; -hot-cache sizes the small local cache of
+// remotely-owned plans layered in front of the ring.
 //
 // All operational output is structured (log/slog; -log-level, -log-format):
 // an access-log record per request carrying the trace ID, warn records for
@@ -32,6 +47,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,13 +55,25 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
+	"scratchmem/client"
 	"scratchmem/internal/cli"
+	"scratchmem/internal/cluster"
 	"scratchmem/internal/faultinject"
+	"scratchmem/internal/plancache"
 	"scratchmem/internal/server"
 )
+
+// DefaultHotCacheEntries sizes the layered hot cache of remotely-owned
+// plans in fleet mode. Small on purpose: the ring owner holds the
+// authoritative copy, this is just the working set a single node keeps
+// re-serving.
+const DefaultHotCacheEntries = 128
 
 func main() {
 	ctx, stop := cli.SignalContext()
@@ -73,10 +101,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 		faults       = fs.String("faults", os.Getenv("SMM_FAULTS"),
 			`arm fault injection for chaos testing, e.g. "seed=42;server.plan=error:0.1;core.layer=latency:0.05:2ms" (default $SMM_FAULTS)`)
+		peers = fs.String("peers", "",
+			"comma-separated base URLs of every fleet member (consistent-hash ring; empty = standalone)")
+		self = fs.String("self", "",
+			"this node's own entry in -peers (required with -peers)")
+		hotCache = fs.Int("hot-cache", DefaultHotCacheEntries,
+			"entries in the layered hot cache of remotely-owned plans (fleet mode only)")
+		warmFrom = fs.String("warm-from", "",
+			"warm the plan cache at boot from a snapshot: a peer base URL or an ndjson file")
+		version  = fs.Bool("version", false, "print build information and exit")
 		logFlags = cli.RegisterLogFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		b, err := json.MarshalIndent(server.Version(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", b)
+		return nil
 	}
 	logger, err := logFlags.Logger(out)
 	if err != nil {
@@ -94,14 +139,37 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		logger.Warn("FAULT INJECTION ARMED — not for production", "spec", *faults)
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Workers:      *workers,
 		CacheEntries: *cache,
 		Timeout:      *timeout,
 		QueueDepth:   *queue,
 		Logger:       logger,
 		SlowRequest:  *slowRequest,
-	})
+	}
+	if *peers != "" {
+		backend, err := clusterBackend(*peers, *self, *hotCache)
+		if err != nil {
+			return err
+		}
+		cfg.Cluster = backend
+		logger.Info("fleet member", "self", *self, "peers", *peers, "hot_cache", *hotCache)
+	} else if *self != "" {
+		return fmt.Errorf("-self is only meaningful with -peers")
+	}
+	srv := server.New(cfg)
+	if *warmFrom != "" {
+		rd, err := warmSource(ctx, *warmFrom)
+		if err != nil {
+			return fmt.Errorf("warm-from: %w", err)
+		}
+		added, skipped, err := srv.RestoreSnapshot(rd)
+		rd.Close()
+		if err != nil {
+			return fmt.Errorf("warm-from: %w", err)
+		}
+		logger.Info("cache warmed", "source", *warmFrom, "added", added, "skipped", skipped)
+	}
 	if *writeTimeout == 0 {
 		// The handlers enforce their own deadline; give writes headroom
 		// beyond it so a slow client cannot truncate a computed response.
@@ -159,4 +227,66 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	logger.Info("bye", "cache_hits", cs.Hits, "cache_misses", cs.Misses,
 		"cache_coalesced", cs.Coalesced, "cache_evictions", cs.Evictions)
 	return nil
+}
+
+// clusterBackend builds the server's fleet cache stack: a consistent-hash
+// ring over the static member list, peer fills through the resilient
+// client, and a small hot cache of remotely-owned plans layered in front.
+func clusterBackend(peers, self string, hotEntries int) (func(*plancache.Cache) cluster.Backend, error) {
+	var members []string
+	for _, m := range strings.Split(peers, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			members = append(members, strings.TrimRight(m, "/"))
+		}
+	}
+	ring, err := cluster.NewRing(members, cluster.DefaultReplicas)
+	if err != nil {
+		return nil, err
+	}
+	if self == "" {
+		return nil, fmt.Errorf("-self is required with -peers")
+	}
+	self = strings.TrimRight(strings.TrimSpace(self), "/")
+	if !slices.Contains(ring.Members(), self) {
+		return nil, fmt.Errorf("-self %q is not one of -peers %q", self, peers)
+	}
+	// Peer fills get a single retry: the Peer backend already breaks the
+	// circuit and falls back to planning locally, so a long client-side
+	// retry loop would only delay that fallback.
+	fill := client.New("")
+	fill.MaxRetries = 1
+	transport := fill.Transport()
+	return func(local *plancache.Cache) cluster.Backend {
+		peer := cluster.NewPeer(cluster.NewLocal(local), ring, self, transport, cluster.PeerOptions{})
+		return cluster.NewLayered(plancache.New(hotEntries), peer, peer.Remote)
+	}, nil
+}
+
+// warmSource opens the -warm-from snapshot stream: a peer base URL (the
+// /v1/cache/snapshot path is appended when the URL carries none) or a
+// local ndjson file.
+func warmSource(ctx context.Context, src string) (io.ReadCloser, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		u, err := url.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		if u.Path == "" || u.Path == "/" {
+			u.Path = "/v1/cache/snapshot"
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("%s answered %d", u, resp.StatusCode)
+		}
+		return resp.Body, nil
+	}
+	return os.Open(src)
 }

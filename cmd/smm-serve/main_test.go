@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"io"
+	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -232,5 +237,224 @@ func TestServeFaultsBadSpec(t *testing.T) {
 	out := &syncBuffer{}
 	if err := run(context.Background(), []string{"-faults", "nonsense"}, out); err == nil {
 		t.Error("malformed fault spec accepted")
+	}
+}
+
+// startRun boots run() in a goroutine and waits for its listening record.
+func startRun(t *testing.T, ctx context.Context, args ...string) (base string, out *syncBuffer, done chan error) {
+	t.Helper()
+	out = &syncBuffer{}
+	done = make(chan error, 1)
+	go func() { done <- run(ctx, args, out) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], out, done
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitDone joins a startRun goroutine after its context was cancelled.
+func waitDone(t *testing.T, done chan error) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("server did not shut down")
+	}
+}
+
+// getBody fetches a URL and returns its body, failing on non-200.
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+// metricValue extracts one exactly-named counter from a /metrics body.
+func metricValue(t *testing.T, body, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return 0
+}
+
+// freeAddr reserves an ephemeral loopback port and releases it for run() to
+// claim: fleet members must know each other's URLs before any of them has
+// started listening.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestServeVersionFlag: -version prints build info and exits cleanly
+// without starting a listener.
+func TestServeVersionFlag(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run(context.Background(), []string{"-version"}, out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `"module": "scratchmem"`) || !strings.Contains(s, `"go": "go`) {
+		t.Errorf("version output:\n%s", s)
+	}
+}
+
+// TestServeClusterFlagValidation: fleet flags are checked before listening.
+func TestServeClusterFlagValidation(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run(context.Background(), []string{"-peers", "http://a:1,http://b:1"}, out); err == nil {
+		t.Error("-peers without -self accepted")
+	}
+	if err := run(context.Background(), []string{"-peers", "http://a:1,http://b:1", "-self", "http://c:1"}, out); err == nil {
+		t.Error("-self outside -peers accepted")
+	}
+	if err := run(context.Background(), []string{"-self", "http://a:1"}, out); err == nil {
+		t.Error("-self without -peers accepted")
+	}
+}
+
+// TestServeClusterFleet boots a real two-member fleet through the binary
+// path: the same plan requested on both nodes runs the planner exactly
+// once fleet-wide, with the non-owner filled over POST /v1/peer/fill.
+func TestServeClusterFleet(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := []string{freeAddr(t), freeAddr(t)}
+	peers := "http://" + addrs[0] + ",http://" + addrs[1]
+	var dones []chan error
+	for _, a := range addrs {
+		_, _, done := startRun(t, ctx,
+			"-addr", a, "-peers", peers, "-self", "http://"+a, "-timeout", "30s")
+		dones = append(dones, done)
+	}
+
+	body := `{"model": "TinyCNN", "glb_kb": 48}`
+	for _, a := range addrs {
+		resp, err := http.Post("http://"+a+"/v1/plan", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan on %s: status %d: %s", a, resp.StatusCode, b)
+		}
+	}
+
+	var runs, fills, owners int64
+	for _, a := range addrs {
+		mb := getBody(t, "http://"+a+"/metrics")
+		runs += metricValue(t, mb, "smm_planner_latency_seconds_count")
+		fills += metricValue(t, mb, `smm_peer_fill_total{outcome="hit"}`)
+		owners += metricValue(t, mb, "smm_ring_owner_self_total")
+	}
+	if runs != 1 {
+		t.Errorf("planner ran %d times fleet-wide, want exactly 1", runs)
+	}
+	if fills != 1 {
+		t.Errorf("%d successful peer fills, want 1 (the non-owner's)", fills)
+	}
+	// The owner resolves the key twice: once for its own /v1/plan and once
+	// serving the other member's POST /v1/peer/fill.
+	if owners != 2 {
+		t.Errorf("%d owner-self lookups, want 2", owners)
+	}
+
+	cancel()
+	for _, done := range dones {
+		waitDone(t, done)
+	}
+}
+
+// TestServeWarmFrom: a node booted with -warm-from (peer URL or snapshot
+// file) serves its very first plan request as a cache hit, byte-identical
+// to the source node's document.
+func TestServeWarmFrom(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	baseA, _, doneA := startRun(t, ctx, "-addr", "127.0.0.1:0", "-timeout", "30s")
+
+	body := `{"model": "TinyCNN", "glb_kb": 32}`
+	resp, err := http.Post(baseA+"/v1/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed plan: status %d: %s", resp.StatusCode, want)
+	}
+
+	snapFile := filepath.Join(t.TempDir(), "cache.ndjson")
+	if err := os.WriteFile(snapFile, []byte(getBody(t, baseA+"/v1/cache/snapshot")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dones := []chan error{doneA}
+	for _, tc := range []struct{ name, source string }{{"url", baseA}, {"file", snapFile}} {
+		base, out, done := startRun(t, ctx, "-addr", "127.0.0.1:0", "-warm-from", tc.source)
+		dones = append(dones, done)
+		if s := out.String(); !strings.Contains(s, "cache warmed") || !strings.Contains(s, "added=1") {
+			t.Errorf("%s: warm log missing:\n%s", tc.name, s)
+		}
+		resp, err := http.Post(base+"/v1/plan", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if h := resp.Header.Get("X-SMM-Cache"); h != "hit" {
+			t.Errorf("%s: first request X-SMM-Cache = %q, want hit", tc.name, h)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: warmed document differs from the source's", tc.name)
+		}
+	}
+
+	cancel()
+	for _, done := range dones {
+		waitDone(t, done)
+	}
+}
+
+// TestServeWarmFromBadSource: an unreachable snapshot source refuses to
+// start the server rather than booting cold silently.
+func TestServeWarmFromBadSource(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-warm-from", filepath.Join(t.TempDir(), "missing.ndjson")}, out); err == nil {
+		t.Error("missing snapshot file accepted")
 	}
 }

@@ -1,0 +1,110 @@
+// Package breaker is a consecutive-failure circuit breaker shared by the
+// HTTP server (per compute route, counting handler panics) and the cluster
+// peer backend (per ring member, counting failed cache fills). A failing
+// dependency burns a worker slot or a network round-trip per attempt, so
+// after threshold consecutive failures the breaker opens: callers fast-fail
+// without touching the dependency. After cooldown one half-open probe is
+// admitted — its success closes the breaker, another failure reopens it for
+// a fresh cooldown.
+package breaker
+
+import (
+	"sync"
+	"time"
+)
+
+// Defaults applied by New for zero-valued parameters.
+const (
+	// DefaultThreshold is how many consecutive failures open the breaker.
+	DefaultThreshold = 3
+	// DefaultCooldown is how long an open breaker fast-fails before
+	// admitting a half-open probe.
+	DefaultCooldown = 5 * time.Second
+)
+
+// Breaker is one circuit. A nil *Breaker always allows, so callers never
+// branch on "breakers disabled".
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	// Now is a test seam for the cooldown clock; time.Now in production.
+	Now func() time.Time
+
+	mu          sync.Mutex
+	state       state
+	consecutive int       // failures since the last success
+	openedAt    time.Time // when state last became open
+}
+
+type state int
+
+const (
+	closed state = iota
+	open
+	halfOpen
+)
+
+// New returns a breaker, or nil (always-allow) when threshold < 0.
+// threshold == 0 selects DefaultThreshold, cooldown <= 0 DefaultCooldown.
+func New(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 0 {
+		return nil
+	}
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, Now: time.Now}
+}
+
+// Allow reports whether a request may proceed. Open, it fast-fails until
+// the cooldown elapses, then admits exactly one probe (half-open); further
+// requests keep failing fast while the probe is in flight.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case open:
+		if b.Now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = halfOpen
+		return true
+	case halfOpen:
+		return false
+	default:
+		return true
+	}
+}
+
+// Success records a request that completed, closing the breaker and
+// resetting the consecutive-failure count.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.state = closed
+	b.consecutive = 0
+	b.mu.Unlock()
+}
+
+// Failure records one failed attempt. The breaker opens when the count
+// reaches the threshold, or immediately when a half-open probe fails.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive++
+	if b.state == halfOpen || b.consecutive >= b.threshold {
+		b.state = open
+		b.openedAt = b.Now()
+	}
+	b.mu.Unlock()
+}

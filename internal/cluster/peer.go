@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scratchmem/internal/breaker"
+	"scratchmem/internal/faultinject"
+	"scratchmem/internal/obs"
+	"scratchmem/internal/plancache"
+)
+
+// Transport carries one peer cache-fill to a ring member. The concrete
+// implementation lives in the client package (retry/backoff, typed errors);
+// cluster only sees this interface, keeping the import graph acyclic
+// (client imports server imports cluster).
+type Transport interface {
+	// Fill asks the member at base URL to produce the value for request
+	// and returns its canonical response body.
+	Fill(ctx context.Context, baseURL string, request any) ([]byte, error)
+}
+
+// TransportFunc adapts a function to the Transport interface.
+type TransportFunc func(ctx context.Context, baseURL string, request any) ([]byte, error)
+
+func (f TransportFunc) Fill(ctx context.Context, baseURL string, request any) ([]byte, error) {
+	return f(ctx, baseURL, request)
+}
+
+// PeerStats counts peer-fill outcomes. Fleet tests and the /metrics
+// endpoint read these to prove a plan was computed exactly once.
+type PeerStats struct {
+	// OwnerSelf counts keys this member owned (no fill attempted).
+	OwnerSelf int64
+	// Hit counts fills answered by the owner and successfully decoded.
+	Hit int64
+	// Error counts fills that failed in transport (owner down, timeout).
+	Error int64
+	// Bad counts fills whose response failed to decode or verify
+	// (version-skewed owner).
+	Bad int64
+	// Open counts fills skipped because the owner's breaker was open.
+	Open int64
+}
+
+// PeerOptions tunes a Peer. The zero value selects the breaker defaults.
+type PeerOptions struct {
+	// BreakerThreshold and BreakerCooldown configure the per-member
+	// circuit breaker (breaker.New semantics: 0 selects the default,
+	// threshold < 0 disables breaking).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+// Peer routes cache misses to each key's ring owner before computing
+// locally. The owner runs the computation under its own single-flight, so
+// concurrent fleet-wide requests for one key collapse onto one planner
+// execution; this member stores owned keys in inner and leaves non-owned
+// values to the Layered hot cache above it. Any fill failure degrades to
+// computing locally — availability over dedup.
+type Peer struct {
+	inner     Backend
+	ring      *Ring
+	self      string
+	transport Transport
+	opts      PeerOptions
+
+	mu       sync.Mutex
+	breakers map[string]*breaker.Breaker
+
+	ownerSelf atomic.Int64
+	hit       atomic.Int64
+	errs      atomic.Int64
+	bad       atomic.Int64
+	open      atomic.Int64
+}
+
+// NewPeer builds a Peer over inner. self must be a ring member and names
+// this process's own base URL, so it can recognise the keys it owns.
+func NewPeer(inner Backend, ring *Ring, self string, t Transport, opts PeerOptions) *Peer {
+	return &Peer{
+		inner:     inner,
+		ring:      ring,
+		self:      self,
+		transport: t,
+		opts:      opts,
+		breakers:  make(map[string]*breaker.Breaker),
+	}
+}
+
+// Ring returns the member ring.
+func (p *Peer) Ring() *Ring { return p.ring }
+
+// Self returns this member's own base URL.
+func (p *Peer) Self() string { return p.self }
+
+// Remote reports whether key's owner is another member — the predicate
+// Layered uses to decide what is worth hot-caching.
+func (p *Peer) Remote(key string) bool { return p.ring.Owner(key) != p.self }
+
+// PeerStats snapshots the fill counters.
+func (p *Peer) PeerStats() PeerStats {
+	return PeerStats{
+		OwnerSelf: p.ownerSelf.Load(),
+		Hit:       p.hit.Load(),
+		Error:     p.errs.Load(),
+		Bad:       p.bad.Load(),
+		Open:      p.open.Load(),
+	}
+}
+
+func (p *Peer) Get(key string) (any, bool) { return p.inner.Get(key) }
+
+func (p *Peer) Stats() plancache.Stats { return p.inner.Stats() }
+
+func (p *Peer) Snapshot() []plancache.Entry { return p.inner.Snapshot() }
+
+// Do implements Backend. Owned keys (and keys without a FillSpec) go
+// straight to the local single-flight; for the rest the owner is asked
+// first, with every failure mode falling back to local compute.
+func (p *Peer) Do(ctx context.Context, key string, spec *FillSpec, fn Fill) (any, bool, error) {
+	owner := p.ring.Owner(key)
+	if owner == p.self {
+		p.ownerSelf.Add(1)
+		return p.inner.Do(ctx, key, spec, fn)
+	}
+	if spec == nil {
+		// Local-only keys (simulations, sweeps, traces) never cross the
+		// network even when another member nominally owns them.
+		return p.inner.Do(ctx, key, nil, fn)
+	}
+	// A non-owned key may still be stored here (warm restore, an earlier
+	// ring configuration): serve it without a round-trip.
+	if v, ok := p.inner.Get(key); ok {
+		return v, true, nil
+	}
+	if v, ok, err := p.fill(ctx, key, owner, spec); ok || err != nil {
+		return v, ok, err
+	}
+	// The caller may have gone away while the fill failed; don't burn a
+	// planner run for a dead request.
+	if ctx.Err() != nil {
+		return nil, false, ctx.Err()
+	}
+	return p.inner.Do(ctx, key, nil, fn)
+}
+
+// fill attempts one peer round-trip. ok reports a decoded value; a false
+// ok with nil err means "fall back to local compute".
+func (p *Peer) fill(ctx context.Context, key, owner string, spec *FillSpec) (val any, ok bool, err error) {
+	ctx, span := obs.StartSpan(ctx, "peer_fill")
+	span.SetAttr("key", key)
+	span.SetAttr("owner", owner)
+	outcome := "error"
+	defer func() {
+		span.SetAttr("outcome", outcome)
+		span.End()
+	}()
+
+	br := p.breakerFor(owner)
+	if !br.Allow() {
+		p.open.Add(1)
+		outcome = "open"
+		return nil, false, nil
+	}
+	if ferr := faultinject.Hit("cluster.peer"); ferr != nil {
+		br.Failure()
+		p.errs.Add(1)
+		return nil, false, nil
+	}
+	body, terr := p.transport.Fill(ctx, owner, spec.Request)
+	if terr != nil {
+		br.Failure()
+		p.errs.Add(1)
+		span.SetAttr("error", terr.Error())
+		return nil, false, nil
+	}
+	br.Success()
+	v, derr := spec.Decode(body)
+	if derr != nil {
+		// The owner answered but with a plan this build would not have
+		// produced (version skew) or an unparsable body. The member is
+		// healthy — don't open its breaker — but its answer is unusable.
+		p.bad.Add(1)
+		outcome = "bad"
+		span.SetAttr("error", derr.Error())
+		return nil, false, nil
+	}
+	p.hit.Add(1)
+	outcome = "hit"
+	return v, true, nil
+}
+
+func (p *Peer) breakerFor(owner string) *breaker.Breaker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	br, ok := p.breakers[owner]
+	if !ok {
+		br = breaker.New(p.opts.BreakerThreshold, p.opts.BreakerCooldown)
+		p.breakers[owner] = br
+	}
+	return br
+}

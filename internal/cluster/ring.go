@@ -1,0 +1,120 @@
+// Package cluster turns N smm-serve processes into one logical planner.
+//
+// A plan is expensive to compute but tiny to store and perfectly
+// content-addressed (the canonical SHA-256 PlanKey), so every plan should
+// be computed exactly once fleet-wide. The package lifts the local
+// single-flight plan cache (internal/plancache) behind a Backend interface
+// with three implementations:
+//
+//   - Local    — the existing in-process LRU, unchanged semantics;
+//   - Peer     — consistent-hashes the key onto a static member Ring and
+//     asks the key's owner over POST /v1/peer/fill before computing
+//     locally (groupcache-style: the owner runs the computation under its
+//     own single-flight, so concurrent fleet-wide requests for one key
+//     collapse onto one planner execution);
+//   - Layered  — a small hot LRU over Peer, so repeated requests for
+//     non-owned keys stop crossing the network.
+//
+// Membership is static (the -peers flag), not gossip: fleet membership for
+// a planning tier changes by deploy, and a static ring keeps owner
+// placement deterministic across the fleet — every member computes the
+// same owner for a key with no coordination protocol. When the owner is
+// unreachable the non-owner degrades to computing locally (availability
+// over dedup), guarded by a per-peer circuit breaker so a dead member
+// costs one failed round-trip per cooldown, not per request.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultReplicas is how many virtual points each member contributes to
+// the ring. 64 keeps the per-member load share within a few percent of
+// uniform for small fleets while the ring stays a trivially searchable
+// few-KB array.
+const DefaultReplicas = 64
+
+// Ring is a consistent-hash ring over a static member set. Hashing is
+// deterministic (SHA-256) so every process configured with the same member
+// list computes the same owner for every key, with no coordination.
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	members []string
+	hashes  []uint64 // sorted virtual points
+	owners  []string // owners[i] owns hashes[i]
+}
+
+// NewRing builds a ring over members (deduplicated, order-insensitive)
+// with the given number of virtual points per member (DefaultReplicas
+// when <= 0).
+func NewRing(members []string, replicas int) (*Ring, error) {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty ring member")
+		}
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		members: uniq,
+		hashes:  make([]uint64, 0, len(uniq)*replicas),
+		owners:  make([]string, 0, len(uniq)*replicas),
+	}
+	type point struct {
+		h     uint64
+		owner string
+	}
+	pts := make([]point, 0, len(uniq)*replicas)
+	for _, m := range uniq {
+		for i := 0; i < replicas; i++ {
+			pts = append(pts, point{h: hash64(fmt.Sprintf("%s#%d", m, i)), owner: m})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].h < pts[j].h })
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.owners = append(r.owners, p.owner)
+	}
+	return r, nil
+}
+
+// Owner returns the member owning key: the one whose first virtual point
+// clockwise of the key's hash position.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap around the ring
+	}
+	return r.owners[i]
+}
+
+// Members returns the (sorted, deduplicated) member set.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// hash64 maps a string onto the ring's coordinate space. SHA-256 keeps the
+// virtual points well spread and — unlike maphash — is stable across
+// processes, which is the whole point: every fleet member must agree on
+// every key's position.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://c:1", "http://a:1", "http://b:1", "http://a:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("member sets differ: %v vs %v", a.Members(), b.Members())
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("plan:%032x", i)
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("key %s: owner %q from one ordering, %q from another", key, ao, bo)
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for i := 0; i < 3000; i++ {
+		counts[r.Owner(fmt.Sprintf("plan:%d", i))]++
+	}
+	for _, m := range members {
+		// Perfect balance is 1000 each; vnodes should keep every member
+		// well away from starvation.
+		if counts[m] < 300 {
+			t.Errorf("member %s owns only %d of 3000 keys", m, counts[m])
+		}
+	}
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"http://solo:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if got := r.Owner(fmt.Sprintf("k%d", i)); got != "http://solo:1" {
+			t.Fatalf("key k%d owned by %q", i, got)
+		}
+	}
+}
+
+func TestRingRejectsBadMemberLists(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", ""}, 0); err == nil {
+		t.Error("empty member accepted")
+	}
+}

@@ -59,6 +59,10 @@ type call struct {
 	// rather than inheriting a canceled one.
 	waiters int
 	cancel  context.CancelFunc
+	// noStore marks a flight whose key was removed (Remove/Purge) while the
+	// computation was running: waiters still receive the result, but it is
+	// not stored — the removal wins over the race. Guarded by Cache.mu.
+	noStore bool
 }
 
 // Cache is an LRU keyed by canonical request hashes. The zero value is not
@@ -161,7 +165,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 			if c.inflight[key] == cl {
 				delete(c.inflight, key)
 			}
-			if cl.err == nil {
+			if cl.err == nil && !cl.noStore {
 				c.storeLocked(key, cl.val)
 			}
 			c.mu.Unlock()
@@ -213,6 +217,73 @@ func (c *Cache) storeLocked(key string, val any) {
 		delete(c.items, cold.Value.(*entry).key)
 		c.evictions++
 	}
+}
+
+// Put stores val under key as the most recently used entry, evicting from
+// the cold end if the insert pushes the cache over capacity. It is the
+// restore half of Snapshot: a warm boot re-inserts snapshotted entries
+// without running a computation. A no-op when storage is disabled.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storeLocked(key, val)
+}
+
+// Remove drops the stored entry for key. If a flight for key is currently
+// in progress its result is delivered to the waiters but not stored, so a
+// removal cannot lose the race against a concurrent computation. Reports
+// whether anything was removed (a stored entry dropped or an in-flight
+// store suppressed).
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := false
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		removed = true
+	}
+	if cl, ok := c.inflight[key]; ok && !cl.noStore {
+		cl.noStore = true
+		removed = true
+	}
+	return removed
+}
+
+// Purge drops every stored entry and suppresses the store of every
+// in-flight computation (waiters still get their results), returning how
+// many stored entries were dropped.
+func (c *Cache) Purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	c.ll.Init()
+	clear(c.items)
+	for _, cl := range c.inflight {
+		cl.noStore = true
+	}
+	return n
+}
+
+// Entry is one stored (key, value) pair of a Snapshot.
+type Entry struct {
+	Key string
+	Val any
+}
+
+// Snapshot returns the stored entries from most to least recently used.
+// Values are shared, not copied: snapshot consumers must treat them as
+// immutable (cache values already are — they are served to concurrent
+// requests).
+func (c *Cache) Snapshot() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, Entry{Key: e.key, Val: e.val})
+	}
+	return out
 }
 
 // Len returns the current number of stored entries.

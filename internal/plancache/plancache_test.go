@@ -311,3 +311,141 @@ func TestDoAbandonedFlightReplacedByFresh(t *testing.T) {
 		t.Fatalf("fresh Do = (%v, %v, %v), want (fresh, false, nil)", v, shared, err)
 	}
 }
+
+func TestRemoveStoredEntry(t *testing.T) {
+	c := New(4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if !c.Remove("a") {
+		t.Fatal("Remove(a) = false, want true")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("removed entry still served")
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Errorf("unrelated entry disturbed: (%v, %v)", v, ok)
+	}
+	if c.Remove("a") {
+		t.Error("second Remove(a) = true, want false")
+	}
+	if c.Remove("missing") {
+		t.Error("Remove(missing) = true, want false")
+	}
+}
+
+// TestRemoveInFlightKey: removing a key whose computation is in progress
+// delivers the result to the waiters but suppresses the store — the
+// removal wins over the race, and the next Do recomputes.
+func TestRemoveInFlightKey(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+	fn := func(context.Context) (any, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return "fresh", nil
+	}
+
+	done := make(chan struct{})
+	var v any
+	go func() {
+		defer close(done)
+		v, _, _ = c.Do(context.Background(), "k", fn)
+	}()
+	<-started
+	if !c.Remove("k") {
+		t.Error("Remove of an in-flight key = false, want true")
+	}
+	close(release)
+	<-done
+	if v != "fresh" {
+		t.Errorf("waiter got %v, want the flight's result", v)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("removed in-flight key was stored anyway")
+	}
+	if _, shared, err := c.Do(context.Background(), "k", func(context.Context) (any, error) {
+		calls.Add(1)
+		return "again", nil
+	}); err != nil || shared {
+		t.Errorf("recompute after removal = (shared=%v, err=%v), want a fresh miss", shared, err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("computation ran %d times, want 2 (removal forces a recompute)", n)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(8)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), "inflight", func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return "v", nil
+	})
+	<-started
+	if n := c.Purge(); n != 3 {
+		t.Errorf("Purge removed %d entries, want 3", n)
+	}
+	if c.Len() != 0 {
+		t.Errorf("%d entries survive a purge", c.Len())
+	}
+	close(release)
+	// The in-flight computation must not repopulate the purged cache.
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Get("inflight"); ok {
+			t.Fatal("purged in-flight key was stored anyway")
+		}
+		time.Sleep(time.Millisecond)
+		if c.Stats().Entries == 0 && i > 10 {
+			break
+		}
+	}
+}
+
+func TestSnapshotOrderAndPut(t *testing.T) {
+	c := New(4)
+	c.Put("old", 1)
+	c.Put("mid", 2)
+	c.Put("new", 3)
+	c.Get("old") // touch: old becomes MRU
+	snap := c.Snapshot()
+	keys := make([]string, len(snap))
+	for i, e := range snap {
+		keys[i] = e.Key
+	}
+	want := []string{"old", "new", "mid"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("snapshot order %v, want %v (MRU first)", keys, want)
+		}
+	}
+	// Restore into a fresh cache in reverse order: recency is preserved.
+	r := New(2) // smaller than the snapshot: the LRU tail must fall off
+	for i := len(snap) - 1; i >= 0; i-- {
+		r.Put(snap[i].Key, snap[i].Val)
+	}
+	if _, ok := r.Get("mid"); ok {
+		t.Error("over-capacity restore kept the LRU tail")
+	}
+	if v, ok := r.Get("old"); !ok || v != 1 {
+		t.Errorf("restored MRU entry = (%v, %v), want (1, true)", v, ok)
+	}
+}
+
+func TestPutDisabledStorage(t *testing.T) {
+	c := New(0)
+	c.Put("k", 1)
+	if _, ok := c.Get("k"); ok {
+		t.Error("Put stored into a storage-disabled cache")
+	}
+	if len(c.Snapshot()) != 0 {
+		t.Error("snapshot of a storage-disabled cache is non-empty")
+	}
+}

@@ -97,6 +97,19 @@ func (id ID) Short() string {
 	return fmt.Sprintf("p%d", int(id))
 }
 
+// ShortID is the inverse of Short: it resolves a compact label back to its
+// policy ID. Plan documents store per-layer decisions as short labels, so
+// rehydrating a document into an executable plan (peer cache-fill, warm
+// snapshot restore) starts here.
+func ShortID(s string) (ID, bool) {
+	for id, name := range shortNames {
+		if name == s {
+			return ID(id), true
+		}
+	}
+	return 0, false
+}
+
 // Config carries the accelerator specification the paper feeds its
 // estimators (§3.3): compute rate, data width, GLB size and off-chip
 // bandwidth.

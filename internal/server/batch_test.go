@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	scratchmem "scratchmem"
+)
+
+// sweepRequests builds a 50-pair DSE-style sweep: two models crossed with
+// objective/scheme/reuse options over a few GLB sizes. Every pair is a
+// distinct plan key, but the (layer shape, config) estimator invocations
+// overlap heavily between pairs — which is exactly what the batch-shared
+// estimate memo exists to exploit.
+func sweepRequests() []PlanRequest {
+	var reqs []PlanRequest
+	for _, model := range []string{"TinyCNN", "AlexNet"} {
+		for _, glb := range []int{64, 108, 256} {
+			for _, objective := range []string{"accesses", "latency"} {
+				for _, hom := range []bool{false, true} {
+					for _, inter := range []bool{false, true} {
+						for _, nopf := range []bool{false, true} {
+							reqs = append(reqs, PlanRequest{
+								Model:           model,
+								GLBKiloBytes:    glb,
+								Objective:       objective,
+								Homogeneous:     hom,
+								InterLayerReuse: inter,
+								DisablePrefetch: nopf,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return reqs[:50]
+}
+
+// canonicalDoc re-renders a wire plan document in the canonical form
+// (PlanDoc.MarshalIndent), the byte layout POST /v1/plan serves.
+func canonicalDoc(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	var doc scratchmem.PlanDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	b, err := doc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBatchMatchesSequential pins the batch acceptance criterion: a 50-pair
+// sweep through POST /v1/plan/batch returns documents byte-identical to 50
+// sequential /v1/plan calls, and the batch-shared estimate memo records
+// hits (the sweep re-estimates the same layer shapes across GLB sizes).
+func TestBatchMatchesSequential(t *testing.T) {
+	reqs := sweepRequests()
+
+	seq := httptest.NewServer(New(Config{}).Handler())
+	defer seq.Close()
+	sequential := make([][]byte, len(reqs))
+	for i, pr := range reqs {
+		body, err := json.Marshal(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, respBody := post(t, seq, "/v1/plan", string(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sequential %d: status %d: %s", i, resp.StatusCode, respBody)
+		}
+		sequential[i] = respBody
+	}
+
+	bat := httptest.NewServer(New(Config{CacheEntries: len(reqs) + 8}).Handler())
+	defer bat.Close()
+	reqBody, err := json.Marshal(BatchRequest{Requests: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, respBody := post(t, bat, "/v1/plan/batch", string(reqBody))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, respBody)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(respBody, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(reqs) {
+		t.Fatalf("batch returned %d results for %d requests", len(br.Results), len(reqs))
+	}
+	for i, item := range br.Results {
+		if item.Status != http.StatusOK {
+			t.Fatalf("item %d: status %d: %s", i, item.Status, item.Error)
+		}
+		// The batch envelope re-flows embedded JSON whitespace, so compare
+		// canonical renderings: parse the item's document and re-render it
+		// the one canonical way — it must be byte-identical to the lone
+		// /v1/plan response.
+		if !bytes.Equal(canonicalDoc(t, item.Plan), sequential[i]) {
+			t.Errorf("item %d: batch document differs from the sequential one", i)
+		}
+	}
+	if br.MemoHits == 0 {
+		t.Error("batch-shared memo recorded no hits across the sweep")
+	}
+
+	_, metricsBody := get(t, bat, "/metrics")
+	if got := metric(t, metricsBody, "smm_batch_size_sum"); got != int64(len(reqs)) {
+		t.Errorf("smm_batch_size_sum = %d, want %d", got, len(reqs))
+	}
+	if got := metric(t, metricsBody, "smm_batch_size_count"); got != 1 {
+		t.Errorf("smm_batch_size_count = %d, want 1", got)
+	}
+}
+
+// TestBatchItemsFailIndependently: one malformed item gets its own per-item
+// status; its siblings still plan.
+func TestBatchItemsFailIndependently(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	reqs := []PlanRequest{
+		{Model: "TinyCNN", GLBKiloBytes: 32},
+		{Model: "NoSuchNet", GLBKiloBytes: 32},
+		{Model: "TinyCNN"}, // no glb_kb and no config
+	}
+	body, err := json.Marshal(BatchRequest{Requests: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, respBody := post(t, ts, "/v1/plan/batch", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, respBody)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(respBody, &br); err != nil {
+		t.Fatal(err)
+	}
+	wantStatus := []int{http.StatusOK, http.StatusBadRequest, http.StatusBadRequest}
+	for i, want := range wantStatus {
+		if br.Results[i].Status != want {
+			t.Errorf("item %d: status %d, want %d (%s)", i, br.Results[i].Status, want, br.Results[i].Error)
+		}
+	}
+	if len(br.Results[0].Plan) == 0 {
+		t.Error("healthy item returned no document")
+	}
+}
+
+// TestBatchLimits: empty and oversized batches are client errors.
+func TestBatchLimits(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	if resp, _ := post(t, ts, "/v1/plan/batch", `{"requests": []}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	big := BatchRequest{Requests: make([]PlanRequest, maxBatchItems+1)}
+	for i := range big.Requests {
+		big.Requests[i] = PlanRequest{Model: "TinyCNN", GLBKiloBytes: 16 + i}
+	}
+	body, err := json.Marshal(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := post(t, ts, "/v1/plan/batch", string(body)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBatchDeduplicatesInsideOneCall: identical items inside one batch
+// collapse onto one planner execution through the shared cache.
+func TestBatchDeduplicatesInsideOneCall(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqs := make([]PlanRequest, 8)
+	for i := range reqs {
+		reqs[i] = PlanRequest{Model: "TinyCNN", GLBKiloBytes: 32}
+	}
+	body, err := json.Marshal(BatchRequest{Requests: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, respBody := post(t, ts, "/v1/plan/batch", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, respBody)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(respBody, &br); err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for i, item := range br.Results {
+		if item.Status != http.StatusOK {
+			t.Fatalf("item %d failed: %s", i, item.Error)
+		}
+		if item.Cache == "miss" {
+			misses++
+		}
+		if !bytes.Equal(item.Plan, br.Results[0].Plan) {
+			t.Errorf("item %d differs", i)
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d cache misses for 8 identical items, want 1", misses)
+	}
+	_, metricsBody := get(t, ts, "/metrics")
+	if got := metric(t, metricsBody, "smm_planner_latency_seconds_count"); got != 1 {
+		t.Errorf("planner ran %d times for 8 identical items, want 1", got)
+	}
+}

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strings"
+
+	scratchmem "scratchmem"
+	"scratchmem/internal/faultinject"
+	"scratchmem/internal/model"
+	"scratchmem/internal/obs"
+	"scratchmem/internal/parallel"
+	"scratchmem/internal/policy"
+)
+
+// maxBatchItems bounds one POST /v1/plan/batch. A DSE sweep over every
+// builtin model and a generous GLB grid fits comfortably; anything larger
+// should be split, or it would monopolise the worker pool for one caller.
+const maxBatchItems = 256
+
+// BatchRequest is the body of POST /v1/plan/batch.
+type BatchRequest struct {
+	Requests []PlanRequest `json:"requests"`
+}
+
+// BatchItem is one per-request result inside a BatchResponse, in request
+// order. Status carries the HTTP code the same request would have received
+// from POST /v1/plan; Plan is the byte-identical document body on 200.
+type BatchItem struct {
+	Status  int             `json:"status"`
+	PlanKey string          `json:"plan_key,omitempty"`
+	Cache   string          `json:"cache,omitempty"` // "hit" or "miss", as X-SMM-Cache
+	Plan    json.RawMessage `json:"plan,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// BatchResponse answers POST /v1/plan/batch. MemoHits/MemoMisses report the
+// batch-shared estimate memo: a DSE-style sweep (same network, many
+// configurations) re-estimates the same (layer, policy, config) shapes over
+// and over, so sharing one memo across the batch is the point of the route.
+type BatchResponse struct {
+	Results    []BatchItem `json:"results"`
+	MemoHits   int64       `json:"memo_hits"`
+	MemoMisses int64       `json:"memo_misses"`
+}
+
+// handleBatch plans every request in the body concurrently under one shared
+// estimate memo. Items succeed and fail independently — the response is
+// always 200 with per-item statuses — and each item takes the same cache /
+// single-flight / peer-fill path as a lone POST /v1/plan, so the returned
+// documents are byte-identical to sequential calls.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.fail(w, badRequestf("batch needs at least one request"))
+		return
+	}
+	if len(req.Requests) > maxBatchItems {
+		s.fail(w, badRequestf("batch of %d exceeds the %d-item limit", len(req.Requests), maxBatchItems))
+		return
+	}
+	s.met.observeBatch(len(req.Requests))
+	span := obs.SpanFrom(r.Context())
+	span.SetAttr("batch_size", len(req.Requests))
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	memo := policy.NewMemoCap(DefaultMemoEntries)
+	results := make([]BatchItem, len(req.Requests))
+	// Fan out across the CPUs; the worker semaphore inside planned still
+	// bounds how many planner executions actually run at once, so a big
+	// batch queues exactly like a burst of individual requests.
+	err := parallel.ForEachCtx(ctx, len(req.Requests), runtime.GOMAXPROCS(0), func(ctx context.Context, i int) error {
+		pr := &req.Requests[i]
+		net, opts, err := pr.resolve()
+		if err != nil {
+			code, msg := statusOf(err)
+			results[i] = BatchItem{Status: code, Error: msg}
+			return nil
+		}
+		key, err := scratchmem.PlanKey(net, opts)
+		if err != nil {
+			code, msg := statusOf(err)
+			results[i] = BatchItem{Status: code, Error: msg}
+			return nil
+		}
+		entry, shared, err := s.planned(ctx, key, pr, memo, net, opts)
+		if err != nil {
+			code, msg := statusOf(err)
+			results[i] = BatchItem{Status: code, PlanKey: key, Error: msg}
+			return nil
+		}
+		item := BatchItem{Status: http.StatusOK, PlanKey: key, Cache: "miss", Plan: entry.body}
+		if shared {
+			item.Cache = "hit"
+		}
+		results[i] = item
+		return nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ms := memo.Stats()
+	writeJSON(w, BatchResponse{Results: results, MemoHits: ms.Hits, MemoMisses: ms.Misses})
+}
+
+// handlePeerFill computes a plan on behalf of a ring peer. It is the
+// receiving half of the cluster's cache-fill protocol: identical to
+// /v1/plan except that the request is never forwarded again (a nil wire
+// request keeps the fill local), so two nodes whose rings momentarily
+// disagree about a key's owner bounce the request at most once instead of
+// forwarding it in a loop.
+func (s *Server) handlePeerFill(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	net, opts, err := req.resolve()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	key, err := scratchmem.PlanKey(net, opts)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	span := obs.SpanFrom(r.Context())
+	span.SetAttr("model_hash", key)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	entry, shared, err := s.planned(ctx, key, nil, nil, net, opts)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if entry.plan.Degraded {
+		span.SetAttr("degraded_mode", entry.plan.DegradedMode)
+	}
+	cacheHeader(w, shared)
+	w.Header().Set("X-SMM-Plan-Key", key)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(entry.body)
+}
+
+// SnapshotOptions carries the plan options a PlanDoc does not itself
+// record; together with the document's config and objective they rebuild
+// the exact PlanOptions — and therefore the exact PlanKey — of the
+// original request.
+type SnapshotOptions struct {
+	Homogeneous     bool `json:"homogeneous,omitempty"`
+	DisablePrefetch bool `json:"disable_prefetch,omitempty"`
+	InterLayerReuse bool `json:"interlayer,omitempty"`
+	Strict          bool `json:"strict,omitempty"`
+}
+
+// SnapshotRecord is one line of the GET /v1/cache/snapshot stream: a
+// self-contained, restorable description of one cached plan. The network
+// travels in canonical JSON so the restorer recomputes the identical
+// content hash.
+type SnapshotRecord struct {
+	Key     string              `json:"key"`
+	Network json.RawMessage     `json:"network"`
+	Options SnapshotOptions     `json:"options"`
+	Doc     *scratchmem.PlanDoc `json:"doc"`
+}
+
+// handleSnapshot streams the cached plans as newline-delimited JSON
+// records, most recently used first. Only plan entries travel — simulation
+// and DSE results are cheap to recompute and not rehydratable — and
+// degraded plans are skipped because their documents are explicitly not
+// decision-reproducible.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Hit("cluster.snapshot"); err != nil {
+		s.fail(w, err)
+		return
+	}
+	var recs []SnapshotRecord
+	for _, e := range s.cache.Snapshot() {
+		key, ok := strings.CutPrefix(e.Key, "plan:")
+		if !ok {
+			continue
+		}
+		pe, ok := e.Val.(*planEntry)
+		if !ok || pe.net == nil || pe.plan.Degraded {
+			continue
+		}
+		canon, err := model.CanonicalJSON(pe.net)
+		if err != nil {
+			continue
+		}
+		recs = append(recs, SnapshotRecord{
+			Key:     key,
+			Network: canon,
+			Options: SnapshotOptions{
+				Homogeneous:     pe.opts.Homogeneous,
+				DisablePrefetch: pe.opts.DisablePrefetch,
+				InterLayerReuse: pe.opts.InterLayerReuse,
+				Strict:          pe.opts.Strict,
+			},
+			Doc: scratchmem.PlanDocument(pe.plan),
+		})
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-SMM-Snapshot-Entries", fmt.Sprint(len(recs)))
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return // mid-stream: the connection is gone, nothing to report
+		}
+	}
+}
+
+// RestoreSnapshot replays a snapshot stream into the local cache (the
+// smm-serve -warm-from boot path). Every record is verified before it is
+// trusted: the network must hash back to the record's key and the document
+// must rehydrate against this build's estimators, so a stale or foreign
+// snapshot degrades to skipped records, never to wrong answers. Records
+// stream most-recently-used first, so they are inserted in reverse to
+// reproduce the source's LRU order.
+func (s *Server) RestoreSnapshot(r io.Reader) (added, skipped int, err error) {
+	dec := json.NewDecoder(r)
+	var recs []SnapshotRecord
+	for {
+		var rec SnapshotRecord
+		if derr := dec.Decode(&rec); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return added, skipped, fmt.Errorf("server: snapshot stream: %v", derr)
+		}
+		recs = append(recs, rec)
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		entry, key, rerr := restoreRecord(&recs[i])
+		if rerr != nil {
+			skipped++
+			s.log.Warn("snapshot record skipped", "key", recs[i].Key, "error", rerr)
+			continue
+		}
+		s.local.Put("plan:"+key, entry)
+		added++
+	}
+	return added, skipped, nil
+}
+
+// restoreRecord verifies and rehydrates one snapshot record.
+func restoreRecord(rec *SnapshotRecord) (*planEntry, string, error) {
+	if rec.Doc == nil {
+		return nil, "", fmt.Errorf("record has no plan document")
+	}
+	net, err := model.ReadJSON(bytes.NewReader(rec.Network))
+	if err != nil {
+		return nil, "", fmt.Errorf("network: %v", err)
+	}
+	obj, err := scratchmem.ParseObjective(rec.Doc.Objective)
+	if err != nil {
+		return nil, "", err
+	}
+	opts := scratchmem.PlanOptions{
+		Config:          rec.Doc.Config.ToConfig(),
+		Objective:       obj,
+		Homogeneous:     rec.Options.Homogeneous,
+		DisablePrefetch: rec.Options.DisablePrefetch,
+		InterLayerReuse: rec.Options.InterLayerReuse,
+		Strict:          rec.Options.Strict,
+	}
+	key, err := scratchmem.PlanKey(net, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	if key != rec.Key {
+		return nil, "", fmt.Errorf("content hash %s does not match record key %s", key, rec.Key)
+	}
+	p, err := scratchmem.RehydratePlan(net, rec.Doc)
+	if err != nil {
+		return nil, "", err
+	}
+	body, err := scratchmem.PlanDocument(p).MarshalIndent()
+	if err != nil {
+		return nil, "", err
+	}
+	return &planEntry{plan: p, body: body, net: net, opts: opts}, key, nil
+}
+
+// VersionInfo answers GET /v1/version and the smm-serve -version flag.
+type VersionInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	Go        string `json:"go"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	BuildTime string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+// Version reports what this binary was built from, via debug/buildinfo.
+func Version() VersionInfo {
+	v := VersionInfo{Go: runtime.Version(), Version: "(devel)"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.Module = bi.Main.Path
+	if bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			v.Revision = kv.Value
+		case "vcs.time":
+			v.BuildTime = kv.Value
+		case "vcs.modified":
+			v.Modified = kv.Value == "true"
+		}
+	}
+	return v
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, Version())
+}

@@ -10,11 +10,13 @@ import (
 	"time"
 
 	scratchmem "scratchmem"
+	"scratchmem/internal/cluster"
 	"scratchmem/internal/engine"
 	"scratchmem/internal/faultinject"
 	"scratchmem/internal/model"
 	"scratchmem/internal/obs"
 	"scratchmem/internal/parallel"
+	"scratchmem/internal/policy"
 	"scratchmem/internal/smmerr"
 	"scratchmem/internal/trace"
 )
@@ -140,10 +142,13 @@ func (pr *PlanRequest) resolve() (*scratchmem.Network, scratchmem.PlanOptions, e
 
 // planEntry is the cached value for one plan key: the plan itself plus the
 // pre-rendered response body, so repeated requests return byte-identical
-// documents without re-marshalling.
+// documents without re-marshalling. The network and options are retained so
+// GET /v1/cache/snapshot can emit a self-contained, restorable record.
 type planEntry struct {
 	plan *scratchmem.Plan
 	body []byte
+	net  *scratchmem.Network
+	opts scratchmem.PlanOptions
 }
 
 // decodeBody parses a JSON request body strictly.
@@ -187,30 +192,44 @@ func (s *Server) writeShed(w http.ResponseWriter, msg string) {
 	s.writeError(w, http.StatusServiceUnavailable, msg)
 }
 
-// fail maps an error from resolving or computing to an HTTP status. The
-// dispatch is purely on the typed taxonomy (errors.Is/As through however
-// many LayerError wrappers), never on message text.
-func (s *Server) fail(w http.ResponseWriter, err error) {
+// statusOf maps an error from resolving or computing to an HTTP status and
+// message. The dispatch is purely on the typed taxonomy (errors.Is/As
+// through however many LayerError wrappers), never on message text. It is
+// pure so the batch handler can classify per-item errors without touching
+// response headers or counters.
+func statusOf(err error) (code int, msg string) {
 	var infeasible *scratchmem.InfeasibleError
 	switch {
 	case errors.Is(err, parallel.ErrShed):
-		s.met.shedRequest()
-		s.writeShed(w, "worker queue full, retry later")
+		return http.StatusServiceUnavailable, "worker queue full, retry later"
 	case faultinject.IsInjected(err):
 		// Injected faults model transient internal failures: advertise
 		// them as retryable 503s, never as bare 500s.
-		s.writeShed(w, err.Error())
+		return http.StatusServiceUnavailable, err.Error()
 	case errors.Is(err, scratchmem.ErrBadModel):
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		return http.StatusBadRequest, err.Error()
 	case errors.As(err, &infeasible), errors.Is(err, scratchmem.ErrInfeasible):
-		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return http.StatusUnprocessableEntity, err.Error()
 	case errors.Is(err, context.DeadlineExceeded):
-		s.writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		return http.StatusGatewayTimeout, "request deadline exceeded"
 	case errors.Is(err, context.Canceled):
-		s.writeError(w, statusClientClosedRequest, "client closed request")
+		return statusClientClosedRequest, "client closed request"
 	default:
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return http.StatusInternalServerError, err.Error()
 	}
+}
+
+// fail writes the mapped error response and records its counters.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	code, msg := statusOf(err)
+	if errors.Is(err, parallel.ErrShed) {
+		s.met.shedRequest()
+	}
+	if code == http.StatusServiceUnavailable {
+		s.writeShed(w, msg)
+		return
+	}
+	s.writeError(w, code, msg)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -229,15 +248,31 @@ func cacheHeader(w http.ResponseWriter, shared bool) {
 	}
 }
 
-// planned returns the cached-or-computed planEntry for a request. It is
-// the shared path of /v1/plan and /v1/simulate: cache lookup, single-flight
-// execution under a worker slot, latency observation.
-func (s *Server) planned(ctx context.Context, key string, net *scratchmem.Network, opts scratchmem.PlanOptions) (*planEntry, bool, error) {
-	v, shared, err := s.cache.Do(ctx, "plan:"+key, func(ctx context.Context) (any, error) {
+// planned returns the cached-or-computed planEntry for a request. It is the
+// shared path of /v1/plan, /v1/plan/batch, /v1/simulate and /v1/peer/fill:
+// cache lookup, single-flight execution under a worker slot, latency
+// observation. A non-nil wire request makes the key eligible for a peer
+// cache-fill (the request is what the key's ring owner computes from); the
+// peer-fill handler itself passes nil so rings that momentarily disagree
+// cannot forward a request in a loop. A non-nil memo (a batch's shared
+// table) is installed on the flight context, where it survives the
+// flight's obs.Detach and wins over the server-lifetime memo.
+func (s *Server) planned(ctx context.Context, key string, wire *PlanRequest, memo *policy.Memo, net *scratchmem.Network, opts scratchmem.PlanOptions) (*planEntry, bool, error) {
+	var spec *cluster.FillSpec
+	if wire != nil {
+		spec = &cluster.FillSpec{
+			Request: wire,
+			Decode:  func(body []byte) (any, error) { return decodePeerPlan(body, net, opts) },
+		}
+	}
+	v, shared, err := s.cache.Do(ctx, "plan:"+key, spec, func(ctx context.Context) (any, error) {
 		if err := s.sem.Acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.sem.Release()
+		if memo != nil {
+			ctx = policy.WithMemo(ctx, memo)
+		}
 		start := time.Now()
 		p, err := s.planFn(ctx, net, opts)
 		s.met.observePlanner(time.Since(start))
@@ -255,12 +290,33 @@ func (s *Server) planned(ctx context.Context, key string, net *scratchmem.Networ
 		if err != nil {
 			return nil, err
 		}
-		return &planEntry{plan: p, body: body}, nil
+		return &planEntry{plan: p, body: body, net: net, opts: opts}, nil
 	})
 	if err != nil {
 		return nil, false, err
 	}
 	return v.(*planEntry), shared, nil
+}
+
+// decodePeerPlan turns a peer's /v1/peer/fill response into a planEntry:
+// parse the document, rehydrate it against this build's estimators
+// (scratchmem.RehydratePlan verifies every figure, so a version-skewed
+// owner is detected, not trusted) and re-render the body locally — the
+// round-trip property guarantees it is byte-identical to the owner's.
+func decodePeerPlan(body []byte, net *scratchmem.Network, opts scratchmem.PlanOptions) (any, error) {
+	var doc scratchmem.PlanDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("peer fill: %v", err)
+	}
+	p, err := scratchmem.RehydratePlan(net, &doc)
+	if err != nil {
+		return nil, fmt.Errorf("peer fill: %w", err)
+	}
+	rendered, err := scratchmem.PlanDocument(p).MarshalIndent()
+	if err != nil {
+		return nil, err
+	}
+	return &planEntry{plan: p, body: rendered, net: net, opts: opts}, nil
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -283,7 +339,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	span.SetAttr("model_hash", key)
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	entry, shared, err := s.planned(ctx, key, net, opts)
+	entry, shared, err := s.planned(ctx, key, &req, nil, net, opts)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -320,8 +376,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.simulateBaseline(ctx, w, key, net, opts, req.Baseline)
 		return
 	}
-	// Plan first (cached under its own key), then time it.
-	entry, _, err := s.planned(ctx, key, net, opts)
+	// Plan first (cached under its own key), then time it. The plan half
+	// may be filled from its ring owner; the timing below always runs
+	// locally.
+	entry, _, err := s.planned(ctx, key, &req.PlanRequest, nil, net, opts)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -334,7 +392,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			net.Name, entry.plan.MaxMemoryBytes(), entry.plan.Cfg.GLBBytes, scratchmem.ErrInfeasible))
 		return
 	}
-	v, shared, err := s.cache.Do(ctx, "sim:"+key, func(ctx context.Context) (any, error) {
+	v, shared, err := s.cache.Do(ctx, "sim:"+key, nil, func(ctx context.Context) (any, error) {
 		if err := s.sem.Acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -376,7 +434,7 @@ func (s *Server) simulateBaseline(ctx context.Context, w http.ResponseWriter, ke
 	}
 	base := scratchmem.BaselineSplits(glbKB, cfg.DataWidthBits)[idx]
 	cacheKey := fmt.Sprintf("base:%s:%d", key, spec.SplitPercent)
-	v, shared, err := s.cache.Do(ctx, cacheKey, func(ctx context.Context) (any, error) {
+	v, shared, err := s.cache.Do(ctx, cacheKey, nil, func(ctx context.Context) (any, error) {
 		if err := s.sem.Acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -421,7 +479,7 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 	obs.SpanFrom(r.Context()).SetAttr("model_hash", key)
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	v, shared, err := s.cache.Do(ctx, "dse:"+key, func(ctx context.Context) (any, error) {
+	v, shared, err := s.cache.Do(ctx, "dse:"+key, nil, func(ctx context.Context) (any, error) {
 		if err := s.sem.Acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -466,8 +524,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var ps cluster.PeerStats
+	if st, ok := s.cache.(cluster.PeerStatser); ok {
+		ps = st.PeerStats()
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.met.write(w, s.cache.Stats(), s.memo.Stats(), s.sem.InUse(), s.sem.Cap(), s.tracer.Finished())
+	s.met.write(w, s.cache.Stats(), s.memo.Stats(), ps, s.sem.InUse(), s.sem.Cap(), s.tracer.Finished())
 }
 
 // handleTrace renders the execution trace of an already-planned model:
@@ -498,7 +560,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	tv, shared, err := s.cache.Do(ctx, "trace:"+key, func(ctx context.Context) (any, error) {
+	tv, shared, err := s.cache.Do(ctx, "trace:"+key, nil, func(ctx context.Context) (any, error) {
 		if err := s.sem.Acquire(ctx); err != nil {
 			return nil, err
 		}

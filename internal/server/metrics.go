@@ -8,6 +8,7 @@ import (
 	"time"
 
 	scratchmem "scratchmem"
+	"scratchmem/internal/cluster"
 	"scratchmem/internal/core"
 	"scratchmem/internal/obs"
 	"scratchmem/internal/plancache"
@@ -81,6 +82,9 @@ type metrics struct {
 	degraded    atomic.Int64 // plans produced by the degradation ladder
 	breakerOpen atomic.Int64 // requests fast-failed by an open breaker
 
+	batchCount atomic.Int64 // POST /v1/plan/batch requests
+	batchItems atomic.Int64 // plan requests carried inside batches
+
 	// Planner-deep counters, filled per freshly computed plan.
 	policySelected map[string]*atomic.Int64 // per winning policy variant, per layer
 	dramBytes      map[string]*atomic.Int64 // per datatype planned off-chip bytes
@@ -141,6 +145,12 @@ func (m *metrics) degradedPlan() { m.degraded.Add(1) }
 // breakerOpened counts one request fast-failed by an open circuit breaker.
 func (m *metrics) breakerOpened() { m.breakerOpen.Add(1) }
 
+// observeBatch records one /v1/plan/batch request of n plan items.
+func (m *metrics) observeBatch(n int) {
+	m.batchCount.Add(1)
+	m.batchItems.Add(int64(n))
+}
+
 // observePlanner records one planner execution's wall time.
 func (m *metrics) observePlanner(d time.Duration) { m.planner.observe(d) }
 
@@ -178,8 +188,12 @@ func (m *metrics) planOutcome(p *scratchmem.Plan) {
 	}
 }
 
+// peerOutcomes is the fixed outcome label set of smm_peer_fill_total,
+// matching cluster.PeerStats field for field.
+var peerOutcomes = []string{"hit", "error", "bad", "open"}
+
 // write renders the counters as plain-text expvar/Prometheus-style lines.
-func (m *metrics) write(w io.Writer, cs plancache.Stats, ms policy.MemoStats, inflight, workers int, spans int64) {
+func (m *metrics) write(w io.Writer, cs plancache.Stats, ms policy.MemoStats, ps cluster.PeerStats, inflight, workers int, spans int64) {
 	routes := make([]string, 0, len(m.requests))
 	for r := range m.requests {
 		routes = append(routes, r)
@@ -214,6 +228,13 @@ func (m *metrics) write(w io.Writer, cs plancache.Stats, ms policy.MemoStats, in
 	for _, dt := range datatypes {
 		fmt.Fprintf(w, "smm_dram_bytes_total{datatype=%q} %d\n", dt, m.dramBytes[dt].Load())
 	}
+	peerFills := map[string]int64{"hit": ps.Hit, "error": ps.Error, "bad": ps.Bad, "open": ps.Open}
+	for _, o := range peerOutcomes {
+		fmt.Fprintf(w, "smm_peer_fill_total{outcome=%q} %d\n", o, peerFills[o])
+	}
+	fmt.Fprintf(w, "smm_ring_owner_self_total %d\n", ps.OwnerSelf)
+	fmt.Fprintf(w, "smm_batch_size_sum %d\n", m.batchItems.Load())
+	fmt.Fprintf(w, "smm_batch_size_count %d\n", m.batchCount.Load())
 	fmt.Fprintf(w, "smm_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(w, "smm_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "smm_cache_coalesced_total %d\n", cs.Coalesced)

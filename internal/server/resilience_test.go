@@ -165,7 +165,7 @@ func TestCircuitBreaker(t *testing.T) {
 	srv := New(Config{BreakerThreshold: 2, BreakerCooldown: time.Hour})
 	now := time.Now()
 	br := srv.breakers["/v1/plan"]
-	br.now = func() time.Time { return now } // frozen clock
+	br.Now = func() time.Time { return now } // frozen clock
 	var calls atomic.Int32
 	srv.planFn = func(context.Context, *scratchmem.Network, scratchmem.PlanOptions) (*scratchmem.Plan, error) {
 		calls.Add(1)

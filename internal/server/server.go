@@ -10,14 +10,23 @@
 //
 // Routes:
 //
-//	POST /v1/plan        — run the analyser (paper Algorithm 1), return a PlanDoc
-//	POST /v1/simulate    — time a plan end-to-end, or run the SCALE-Sim baseline
-//	POST /v1/dse         — exhaustive tile-size search (off-chip traffic optimum)
-//	GET  /v1/trace/{key} — a planned model's execution trace (Perfetto JSON or CSV)
-//	GET  /v1/spans       — recent request spans as a Perfetto timeline
-//	GET  /v1/models      — list the built-in networks
-//	GET  /healthz        — liveness probe
-//	GET  /metrics        — plain-text counters (requests, cache, latency histograms)
+//	POST /v1/plan           — run the analyser (paper Algorithm 1), return a PlanDoc
+//	POST /v1/plan/batch     — plan many requests sharing one estimate memo
+//	POST /v1/simulate       — time a plan end-to-end, or run the SCALE-Sim baseline
+//	POST /v1/dse            — exhaustive tile-size search (off-chip traffic optimum)
+//	POST /v1/peer/fill      — internal: compute a plan on behalf of a ring peer
+//	GET  /v1/cache/snapshot — stream the cached plans for warm restore (-warm-from)
+//	GET  /v1/trace/{key}    — a planned model's execution trace (Perfetto JSON or CSV)
+//	GET  /v1/spans          — recent request spans as a Perfetto timeline
+//	GET  /v1/models         — list the built-in networks
+//	GET  /v1/version        — build/module version info
+//	GET  /healthz           — liveness probe
+//	GET  /metrics           — plain-text counters (requests, cache, latency histograms)
+//
+// With -peers configured, several smm-serve processes form one logical
+// planner: each plan key has a consistent-hash owner (internal/cluster) and
+// non-owners fill their cache from it over /v1/peer/fill before computing
+// locally, so every plan is computed once fleet-wide.
 //
 // Every request runs under a trace span (internal/obs); handlers down the
 // stack open child spans (cache, plan, simulate), and the per-request
@@ -32,6 +41,8 @@ import (
 	"time"
 
 	scratchmem "scratchmem"
+	"scratchmem/internal/breaker"
+	"scratchmem/internal/cluster"
 	"scratchmem/internal/faultinject"
 	"scratchmem/internal/obs"
 	"scratchmem/internal/parallel"
@@ -73,6 +84,10 @@ type Config struct {
 	// SlowRequest is the threshold past which a completed request is also
 	// logged at warn level (0 disables slow-request logging).
 	SlowRequest time.Duration
+	// Cluster, when non-nil, wraps the local plan cache into the fleet
+	// backend (cmd/smm-serve composes Layered over Peer over Local from the
+	// -peers flag). Nil keeps the historical single-node behaviour.
+	Cluster func(local *plancache.Cache) cluster.Backend
 }
 
 // Defaults for Config zero values.
@@ -80,8 +95,8 @@ const (
 	DefaultCacheEntries     = 256
 	DefaultTimeout          = 30 * time.Second
 	DefaultQueueDepth       = 64
-	DefaultBreakerThreshold = 3
-	DefaultBreakerCooldown  = 5 * time.Second
+	DefaultBreakerThreshold = breaker.DefaultThreshold
+	DefaultBreakerCooldown  = breaker.DefaultCooldown
 	// DefaultSpanRing is how many finished spans the server's own tracer
 	// retains for GET /v1/spans when Config.Tracer is nil.
 	DefaultSpanRing = 256
@@ -95,12 +110,19 @@ const (
 // Server wires the public scratchmem API behind HTTP handlers with a
 // shared result cache. Construct with New.
 type Server struct {
-	cfg      Config
-	cache    *plancache.Cache
+	cfg Config
+	// cache is the backend every plan request goes through: the local
+	// single-flight LRU alone, or the cluster composition over it. Requests
+	// to non-clustered value kinds (simulations, sweeps, traces) pass a nil
+	// fill spec and stay local either way.
+	cache cluster.Backend
+	// local is the authoritative in-process store under cache; warm
+	// snapshot restore inserts through it directly.
+	local    *plancache.Cache
 	sem      *parallel.Semaphore
 	met      *metrics
 	mux      *http.ServeMux
-	breakers map[string]*breaker // per compute route
+	breakers map[string]*breaker.Breaker // per compute route
 	log      *slog.Logger
 	tracer   *obs.Tracer
 	// memo is the server-lifetime estimate memo: plan executions share it
@@ -120,13 +142,17 @@ type Server struct {
 }
 
 // routes is the fixed set of request-counter labels.
-var routes = []string{"/v1/plan", "/v1/simulate", "/v1/dse", "/v1/trace", "/v1/spans", "/v1/models", "/healthz", "/metrics"}
+var routes = []string{
+	"/v1/plan", "/v1/plan/batch", "/v1/simulate", "/v1/dse", "/v1/trace",
+	"/v1/peer/fill", "/v1/cache/snapshot", "/v1/spans", "/v1/models",
+	"/v1/version", "/healthz", "/metrics",
+}
 
 // computeRoutes are the routes that run planner/simulator/DSE work; each
 // gets its own circuit breaker, so a panicking planner does not take the
 // cheap informational routes down with it. /v1/trace belongs here because
 // it dry-runs every layer's tile schedule on a trace-cache miss.
-var computeRoutes = []string{"/v1/plan", "/v1/simulate", "/v1/dse", "/v1/trace"}
+var computeRoutes = []string{"/v1/plan", "/v1/plan/batch", "/v1/simulate", "/v1/dse", "/v1/trace", "/v1/peer/fill"}
 
 // New builds a Server with its cache, semaphore and handler set.
 func New(cfg Config) *Server {
@@ -153,12 +179,18 @@ func New(cfg Config) *Server {
 		tracer = obs.NewTracer(DefaultSpanRing)
 	}
 	memo := policy.NewMemoCap(DefaultMemoEntries)
+	local := plancache.New(entries)
+	var backend cluster.Backend = cluster.NewLocal(local)
+	if cfg.Cluster != nil {
+		backend = cfg.Cluster(local)
+	}
 	s := &Server{
 		cfg:      cfg,
-		cache:    plancache.New(entries),
+		cache:    backend,
+		local:    local,
 		sem:      parallel.NewQueuedSemaphore(cfg.Workers, queue),
 		met:      newMetrics(routes),
-		breakers: make(map[string]*breaker, len(computeRoutes)),
+		breakers: make(map[string]*breaker.Breaker, len(computeRoutes)),
 		log:      logger,
 		tracer:   tracer,
 		memo:     memo,
@@ -166,7 +198,12 @@ func New(cfg Config) *Server {
 			if err := faultinject.Hit("server.plan"); err != nil {
 				return nil, err
 			}
-			return scratchmem.PlanModelCtx(policy.WithMemo(ctx, memo), n, o, nil)
+			// A batch hands its own shared memo to the flight context; only
+			// fall back to the server-lifetime memo when none is present.
+			if policy.MemoFrom(ctx) == nil {
+				ctx = policy.WithMemo(ctx, memo)
+			}
+			return scratchmem.PlanModelCtx(ctx, n, o, nil)
 		},
 		simFn: func(ctx context.Context, p *scratchmem.Plan) (int64, int64, error) {
 			if err := faultinject.Hit("server.simulate"); err != nil {
@@ -176,13 +213,17 @@ func New(cfg Config) *Server {
 		},
 	}
 	for _, route := range computeRoutes {
-		s.breakers[route] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		s.breakers[route] = breaker.New(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	// The phase-latency histograms are derived from finished spans: every
 	// plan/simulate/cache span anywhere down the stack lands here.
 	s.tracer.OnFinish(s.met.observeSpan)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.counted("/v1/plan", s.handlePlan))
+	mux.HandleFunc("POST /v1/plan/batch", s.counted("/v1/plan/batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/peer/fill", s.counted("/v1/peer/fill", s.handlePeerFill))
+	mux.HandleFunc("GET /v1/cache/snapshot", s.counted("/v1/cache/snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /v1/version", s.counted("/v1/version", s.handleVersion))
 	mux.HandleFunc("POST /v1/simulate", s.counted("/v1/simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/dse", s.counted("/v1/dse", s.handleDSE))
 	mux.HandleFunc("GET /v1/trace/{key}", s.counted("/v1/trace", s.handleTrace))
@@ -233,9 +274,9 @@ func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
 			}
 			if !rejected {
 				if sw.status == http.StatusInternalServerError {
-					br.failure()
+					br.Failure()
 				} else {
-					br.success()
+					br.Success()
 				}
 			}
 			span.SetAttr("status", sw.status)
@@ -257,7 +298,7 @@ func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
 				logger.Warn("slow request", "duration", d, "threshold", s.cfg.SlowRequest, "status", sw.status)
 			}
 		}()
-		if !br.allow() {
+		if !br.Allow() {
 			rejected = true
 			s.met.breakerOpened()
 			s.writeShed(sw, "circuit breaker open for "+route)

@@ -1,0 +1,111 @@
+package scratchmem
+
+import (
+	"fmt"
+
+	"scratchmem/internal/core"
+	"scratchmem/internal/policy"
+)
+
+// ParseObjective is the inverse of Objective.String: it maps the document
+// form ("accesses", "latency") back to an Objective.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "accesses":
+		return MinAccesses, nil
+	case "latency":
+		return MinLatency, nil
+	}
+	return 0, fmt.Errorf("scratchmem: unknown objective %q (want accesses or latency)", s)
+}
+
+// RehydratePlan rebuilds an executable *Plan from its canonical document
+// and the network it was planned for. A PlanDoc stores only the per-layer
+// decisions (policy, prefetch, block size, resident flags) — tiny and
+// content-addressed — while the estimators are deterministic, so the full
+// plan is recomputed from the decisions and verified against the document's
+// figures. That makes documents the fleet's transfer format: a peer
+// cache-fill or a warm snapshot restore ships the document and the receiver
+// rehydrates it into the same Plan the sender computed, byte-identical down
+// to the canonical rendering.
+//
+// The verification doubles as a compatibility audit: if this build's
+// estimators disagree with the document (a version-skewed peer, a stale
+// snapshot), RehydratePlan reports the mismatch instead of serving a plan
+// this binary would not have produced. Degraded documents are refused —
+// their fallback rungs are not decision-reproducible — so callers fall back
+// to computing locally, which re-runs the ladder.
+func RehydratePlan(net *Network, doc *PlanDoc) (*Plan, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("scratchmem: nil plan document")
+	}
+	if doc.Degraded {
+		return nil, fmt.Errorf("scratchmem: cannot rehydrate a degraded plan (mode %s): recompute locally", doc.DegradedMode)
+	}
+	if len(doc.Layers) != len(net.Layers) {
+		return nil, fmt.Errorf("scratchmem: document has %d layers, network %s has %d", len(doc.Layers), net.Name, len(net.Layers))
+	}
+	obj, err := ParseObjective(doc.Objective)
+	if err != nil {
+		return nil, err
+	}
+	cfg := doc.Config.ToConfig()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("scratchmem: document config: %w", err)
+	}
+	p := &Plan{
+		Model:                doc.Model,
+		Cfg:                  cfg,
+		Objective:            obj,
+		Scheme:               doc.Scheme,
+		Layers:               make([]core.LayerPlan, len(net.Layers)),
+		ChainableTransitions: doc.ChainableTransitions,
+	}
+	for i := range net.Layers {
+		l := &net.Layers[i]
+		ld := &doc.Layers[i]
+		if ld.Name != l.Name {
+			return nil, fmt.Errorf("scratchmem: layer %d is %q in the document but %q in network %s", i, ld.Name, l.Name, net.Name)
+		}
+		id, ok := policy.ShortID(ld.Policy)
+		if !ok {
+			return nil, fmt.Errorf("scratchmem: layer %s: unknown policy %q", ld.Name, ld.Policy)
+		}
+		o := policy.Options{
+			Prefetch:      ld.Prefetch,
+			ResidentIfmap: ld.ConsumesResident,
+			KeepOfmap:     ld.KeepsResident,
+		}
+		var est policy.Result
+		switch {
+		case id == policy.FallbackTiled:
+			// Per-layer fallback tiling (paper §3.3) is a regular rung of
+			// non-degraded plans: when none of the six policies fits a
+			// layer, the planner tiles it minimally.
+			est = policy.FallbackEstimate(l, o, cfg)
+		case ld.N > 0:
+			est = policy.EstimateN(l, id, o, cfg, int64(ld.N))
+		default:
+			est = policy.Estimate(l, id, o, cfg)
+		}
+		// The document carries the block size only for P4/P5 (other
+		// policies have none; the fallback's internal n is fixed at 1).
+		nOK := ld.N == 0 || est.N == ld.N
+		if est.MemoryBytes != ld.MemoryBytes || est.AccessElems != ld.AccessElems ||
+			est.AccessBytes != ld.AccessBytes || est.LatencyCycles != ld.LatencyCycles ||
+			!nOK || !est.Feasible {
+			return nil, fmt.Errorf(
+				"scratchmem: layer %s: document disagrees with this build's %s estimator "+
+					"(memory %d vs %d B, accesses %d vs %d, latency %d vs %d, n %d vs %d, feasible %v): version skew?",
+				ld.Name, ld.Policy, ld.MemoryBytes, est.MemoryBytes, ld.AccessElems, est.AccessElems,
+				ld.LatencyCycles, est.LatencyCycles, ld.N, est.N, est.Feasible)
+		}
+		p.Layers[i] = core.LayerPlan{
+			Layer:            *l,
+			Est:              est,
+			ConsumesResident: ld.ConsumesResident,
+			KeepsResident:    ld.KeepsResident,
+		}
+	}
+	return p, nil
+}
