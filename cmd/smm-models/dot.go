@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scratchmem/internal/model"
+)
+
+// loadGraphArg resolves the -graph model argument: an existing file loads as
+// a SCALE-Sim topology CSV or graph JSON by extension, anything else is a
+// builtin graph name.
+func loadGraphArg(arg string) (*model.Graph, error) {
+	if _, err := os.Stat(arg); err != nil {
+		return model.BuiltinGraph(arg)
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(arg), ".csv") {
+		name := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
+		return model.ReadTopologyGraphCSV(name, f)
+	}
+	return model.ReadGraphJSON(f)
+}
+
+// writeDot renders the tensor-lifetime graph as deterministic Graphviz dot:
+// layers are boxes, external (DRAM-streamed) tensors are ellipses, tensor
+// edges are labelled with the producing ofmap extent HxWxC, and residual
+// shortcut edges are dashed. Output depends only on the graph, so tests can
+// pin it.
+func writeDot(w io.Writer, g *model.Graph) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box];\n", g.Name); err != nil {
+		return err
+	}
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		l := &nd.Layer
+		fmt.Fprintf(w, "  %q [label=\"%s\\n%s %dx%dx%d\"];\n",
+			l.Name, l.Name, l.Kind, l.OH(), l.OW(), l.CO())
+	}
+	// Externals are declared in first-read order, once each.
+	seen := map[string]bool{}
+	for i := range g.Nodes {
+		for _, in := range g.Nodes[i].Inputs {
+			if model.IsExternalTensor(in) && !seen[in] {
+				seen[in] = true
+				fmt.Fprintf(w, "  %q [shape=ellipse];\n", in)
+			}
+		}
+	}
+	prod := map[string]*model.GraphNode{}
+	for i := range g.Nodes {
+		prod[g.Nodes[i].Layer.Name] = &g.Nodes[i]
+	}
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		for _, in := range nd.Inputs {
+			label := fmt.Sprintf("%dx%dx%d", nd.Layer.IH, nd.Layer.IW, nd.Layer.CI)
+			if p, ok := prod[in]; ok {
+				label = fmt.Sprintf("%dx%dx%d", p.Layer.OH(), p.Layer.OW(), p.Layer.CO())
+			}
+			fmt.Fprintf(w, "  %q -> %q [label=%q];\n", in, nd.Layer.Name, label)
+		}
+		for _, r := range nd.Residual {
+			fmt.Fprintf(w, "  %q -> %q [style=dashed];\n", r, nd.Layer.Name)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

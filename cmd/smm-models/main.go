@@ -32,6 +32,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		modelFlag = fs.String("model", "", "show the per-layer table of one model (empty = inventory)")
 		export    = fs.String("export", "", "write the selected model as JSON or SCALE-Sim topology CSV (by extension)")
+		graphFlag = fs.Bool("graph", false, "emit the model's tensor graph as Graphviz dot (accepts a builtin name or a topology CSV/JSON path in -model)")
 		logFlags  = cli.RegisterLogFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -40,6 +41,18 @@ func run(args []string, out io.Writer) error {
 	logger, err := logFlags.Logger(os.Stderr)
 	if err != nil {
 		return err
+	}
+
+	if *graphFlag {
+		if *modelFlag == "" {
+			return fmt.Errorf("-graph needs -model (a builtin name or a topology file)")
+		}
+		g, err := loadGraphArg(*modelFlag)
+		if err != nil {
+			return err
+		}
+		logger.Debug("graph loaded", "model", g.Name, "nodes", len(g.Nodes), "chain", g.IsChain())
+		return writeDot(out, g)
 	}
 
 	if *modelFlag == "" {

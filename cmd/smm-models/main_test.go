@@ -48,6 +48,51 @@ func TestRunExport(t *testing.T) {
 	}
 }
 
+func TestRunGraphDot(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "GoogLeNet", "-graph"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph \"GoogLeNet\"",
+		"\"@in0\" [shape=ellipse];",
+		"\"i3a_1x1\"",
+		"[label=\"28x28x192\"];", // the inception 3a input tensor fan-out
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+	// Deterministic: a second render is byte-identical.
+	var sb2 strings.Builder
+	if err := run([]string{"-model", "GoogLeNet", "-graph"}, &sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("dot output is not deterministic")
+	}
+
+	// A residual-carrying builtin renders dashed shortcut edges.
+	sb.Reset()
+	if err := run([]string{"-model", "ResNet18", "-graph"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "[style=dashed];") {
+		t.Error("ResNet18 dot has no dashed residual edges")
+	}
+
+	// A topology CSV path loads through the graph reader.
+	sb.Reset()
+	if err := run([]string{"-model", filepath.Join("..", "..", "topologies", "MobileNetV2.csv"), "-graph"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph \"MobileNetV2\"") {
+		t.Errorf("CSV graph output wrong:\n%s", sb.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-model", "nope"}, &sb); err == nil {

@@ -92,6 +92,27 @@ type PlanDoc struct {
 	Degraded        bool                `json:"degraded,omitempty"`
 	DegradedMode    string              `json:"degraded_mode,omitempty"`
 	DegradedReasons []DegradedReasonDoc `json:"degraded_reasons,omitempty"`
+	// Schedule and Tensors are present only for DAG-planned graphs
+	// (PlanGraph): the execution order over the source graph's nodes and
+	// the tensor-lifetime table with concrete GLB address ranges. Linear
+	// plans render byte-identically to documents that predate them.
+	Schedule []int            `json:"schedule,omitempty"`
+	Tensors  []TensorAllocDoc `json:"tensors,omitempty"`
+}
+
+// TensorAllocDoc is one produced tensor's lifetime decision in a DAG plan:
+// its live interval in plan positions and, when resident, the GLB byte
+// range [base, end) the interval allocator assigned; otherwise the cheaper
+// spill strategy ("evict" or "recompute") when the tensor is re-read at all.
+type TensorAllocDoc struct {
+	Name     string `json:"name"`
+	Producer int    `json:"producer"`
+	LastUse  int    `json:"last_use"`
+	Bytes    int64  `json:"bytes"`
+	Resident bool   `json:"resident,omitempty"`
+	Base     int64  `json:"base,omitempty"`
+	End      int64  `json:"end,omitempty"`
+	Spill    string `json:"spill,omitempty"`
 }
 
 // DegradedReasonDoc is one failed ladder rung in a PlanDoc's reason chain.
@@ -124,6 +145,17 @@ func PlanDocument(p *Plan) *PlanDoc {
 	}
 	for _, r := range p.DegradedReasons {
 		doc.DegradedReasons = append(doc.DegradedReasons, DegradedReasonDoc{Mode: r.Mode, Error: r.Err})
+	}
+	if len(p.Schedule) > 0 {
+		doc.Schedule = append([]int(nil), p.Schedule...)
+	}
+	for i := range p.Tensors {
+		t := &p.Tensors[i]
+		doc.Tensors = append(doc.Tensors, TensorAllocDoc{
+			Name: t.Name, Producer: t.Producer, LastUse: t.LastUse,
+			Bytes: t.Bytes, Resident: t.Resident, Base: t.Base, End: t.End,
+			Spill: t.Spill,
+		})
 	}
 	for i := range p.Layers {
 		lp := &p.Layers[i]

@@ -1,0 +1,141 @@
+package scratchmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+var equivModels = []string{
+	"EfficientNetB0", "GoogLeNet", "MnasNet", "MobileNet", "MobileNetV2",
+	"ResNet18", "TinyCNN", "AlexNet", "VGG16",
+}
+
+// TestGraphChainEquivalence pins the compatibility contract of the graph
+// path: a chain graph — which every FromNetwork lift is — plans through the
+// exact linear pipeline, so its canonical document is byte-identical to
+// PlanModel's. Cache keys, stored documents and peer fills therefore never
+// fork between the two entry points.
+func TestGraphChainEquivalence(t *testing.T) {
+	for _, name := range equivModels {
+		for _, obj := range []Objective{MinAccesses, MinLatency} {
+			net, err := BuiltinModel(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := PlanOptions{GLBKiloBytes: 128, Objective: obj}
+			want, err := PlanModel(net, opts)
+			if err != nil {
+				t.Fatalf("%s/%s linear: %v", name, obj, err)
+			}
+			got, err := PlanGraph(GraphFromNetwork(net), opts)
+			if err != nil {
+				t.Fatalf("%s/%s graph: %v", name, obj, err)
+			}
+			wantDoc, err := PlanDocument(want).MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotDoc, err := PlanDocument(got).MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantDoc, gotDoc) {
+				t.Errorf("%s/%s: graph document diverged from linear plan", name, obj)
+			}
+		}
+	}
+}
+
+// TestGraphDAGBeatsLinear is the headline acceptance check: planning the
+// true DAG topology — branch ofmaps held in allocator-managed GLB ranges
+// across joins instead of round-tripping through DRAM — never costs more
+// than the linear chain, and wins decisively once the GLB has room to park
+// branches.
+func TestGraphDAGBeatsLinear(t *testing.T) {
+	for _, name := range []string{"GoogLeNet", "MobileNetV2"} {
+		g, err := BuiltinGraph(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.IsChain() {
+			t.Fatalf("%s builtin graph is not a DAG", name)
+		}
+		for _, kb := range []int{64, 256, 1024} {
+			for _, obj := range []Objective{MinAccesses, MinLatency} {
+				opts := PlanOptions{GLBKiloBytes: kb, Objective: obj, Strict: true}
+				dag, err := PlanGraph(g, opts)
+				if err != nil {
+					t.Fatalf("%s@%dKB/%s dag: %v", name, kb, obj, err)
+				}
+				lin, err := PlanModel(g.Network(), opts)
+				if err != nil {
+					t.Fatalf("%s@%dKB/%s linear: %v", name, kb, obj, err)
+				}
+				if obj == MinAccesses && dag.AccessElems() > lin.AccessElems() {
+					t.Errorf("%s@%dKB: DAG traffic %d exceeds linear %d", name, kb, dag.AccessElems(), lin.AccessElems())
+				}
+				if obj == MinLatency && dag.LatencyCycles() > lin.LatencyCycles() {
+					t.Errorf("%s@%dKB: DAG latency %d exceeds linear %d", name, kb, dag.LatencyCycles(), lin.LatencyCycles())
+				}
+				if obj == MinAccesses && kb == 1024 && dag.AccessElems() >= lin.AccessElems() {
+					t.Errorf("%s@1024KB: DAG traffic %d not strictly below linear %d", name, dag.AccessElems(), lin.AccessElems())
+				}
+				checkDAGPlanShape(t, dag, g.Network())
+			}
+		}
+	}
+}
+
+// checkDAGPlanShape asserts the allocator invariants on a DAG plan and that
+// the plan survives the document round trip byte-identically — the same
+// verification a peer cache fill runs on receipt.
+func checkDAGPlanShape(t *testing.T, dag *Plan, net *Network) {
+	t.Helper()
+	if len(dag.Schedule) != len(dag.Layers) || len(dag.Tensors) != len(dag.Layers) {
+		t.Fatalf("DAG plan carries %d schedule entries and %d tensors for %d layers",
+			len(dag.Schedule), len(dag.Tensors), len(dag.Layers))
+	}
+	for i := range dag.Tensors {
+		a := &dag.Tensors[i]
+		if a.Producer > a.LastUse || a.LastUse >= len(dag.Layers) {
+			t.Fatalf("tensor %s: lifetime [%d, %d] outside schedule", a.Name, a.Producer, a.LastUse)
+		}
+		if !a.Resident {
+			continue
+		}
+		if a.Base < 0 || a.Base >= a.End || a.End > dag.Cfg.GLBBytes {
+			t.Fatalf("tensor %s: range [%d, %d) outside GLB of %d", a.Name, a.Base, a.End, dag.Cfg.GLBBytes)
+		}
+		if a.End-a.Base != a.Bytes {
+			t.Fatalf("tensor %s: range [%d, %d) does not hold %d bytes", a.Name, a.Base, a.End, a.Bytes)
+		}
+		for j := range dag.Tensors[:i] {
+			b := &dag.Tensors[j]
+			if !b.Resident || a.Producer > b.LastUse || b.Producer > a.LastUse {
+				continue
+			}
+			if a.End > b.Base && b.End > a.Base {
+				t.Fatalf("tensors %s and %s live concurrently in overlapping ranges", a.Name, b.Name)
+			}
+		}
+	}
+
+	doc := PlanDocument(dag)
+	raw, err := doc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rehydration takes the network in graph node order; doc.Schedule maps
+	// plan positions back onto it.
+	back, err := RehydratePlan(net, doc)
+	if err != nil {
+		t.Fatalf("rehydrate: %v", err)
+	}
+	raw2, err := PlanDocument(back).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("DAG plan did not survive the document round trip")
+	}
+}

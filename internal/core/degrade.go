@@ -20,8 +20,16 @@ const (
 	DegradedPrefetchRelaxed = "prefetch-relaxed"
 	// DegradedMinimalTiling re-plans with only the smallest-footprint
 	// schedules: P4/P5 pinned to a single-filter block and fallback tiling,
-	// all without prefetch.
+	// all without prefetch. Retired from the ladder in favour of
+	// DegradedLifetimeSpill; the name stays accepted so stored plans and
+	// old clients keep parsing.
 	DegradedMinimalTiling = "minimal-tiling"
+	// DegradedLifetimeSpill is DegradedMinimalTiling's replacement rung: the
+	// same smallest-footprint candidate set, planned over the network's
+	// tensor-lifetime graph so allocator-backed residency and explicit
+	// spill decisions recover traffic the flat sweep left on the table
+	// (Planner.LifetimeSpillCtx).
+	DegradedLifetimeSpill = "lifetime_spill"
 	// DegradedBaseline is the last rung: every layer runs fallback tiling —
 	// the analogue of SCALE-Sim's statically split, double-buffered
 	// scratchpad. It never reports infeasibility.

@@ -116,7 +116,12 @@ func (pl *Planner) bestForLayer(lp *model.Network, idx int, resident, keep bool)
 
 // bestForLayerInto is bestForLayer writing the winner in place.
 func (pl *Planner) bestForLayerInto(e *policy.Result, lp *model.Network, idx int, resident, keep bool) {
-	l := &lp.Layers[idx]
+	pl.bestLayerInto(e, &lp.Layers[idx], resident, keep)
+}
+
+// bestLayerInto is the layer-pointer form of bestForLayerInto, shared with
+// the DAG planner (graphplan.go), which has no Network to index into.
+func (pl *Planner) bestLayerInto(e *policy.Result, l *layer.Layer, resident, keep bool) {
 	if pl.best == nil {
 		p := pl.bestForLayerDirect(l, resident, keep)
 		*e = p[objIndex(pl.Objective)]

@@ -1,0 +1,118 @@
+package glb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Span is a half-open byte range [Base, End) inside the GLB address space.
+type Span struct {
+	Base, End int64
+}
+
+// Size returns the span length in bytes.
+func (s Span) Size() int64 { return s.End - s.Base }
+
+// Overlaps reports whether two spans share at least one byte.
+func (s Span) Overlaps(o Span) bool { return s.Base < o.End && o.Base < s.End }
+
+// Arena is a byte-addressed first-fit allocator with free-list coalescing
+// over the fixed address range [0, capacity). The lifetime allocator uses it
+// to assign concrete GLB address ranges to tensor live intervals: Alloc at a
+// tensor's birth, Free after its last use. Unlike Buffer (named regions from
+// an element pool), an Arena answers *where* data sits, so overlapping live
+// ranges — the invariant the plan documents carry — are impossible by
+// construction.
+type Arena struct {
+	capacity int64
+	free     []Span // sorted by Base, pairwise disjoint, never adjacent
+	inUse    int64
+	high     int64 // high-water mark: max End ever handed out
+}
+
+// NewArena returns an arena over [0, capacityBytes).
+func NewArena(capacityBytes int64) *Arena {
+	if capacityBytes <= 0 {
+		panic(fmt.Sprintf("glb: non-positive arena capacity %d", capacityBytes))
+	}
+	return &Arena{capacity: capacityBytes, free: []Span{{0, capacityBytes}}}
+}
+
+// Alloc carves the lowest-addressed free span that fits size bytes
+// (first fit). ok is false when no free span is large enough — the caller
+// decides what to spill.
+func (a *Arena) Alloc(size int64) (Span, bool) {
+	if size <= 0 {
+		panic(fmt.Sprintf("glb: non-positive allocation %d", size))
+	}
+	for i := range a.free {
+		f := a.free[i]
+		if f.Size() < size {
+			continue
+		}
+		s := Span{Base: f.Base, End: f.Base + size}
+		if f.Size() == size {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i].Base = s.End
+		}
+		a.inUse += size
+		if s.End > a.high {
+			a.high = s.End
+		}
+		return s, true
+	}
+	return Span{}, false
+}
+
+// Free returns a span previously handed out by Alloc to the free list,
+// coalescing with adjacent free space. Freeing a span that overlaps free
+// space panics: it means the caller double-freed or fabricated a span, and
+// the allocator's no-overlap guarantee would silently die with it.
+func (a *Arena) Free(s Span) {
+	if s.Base < 0 || s.End > a.capacity || s.Size() <= 0 {
+		panic(fmt.Sprintf("glb: freeing invalid span [%d,%d)", s.Base, s.End))
+	}
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].Base >= s.Base })
+	if i < len(a.free) && a.free[i].Base < s.End {
+		panic(fmt.Sprintf("glb: double free of [%d,%d)", s.Base, s.End))
+	}
+	if i > 0 && a.free[i-1].End > s.Base {
+		panic(fmt.Sprintf("glb: double free of [%d,%d)", s.Base, s.End))
+	}
+	a.inUse -= s.Size()
+	// Coalesce with the left and/or right neighbour.
+	left := i > 0 && a.free[i-1].End == s.Base
+	right := i < len(a.free) && a.free[i].Base == s.End
+	switch {
+	case left && right:
+		a.free[i-1].End = a.free[i].End
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	case left:
+		a.free[i-1].End = s.End
+	case right:
+		a.free[i].Base = s.Base
+	default:
+		a.free = append(a.free, Span{})
+		copy(a.free[i+1:], a.free[i:])
+		a.free[i] = s
+	}
+}
+
+// InUse returns the currently allocated byte count.
+func (a *Arena) InUse() int64 { return a.inUse }
+
+// HighWater returns the highest address ever covered by an allocation —
+// the contiguous prefix of the GLB the resident tensors have claimed.
+func (a *Arena) HighWater() int64 { return a.high }
+
+// Capacity returns the arena size in bytes.
+func (a *Arena) Capacity() int64 { return a.capacity }
+
+// FreeSpans returns a copy of the free list (sorted, coalesced) — test and
+// debugging introspection.
+func (a *Arena) FreeSpans() []Span {
+	out := make([]Span, len(a.free))
+	copy(out, a.free)
+	return out
+}

@@ -1,0 +1,69 @@
+package glb
+
+import "testing"
+
+func TestArenaFirstFitAndCoalesce(t *testing.T) {
+	a := NewArena(100)
+	s1, ok := a.Alloc(40)
+	if !ok || s1.Base != 0 || s1.End != 40 {
+		t.Fatalf("first alloc = %+v %v, want [0,40)", s1, ok)
+	}
+	s2, ok := a.Alloc(40)
+	if !ok || s2.Base != 40 || s2.End != 80 {
+		t.Fatalf("second alloc = %+v %v, want [40,80)", s2, ok)
+	}
+	if _, ok := a.Alloc(30); ok {
+		t.Fatal("alloc of 30 fit a 20-byte tail")
+	}
+	if got := a.InUse(); got != 80 {
+		t.Fatalf("InUse = %d, want 80", got)
+	}
+	a.Free(s1)
+	// First fit reuses the lowest hole even when the tail also fits.
+	s3, ok := a.Alloc(10)
+	if !ok || s3.Base != 0 {
+		t.Fatalf("after free, alloc(10) = %+v %v, want base 0", s3, ok)
+	}
+	a.Free(s3)
+	a.Free(s2)
+	// Everything freed: the regions must coalesce back into one span.
+	s4, ok := a.Alloc(100)
+	if !ok || s4.Base != 0 || s4.End != 100 {
+		t.Fatalf("full-capacity alloc after frees = %+v %v", s4, ok)
+	}
+	if a.HighWater() != 100 {
+		t.Fatalf("HighWater = %d, want 100", a.HighWater())
+	}
+}
+
+func TestArenaRejectsBadFrees(t *testing.T) {
+	a := NewArena(64)
+	s, _ := a.Alloc(16)
+	a.Free(s)
+	for name, f := range map[string]func(){
+		"double free":   func() { a.Free(s) },
+		"unallocated":   func() { a.Free(Span{Base: 32, End: 48}) },
+		"inverted":      func() { a.Free(Span{Base: 8, End: 4}) },
+		"zero capacity": func() { NewArena(0) },
+		"zero alloc":    func() { a.Alloc(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestArenaAllocTooLarge(t *testing.T) {
+	a := NewArena(32)
+	if _, ok := a.Alloc(33); ok {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	if s, ok := a.Alloc(32); !ok || s.Size() != 32 {
+		t.Fatalf("exact-capacity alloc = %+v %v", s, ok)
+	}
+}

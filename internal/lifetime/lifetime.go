@@ -1,0 +1,232 @@
+// Package lifetime computes DAG execution schedules, tensor live intervals
+// and concrete GLB address ranges for tensor-lifetime graphs
+// (model.Graph). It is the middle third of the DAG planning pipeline:
+// model defines the IR, lifetime decides *when* each node runs and *where*
+// each resident tensor sits, and core decides per-layer tiling around
+// those placements (Li et al., "Combined Scheduling, Memory Allocation and
+// Tensor Replacement", adapted to the paper's GLB model).
+package lifetime
+
+import (
+	"fmt"
+
+	"scratchmem/internal/glb"
+	"scratchmem/internal/model"
+)
+
+// Schedule returns a topological execution order of g's nodes (indices
+// into g.Nodes) that greedily minimises live tensor elements: at each step
+// it runs the ready node minimising the post-step live total, i.e. it
+// prefers nodes that retire tensors (last consumers) and defers opening
+// new long-lived branches. Ties break on the lowest node index, so chains
+// schedule in their natural order and the result is deterministic. The
+// graph must be valid (topologically ordered, every produced input known).
+func Schedule(g *model.Graph) []int {
+	n := len(g.Nodes)
+	prod := make(map[string]int, n)
+	for i := range g.Nodes {
+		prod[g.Nodes[i].Layer.Name] = i
+	}
+	deps := make([][]int, n)      // distinct producer nodes each node reads
+	consumers := make([][]int, n) // distinct consumer nodes of each node's output
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		seen := make(map[int]bool)
+		for _, t := range nd.Inputs {
+			if !model.IsExternalTensor(t) {
+				seen[prod[t]] = true
+			}
+		}
+		for _, t := range nd.Residual {
+			seen[prod[t]] = true
+		}
+		for j := range seen {
+			deps[i] = append(deps[i], j)
+			consumers[j] = append(consumers[j], i)
+		}
+	}
+	indeg := make([]int, n)
+	remaining := make([]int, n) // unscheduled consumers of node i's output
+	for i := range g.Nodes {
+		indeg[i] = len(deps[i])
+		remaining[i] = len(consumers[i])
+	}
+	elems := func(i int) int64 { return g.Nodes[i].Layer.OfmapElems() }
+
+	order := make([]int, 0, n)
+	scheduled := make([]bool, n)
+	var live int64 // elements of scheduled tensors still awaiting consumers
+	for len(order) < n {
+		best, bestLive := -1, int64(0)
+		for i := 0; i < n; i++ {
+			if scheduled[i] || indeg[i] != 0 {
+				continue
+			}
+			after := live
+			if remaining[i] > 0 {
+				after += elems(i) // output born live
+			}
+			for _, j := range deps[i] {
+				if remaining[j] == 1 { // i is the last consumer: tensor dies
+					after -= elems(j)
+				}
+			}
+			if best == -1 || after < bestLive {
+				best, bestLive = i, after
+			}
+		}
+		if best == -1 {
+			// Unreachable for validated graphs (they are acyclic by order).
+			panic(fmt.Sprintf("lifetime: no ready node in %s after %d of %d", g.Name, len(order), n))
+		}
+		scheduled[best] = true
+		order = append(order, best)
+		live = bestLive
+		for _, j := range deps[best] {
+			remaining[j]--
+		}
+		for _, c := range consumers[best] {
+			indeg[c]--
+		}
+	}
+	return order
+}
+
+// Tensor is one produced tensor's live interval under a schedule. Steps are
+// positions in the schedule, not node indices: the tensor is born when its
+// producer runs (Step) and dies after its last consumer runs (LastUse).
+// A tensor nothing consumes has LastUse == Step — it is streamed out to
+// DRAM as produced and never parks in the GLB.
+type Tensor struct {
+	Name      string
+	Node      int   // producing node index in the graph
+	Step      int   // schedule position of the producer
+	LastUse   int   // schedule position of the last consumer (>= Step)
+	Elems     int64 // OH*OW*CO of the producer
+	Consumers []int // node indices reading this tensor (inputs + residuals)
+}
+
+// Interior reports whether the tensor has on-chip value: at least one
+// consumer after its producing step.
+func (t *Tensor) Interior() bool { return t.LastUse > t.Step }
+
+// Liveness is the lifetime analysis of a graph under one schedule.
+type Liveness struct {
+	Order   []int          // the schedule: Order[k] = node index run at step k
+	Pos     []int          // inverse: Pos[node] = step
+	Tensors []Tensor       // every produced tensor, ascending birth step
+	Index   map[string]int // tensor name -> position in Tensors
+}
+
+// Analyze computes tensor live intervals for g under the given schedule.
+func Analyze(g *model.Graph, order []int) *Liveness {
+	n := len(g.Nodes)
+	pos := make([]int, n)
+	for k, i := range order {
+		pos[i] = k
+	}
+	prod := make(map[string]int, n)
+	for i := range g.Nodes {
+		prod[g.Nodes[i].Layer.Name] = i
+	}
+	consumers := make([][]int, n)
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		seen := make(map[int]bool)
+		for _, t := range nd.Inputs {
+			if !model.IsExternalTensor(t) {
+				seen[prod[t]] = true
+			}
+		}
+		for _, t := range nd.Residual {
+			seen[prod[t]] = true
+		}
+		for j := range seen {
+			consumers[j] = append(consumers[j], i)
+		}
+	}
+	lv := &Liveness{
+		Order:   order,
+		Pos:     pos,
+		Tensors: make([]Tensor, 0, n),
+		Index:   make(map[string]int, n),
+	}
+	for k, i := range order {
+		nd := &g.Nodes[i]
+		t := Tensor{
+			Name:      nd.Layer.Name,
+			Node:      i,
+			Step:      k,
+			LastUse:   k,
+			Elems:     nd.Layer.OfmapElems(),
+			Consumers: consumers[i],
+		}
+		for _, c := range consumers[i] {
+			if pos[c] > t.LastUse {
+				t.LastUse = pos[c]
+			}
+		}
+		lv.Index[t.Name] = len(lv.Tensors)
+		lv.Tensors = append(lv.Tensors, t)
+	}
+	return lv
+}
+
+// PeakLive returns the maximum, over schedule steps, of the summed bytes of
+// resident tensors live at that step (bytesOf converts a tensor's elements).
+func (lv *Liveness) PeakLive(resident map[string]bool, bytesOf func(int64) int64) int64 {
+	var peak int64
+	for k := range lv.Order {
+		var live int64
+		for i := range lv.Tensors {
+			t := &lv.Tensors[i]
+			if resident[t.Name] && t.Step <= k && k <= t.LastUse {
+				live += bytesOf(t.Elems)
+			}
+		}
+		if live > peak {
+			peak = live
+		}
+	}
+	return peak
+}
+
+// Placement is one resident tensor's assigned GLB byte range.
+type Placement = glb.Span
+
+// Assign walks the schedule allocating every resident tensor a concrete
+// [base,end) byte range at its birth step and freeing it after its last
+// use, first-fit with coalescing (glb.Arena). Non-resident and
+// zero-consumer tensors are skipped — they stream through working memory
+// instead. On success it returns the placement of each resident tensor by
+// name. On failure it returns the index (into lv.Tensors) of the tensor
+// that did not fit, so the caller can choose what to demote or spill.
+func Assign(lv *Liveness, resident map[string]bool, capacityBytes int64, bytesOf func(int64) int64) (map[string]Placement, int, bool) {
+	a := glb.NewArena(capacityBytes)
+	placed := make(map[string]Placement)
+	for k := range lv.Order {
+		// Free everything that died before this step. Tensors are in birth
+		// order; freeing before allocating maximises coalesced space.
+		for i := range lv.Tensors {
+			t := &lv.Tensors[i]
+			if t.LastUse != k-1 {
+				continue
+			}
+			if s, ok := placed[t.Name]; ok {
+				a.Free(s)
+			}
+		}
+		for i := range lv.Tensors {
+			t := &lv.Tensors[i]
+			if t.Step != k || !resident[t.Name] || !t.Interior() {
+				continue
+			}
+			s, ok := a.Alloc(bytesOf(t.Elems))
+			if !ok {
+				return nil, i, false
+			}
+			placed[t.Name] = s
+		}
+	}
+	return placed, -1, true
+}

@@ -1,0 +1,171 @@
+package lifetime
+
+import (
+	"testing"
+
+	"scratchmem/internal/glb"
+	"scratchmem/internal/layer"
+	"scratchmem/internal/model"
+)
+
+// diamond builds a 2-branch diamond: stem feeds two parallel convs whose
+// outputs join in a concat-consuming conv.
+func diamond(t *testing.T) *model.Graph {
+	t.Helper()
+	mk := func(name string, ci, f int) layer.Layer {
+		return layer.MustNew(name, layer.Conv, 8, 8, ci, 3, 3, f, 1, 1)
+	}
+	g := &model.Graph{Name: "diamond", Nodes: []model.GraphNode{
+		{Layer: mk("stem", 3, 16), Inputs: []string{"@in0"}},
+		{Layer: mk("left", 16, 8), Inputs: []string{"stem"}},
+		{Layer: mk("right", 16, 8), Inputs: []string{"stem"}},
+		{Layer: mk("join", 16, 16), Inputs: []string{"left", "right"}},
+	}}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestScheduleTopologicalAndDeterministic(t *testing.T) {
+	g := diamond(t)
+	order := Schedule(g)
+	if len(order) != 4 {
+		t.Fatalf("schedule has %d entries, want 4", len(order))
+	}
+	pos := make([]int, 4)
+	for k, i := range order {
+		pos[i] = k
+	}
+	// Topological: stem before both branches, branches before the join.
+	if pos[0] > pos[1] || pos[0] > pos[2] || pos[1] > pos[3] || pos[2] > pos[3] {
+		t.Fatalf("schedule %v violates dependencies", order)
+	}
+	for i := 0; i < 10; i++ {
+		again := Schedule(g)
+		for k := range order {
+			if order[k] != again[k] {
+				t.Fatalf("schedule not deterministic: %v vs %v", order, again)
+			}
+		}
+	}
+}
+
+func TestScheduleChainIsIdentity(t *testing.T) {
+	n, err := model.Builtin("MobileNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := model.FromNetwork(n)
+	for k, i := range Schedule(g) {
+		if i != k {
+			t.Fatalf("chain schedule moved node %d to step %d", i, k)
+		}
+	}
+}
+
+func TestAnalyzeIntervals(t *testing.T) {
+	g := diamond(t)
+	order := Schedule(g)
+	lv := Analyze(g, order)
+	stem := lv.Tensors[lv.Index["stem"]]
+	if len(stem.Consumers) != 2 {
+		t.Fatalf("stem has %d consumers, want 2", len(stem.Consumers))
+	}
+	// stem must stay live until the later of the two branches.
+	want := lv.Pos[1]
+	if lv.Pos[2] > want {
+		want = lv.Pos[2]
+	}
+	if stem.LastUse != want {
+		t.Fatalf("stem LastUse = %d, want %d", stem.LastUse, want)
+	}
+	join := lv.Tensors[lv.Index["join"]]
+	if join.Interior() {
+		t.Fatal("terminal tensor reported interior")
+	}
+	if !stem.Interior() {
+		t.Fatal("stem not interior")
+	}
+}
+
+func TestAssignPlacesAndFails(t *testing.T) {
+	g := diamond(t)
+	lv := Analyze(g, Schedule(g))
+	resident := map[string]bool{"stem": true, "left": true, "right": true}
+	ident := func(e int64) int64 { return e }
+
+	placed, _, ok := Assign(lv, resident, 1<<20, ident)
+	if !ok {
+		t.Fatal("roomy assign failed")
+	}
+	if len(placed) != 3 {
+		t.Fatalf("placed %d tensors, want 3", len(placed))
+	}
+	for name, s := range placed {
+		if want := lv.Tensors[lv.Index[name]].Elems; s.Size() != want {
+			t.Fatalf("%s span %+v holds %d, want %d", name, s, s.Size(), want)
+		}
+	}
+
+	_, fail, ok := Assign(lv, resident, 64, ident)
+	if ok {
+		t.Fatal("64-byte assign succeeded for kilobyte tensors")
+	}
+	if fail < 0 || fail >= len(lv.Tensors) {
+		t.Fatalf("failure index %d out of range", fail)
+	}
+}
+
+// FuzzIntervalAllocator drives the arena with schedule-shaped alloc/free
+// traffic derived from fuzz bytes and asserts the allocator's invariants:
+// live spans never overlap, never exceed capacity, sizes are preserved, and
+// InUse equals the live total.
+func FuzzIntervalAllocator(f *testing.F) {
+	f.Add([]byte{8, 4, 12, 2, 30, 1}, int64(64))
+	f.Add([]byte{255, 255, 3, 3, 3, 9, 1, 0, 200}, int64(257))
+	f.Add([]byte{}, int64(1))
+	f.Fuzz(func(t *testing.T, ops []byte, capacity int64) {
+		if capacity <= 0 || capacity > 1<<20 {
+			t.Skip()
+		}
+		a := glb.NewArena(capacity)
+		var live []glb.Span
+		var liveBytes int64
+		for _, b := range ops {
+			if b%3 == 0 && len(live) > 0 {
+				// Free the span this byte indexes.
+				i := int(b/3) % len(live)
+				s := live[i]
+				a.Free(s)
+				live = append(live[:i], live[i+1:]...)
+				liveBytes -= s.Size()
+				continue
+			}
+			size := int64(b)%capacity + 1
+			s, ok := a.Alloc(size)
+			if !ok {
+				continue
+			}
+			if s.Size() != size {
+				t.Fatalf("alloc(%d) returned %+v of size %d", size, s, s.Size())
+			}
+			if s.Base < 0 || s.End > capacity {
+				t.Fatalf("span %+v outside [0, %d)", s, capacity)
+			}
+			for _, o := range live {
+				if s.Overlaps(o) {
+					t.Fatalf("span %+v overlaps live span %+v", s, o)
+				}
+			}
+			live = append(live, s)
+			liveBytes += size
+		}
+		if a.InUse() != liveBytes {
+			t.Fatalf("InUse = %d, live total = %d", a.InUse(), liveBytes)
+		}
+		if liveBytes > capacity {
+			t.Fatalf("live bytes %d exceed capacity %d", liveBytes, capacity)
+		}
+	})
+}

@@ -7,26 +7,56 @@ import (
 )
 
 // shape tracks the activation tensor flowing through a network under
-// construction.
-type shape struct{ h, w, c int }
+// construction: its extent plus the produced tensors it is a view of (src),
+// so the builder can record graph edges alongside the linear layer list.
+// An empty src means the activation comes from outside the graph (the model
+// input, or a branch point declared with at).
+type shape struct {
+	h, w, c int
+	src     []string
+}
+
+// nodeRec captures the graph edges of one appended layer.
+type nodeRec struct {
+	inputs   []string
+	residual []string
+}
 
 // netBuilder incrementally assembles a Network, tracking the activation
 // shape so each layer's ifmap dimensions follow from the previous layer.
 // Pooling layers carry no weights or MACs in the paper's methodology, so
-// they only transform the tracked shape and append no layer.
+// they only transform the tracked shape and append no layer. The builder
+// also records, per layer, which tensors it reads (and which residual
+// tensors are added into its input), so the same construction yields both
+// the serialised Network and the tensor-lifetime Graph.
 type netBuilder struct {
-	net Network
-	cur shape
+	net             Network
+	cur             shape
+	recs            []nodeRec
+	pendingResidual []string
+	extIn           int
 }
 
 func newNet(name string, h, w, c int) *netBuilder {
-	return &netBuilder{net: Network{Name: name}, cur: shape{h, w, c}}
+	return &netBuilder{net: Network{Name: name}, cur: shape{h: h, w: w, c: c}}
+}
+
+func (b *netBuilder) extInput() string {
+	name := fmt.Sprintf("%sin%d", ExternalPrefix, b.extIn)
+	b.extIn++
+	return name
 }
 
 func (b *netBuilder) add(name string, kind layer.Type, fh, fw, f, s, p int) {
 	l := layer.MustNew(name, kind, b.cur.h, b.cur.w, b.cur.c, fh, fw, f, s, p)
 	b.net.Layers = append(b.net.Layers, l)
-	b.cur = shape{l.OH(), l.OW(), l.CO()}
+	src := b.cur.src
+	if len(src) == 0 {
+		src = []string{b.extInput()}
+	}
+	b.recs = append(b.recs, nodeRec{inputs: src, residual: b.pendingResidual})
+	b.pendingResidual = nil
+	b.cur = shape{h: l.OH(), w: l.OW(), c: l.CO(), src: []string{name}}
 }
 
 // conv appends a dense convolution with a square k x k filter.
@@ -58,21 +88,50 @@ func (b *netBuilder) fc(name string, out int) {
 	b.add(name, layer.FullyConnected, 1, 1, out, 1, 0)
 }
 
-// pool applies a weight-free pooling window (shape change only).
+// pool applies a weight-free pooling window (shape change only); the
+// activation remains a view of the same tensors.
 func (b *netBuilder) pool(k, s, p int) {
 	b.cur = shape{
-		h: (b.cur.h-k+2*p)/s + 1,
-		w: (b.cur.w-k+2*p)/s + 1,
-		c: b.cur.c,
+		h:   (b.cur.h-k+2*p)/s + 1,
+		w:   (b.cur.w-k+2*p)/s + 1,
+		c:   b.cur.c,
+		src: b.cur.src,
 	}
 }
 
 // globalPool collapses the spatial dimensions to 1x1.
-func (b *netBuilder) globalPool() { b.cur = shape{1, 1, b.cur.c} }
+func (b *netBuilder) globalPool() {
+	b.cur = shape{h: 1, w: 1, c: b.cur.c, src: b.cur.src}
+}
 
-// at overrides the tracked shape; used for branches (projections, aux heads)
-// whose input is not the immediately preceding layer's output.
-func (b *netBuilder) at(h, w, c int) { b.cur = shape{h, w, c} }
+// flatten collapses the activation to 1x1x(h*w*c) — the FC transition. An
+// on-chip reshape of the same tensors, not a new layer.
+func (b *netBuilder) flatten() {
+	b.cur = shape{h: 1, w: 1, c: b.cur.h * b.cur.w * b.cur.c, src: b.cur.src}
+}
+
+// at overrides the tracked shape with an unsourced activation; the next
+// appended layer reads a fresh external tensor.
+func (b *netBuilder) at(h, w, c int) { b.cur = shape{h: h, w: w, c: c} }
+
+// merge sets the tracked activation to the channel concatenation of the
+// given branch activations (the inception join); h, w, c are declared by
+// the caller and checked when the appended consumer validates.
+func (b *netBuilder) merge(h, w, c int, parts ...shape) {
+	var src []string
+	for _, p := range parts {
+		src = append(src, p.src...)
+	}
+	b.cur = shape{h: h, w: w, c: c, src: src}
+}
+
+// residual marks the given activations' tensors as element-wise added into
+// the next appended layer's input (identity/projection shortcuts).
+func (b *netBuilder) residual(parts ...shape) {
+	for _, p := range parts {
+		b.pendingResidual = append(b.pendingResidual, p.src...)
+	}
+}
 
 // shapeNow returns the current tracked shape, so a caller can restore it
 // after building a side branch.
@@ -89,43 +148,68 @@ func (b *netBuilder) build() *Network {
 	return &n
 }
 
+// buildGraph assembles the tensor-lifetime graph recorded alongside the
+// layer list. Builders are static, so a validation failure is a programming
+// error and panics like build.
+func (b *netBuilder) buildGraph() *Graph {
+	g := &Graph{Name: b.net.Name, Nodes: make([]GraphNode, len(b.net.Layers))}
+	for i, l := range b.net.Layers {
+		g.Nodes[i] = GraphNode{Layer: l, Inputs: b.recs[i].inputs, Residual: b.recs[i].residual}
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // ResNet18 builds the 21-layer ResNet18 of He et al. (224x224x3 input):
 // 17 convolutions, 3 projection shortcuts and the final FC, with residual
 // branches serialised as in the paper (the projection layer follows the
 // first convolution of its stage).
-func ResNet18() *Network {
+func ResNet18() *Network { return resNet18().build() }
+
+func resNet18() *netBuilder {
 	b := newNet("ResNet18", 224, 224, 3)
 	b.conv("conv1", 7, 64, 2, 3)
 	b.pool(3, 2, 1) // maxpool 112 -> 56
 
-	// Stage 2: two basic blocks at 56x56x64, no projection.
+	// Stage 2: two basic blocks at 56x56x64, no projection. The identity
+	// shortcut adds each block's input into the layer after the block.
 	for blk := 1; blk <= 2; blk++ {
+		in := b.shapeNow()
 		b.conv(fmt.Sprintf("conv2_%d_a", blk), 3, 64, 1, 1)
 		b.conv(fmt.Sprintf("conv2_%d_b", blk), 3, 64, 1, 1)
+		b.residual(in)
 	}
 	stage := func(idx, f int) {
 		in := b.shapeNow()
 		b.conv(fmt.Sprintf("conv%d_1_a", idx), 3, f, 2, 1)
 		b.conv(fmt.Sprintf("conv%d_1_b", idx), 3, f, 1, 1)
 		out := b.shapeNow()
-		// Projection shortcut runs on the stage input.
+		// Projection shortcut runs on the stage input; its output is added
+		// into the second block's first convolution.
 		b.restore(in)
 		b.proj(fmt.Sprintf("proj%d", idx), f, 2)
+		pr := b.shapeNow()
 		b.restore(out)
+		b.residual(pr)
 		b.conv(fmt.Sprintf("conv%d_2_a", idx), 3, f, 1, 1)
 		b.conv(fmt.Sprintf("conv%d_2_b", idx), 3, f, 1, 1)
+		b.residual(out)
 	}
 	stage(3, 128) // 56 -> 28
 	stage(4, 256) // 28 -> 14
 	stage(5, 512) // 14 -> 7
 	b.globalPool()
 	b.fc("fc", 1000)
-	return b.build()
+	return b
 }
 
 // MobileNet builds the 28-layer MobileNetV1 (width multiplier 1.0):
 // a 3x3 stem convolution, 13 depth-wise separable pairs and the final FC.
-func MobileNet() *Network {
+func MobileNet() *Network { return mobileNet().build() }
+
+func mobileNet() *netBuilder {
 	b := newNet("MobileNet", 224, 224, 3)
 	b.conv("conv1", 3, 32, 2, 1)
 	sep := func(i, f, s int) {
@@ -145,7 +229,7 @@ func MobileNet() *Network {
 	sep(13, 1024, 1)
 	b.globalPool()
 	b.fc("fc", 1000)
-	return b.build()
+	return b
 }
 
 // invertedBlock appends one inverted-residual block: an optional expansion
@@ -168,7 +252,7 @@ func invertedBlock(b *netBuilder, name string, t, k, c, s, seRatioDen int) {
 		// Squeeze-and-excite works on globally pooled 1x1xexp activations,
 		// hence two FC layers (this is why Table 2 lists FC for these nets).
 		after := b.shapeNow()
-		b.at(1, 1, exp)
+		b.globalPool()
 		b.fc(name+"_se1", sq)
 		b.fc(name+"_se2", exp)
 		b.restore(after)
@@ -179,7 +263,9 @@ func invertedBlock(b *netBuilder, name string, t, k, c, s, seRatioDen int) {
 // MobileNetV2 builds the 53-layer MobileNetV2 (Sandler et al.): stem
 // convolution, 17 inverted-residual blocks, the 1280-channel head
 // point-wise convolution and the final FC.
-func MobileNetV2() *Network {
+func MobileNetV2() *Network { return mobileNetV2().build() }
+
+func mobileNetV2() *netBuilder {
 	b := newNet("MobileNetV2", 224, 224, 3)
 	b.conv("conv1", 3, 32, 2, 1)
 	cfg := []struct{ t, c, n, s int }{
@@ -197,19 +283,27 @@ func MobileNetV2() *Network {
 			if i == 0 {
 				s = c.s
 			}
+			in := b.shapeNow()
 			invertedBlock(b, fmt.Sprintf("b%d_%d", bi+1, i+1), c.t, 3, c.c, s, 0)
+			// Stride-1 blocks with matching channels carry the identity
+			// shortcut: the block input is added into the next layer's input.
+			if s == 1 && in.c == c.c {
+				b.residual(in)
+			}
 		}
 	}
 	b.pw("head", 1280)
 	b.globalPool()
 	b.fc("fc", 1000)
-	return b.build()
+	return b
 }
 
 // MnasNet builds the 53-layer MnasNet-B1 (Tan et al.): stem convolution, a
 // separable-convolution block, six MBConv stages mixing 3x3 and 5x5
 // depth-wise kernels, the 1280-channel head and the final FC.
-func MnasNet() *Network {
+func MnasNet() *Network { return mnasNet().build() }
+
+func mnasNet() *netBuilder {
 	b := newNet("MnasNet", 224, 224, 3)
 	b.conv("conv1", 3, 32, 2, 1)
 	// SepConv block: depth-wise 3x3 + linear point-wise to 16 channels.
@@ -229,20 +323,26 @@ func MnasNet() *Network {
 			if i == 0 {
 				s = st.s
 			}
+			in := b.shapeNow()
 			invertedBlock(b, fmt.Sprintf("s%d_%d", si+1, i+1), st.t, st.k, st.c, s, 0)
+			if s == 1 && in.c == st.c {
+				b.residual(in)
+			}
 		}
 	}
 	b.pw("head", 1280)
 	b.globalPool()
 	b.fc("fc", 1000)
-	return b.build()
+	return b
 }
 
 // EfficientNetB0 builds the 82-layer EfficientNet-B0 (Tan & Le): stem
 // convolution, seven MBConv stages with squeeze-and-excite (each SE module
 // contributing two FC layers on globally-pooled activations), the
 // 1280-channel head and the final FC.
-func EfficientNetB0() *Network {
+func EfficientNetB0() *Network { return efficientNetB0().build() }
+
+func efficientNetB0() *netBuilder {
 	b := newNet("EfficientNetB0", 224, 224, 3)
 	b.conv("conv1", 3, 32, 2, 1)
 	stages := []struct{ t, k, c, n, s int }{
@@ -260,13 +360,17 @@ func EfficientNetB0() *Network {
 			if i == 0 {
 				s = st.s
 			}
+			in := b.shapeNow()
 			invertedBlock(b, fmt.Sprintf("s%d_%d", si+1, i+1), st.t, st.k, st.c, s, 4)
+			if s == 1 && in.c == st.c {
+				b.residual(in)
+			}
 		}
 	}
 	b.pw("head", 1280)
 	b.globalPool()
 	b.fc("fc", 1000)
-	return b.build()
+	return b
 }
 
 // inception appends one GoogLeNet inception module: the 1x1 branch, the 3x3
@@ -276,21 +380,27 @@ func EfficientNetB0() *Network {
 func inception(b *netBuilder, name string, c1, c3r, c3, c5r, c5, cp int) {
 	in := b.shapeNow()
 	b.pw(name+"_1x1", c1)
+	t1 := b.shapeNow()
 	b.restore(in)
 	b.pw(name+"_3x3r", c3r)
 	b.conv(name+"_3x3", 3, c3, 1, 1)
+	t3 := b.shapeNow()
 	b.restore(in)
 	b.pw(name+"_5x5r", c5r)
 	b.conv(name+"_5x5", 5, c5, 1, 2)
+	t5 := b.shapeNow()
 	b.restore(in)
 	b.pw(name+"_pool", cp)
-	b.at(in.h, in.w, c1+c3+c5+cp)
+	tp := b.shapeNow()
+	b.merge(in.h, in.w, c1+c3+c5+cp, t1, t3, t5, tp)
 }
 
 // GoogLeNet builds the 64-layer GoogLeNet (Szegedy et al.): the stem, nine
 // inception modules, both auxiliary classifiers (1x1 conv + two FCs each)
 // and the final FC. Layer types are CV, PW and FC as in the paper's Table 2.
-func GoogLeNet() *Network {
+func GoogLeNet() *Network { return googLeNet().build() }
+
+func googLeNet() *netBuilder {
 	b := newNet("GoogLeNet", 224, 224, 3)
 	b.conv("conv1", 7, 64, 2, 3)
 	b.pool(3, 2, 1) // 112 -> 56
@@ -305,12 +415,14 @@ func GoogLeNet() *Network {
 
 	aux := func(name string, h, w, c int) {
 		main := b.shapeNow()
+		if main.h != h || main.w != w || main.c != c {
+			panic(fmt.Sprintf("model: aux head %s expects %dx%dx%d input, tracked %dx%dx%d",
+				name, h, w, c, main.h, main.w, main.c))
+		}
 		// Auxiliary head: 5x5 s3 average pool, 1x1 conv to 128, two FCs.
-		b.at(h, w, c)
 		b.pool(5, 3, 0)
 		b.pw(name+"_conv", 128)
-		s := b.shapeNow()
-		b.at(1, 1, s.h*s.w*s.c) // flatten 4x4x128 -> 2048
+		b.flatten() // 4x4x128 -> 2048
 		b.fc(name+"_fc1", 1024)
 		b.fc(name+"_fc2", 1000)
 		b.restore(main)
@@ -327,13 +439,15 @@ func GoogLeNet() *Network {
 	inception(b, "i5b", 384, 192, 384, 48, 128, 128)
 	b.globalPool()
 	b.fc("fc", 1000)
-	return b.build()
+	return b
 }
 
 // Tiny builds a small six-layer CNN on a 32x32x3 input. It is not part of
 // the paper's Table 2 model set; it exists so the functional engine
 // (cmd/smm-sim, examples) can execute a whole network in seconds.
-func Tiny() *Network {
+func Tiny() *Network { return tiny().build() }
+
+func tiny() *netBuilder {
 	b := newNet("TinyCNN", 32, 32, 3)
 	b.conv("conv1", 3, 16, 1, 1)
 	b.dw("dw1", 3, 2, 1)
@@ -342,5 +456,5 @@ func Tiny() *Network {
 	b.globalPool()
 	b.fc("fc1", 64)
 	b.fc("fc2", 10)
-	return b.build()
+	return b
 }

@@ -11,7 +11,9 @@ import "fmt"
 // AlexNet builds the 8-layer AlexNet in its torchvision formulation
 // (ungrouped convolutions, 224x224x3 input): five convolutions and three
 // fully-connected layers, ~61M parameters dominated by the first FC.
-func AlexNet() *Network {
+func AlexNet() *Network { return alexNet().build() }
+
+func alexNet() *netBuilder {
 	b := newNet("AlexNet", 224, 224, 3)
 	b.conv("conv1", 11, 64, 4, 2)
 	b.pool(3, 2, 0) // 55 -> 27
@@ -21,18 +23,19 @@ func AlexNet() *Network {
 	b.conv("conv4", 3, 256, 1, 1)
 	b.conv("conv5", 3, 256, 1, 1)
 	b.pool(3, 2, 0) // 13 -> 6
-	s := b.shapeNow()
-	b.at(1, 1, s.h*s.w*s.c) // flatten 6x6x256 -> 9216
+	b.flatten()     // 6x6x256 -> 9216
 	b.fc("fc1", 4096)
 	b.fc("fc2", 4096)
 	b.fc("fc3", 1000)
-	return b.build()
+	return b
 }
 
 // VGG16 builds the 16-layer VGG configuration D (224x224x3 input):
 // thirteen 3x3 convolutions in five stages and three fully-connected
 // layers, ~138M parameters.
-func VGG16() *Network {
+func VGG16() *Network { return vgg16().build() }
+
+func vgg16() *netBuilder {
 	b := newNet("VGG16", 224, 224, 3)
 	stage := func(idx, convs, f int) {
 		for i := 1; i <= convs; i++ {
@@ -45,10 +48,9 @@ func VGG16() *Network {
 	stage(3, 3, 256)
 	stage(4, 3, 512)
 	stage(5, 3, 512)
-	s := b.shapeNow()
-	b.at(1, 1, s.h*s.w*s.c) // flatten 7x7x512 -> 25088
+	b.flatten() // 7x7x512 -> 25088
 	b.fc("fc1", 4096)
 	b.fc("fc2", 4096)
 	b.fc("fc3", 1000)
-	return b.build()
+	return b
 }

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"scratchmem/internal/layer"
+	"scratchmem/internal/smmerr"
 )
 
 // jsonLayer is the on-disk JSON form of one layer.
@@ -117,7 +118,25 @@ func (n *Network) WriteTopologyCSV(w io.Writer) error {
 // ReadTopologyCSV parses a SCALE-Sim topology CSV. Because the format
 // carries no type or padding column, every layer is read as a dense
 // convolution with zero padding; 1x1 layers become point-wise convolutions.
+// Rows may carry the format's trailing empty column or omit it. Beyond
+// per-layer validity the rows must be shape-continuous: every layer's ifmap
+// must match a produced tensor under the InferGraph rules (exact, padding
+// slack, pooled view, concatenation, flatten). Malformed rows and
+// discontinuities yield errors wrapping smmerr.ErrBadModel.
 func ReadTopologyCSV(name string, r io.Reader) (*Network, error) {
+	n, err := readTopologyCSV(name, r)
+	if err != nil {
+		return nil, smmerr.BadModel(err)
+	}
+	// Continuity check only: the retyped graph is discarded so the returned
+	// network round-trips byte-identically through WriteTopologyCSV.
+	if _, err := inferGraph(n); err != nil {
+		return nil, smmerr.BadModel(err)
+	}
+	return n, nil
+}
+
+func readTopologyCSV(name string, r io.Reader) (*Network, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1 // SCALE-Sim rows have a trailing comma
 	cr.TrimLeadingSpace = true

@@ -116,6 +116,33 @@ func Builtin(name string) (*Network, error) {
 	return b(), nil
 }
 
+// graphBuilders maps canonical lower-case names to the graph-aware builder
+// internals; same key set as builtins.
+var graphBuilders = map[string]func() *netBuilder{
+	"efficientnetb0": efficientNetB0,
+	"googlenet":      googLeNet,
+	"mnasnet":        mnasNet,
+	"mobilenet":      mobileNet,
+	"mobilenetv2":    mobileNetV2,
+	"resnet18":       resNet18,
+	"tinycnn":        tiny,
+	"tiny":           tiny,
+	"alexnet":        alexNet,
+	"vgg16":          vgg16,
+}
+
+// BuiltinGraph returns the named built-in model as a tensor-lifetime graph
+// (case-insensitive): the same layers as Builtin plus the true edge
+// structure — inception concatenations, residual shortcuts,
+// squeeze-and-excite side reads — that the linear Network serialises away.
+func BuiltinGraph(name string) (*Graph, error) {
+	b, ok := graphBuilders[normalize(name)]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown built-in model %q (have %v)", name, BuiltinNames())
+	}
+	return b().buildGraph(), nil
+}
+
 // Builtins constructs all six paper networks in Table 2 order.
 func Builtins() []*Network {
 	out := make([]*Network, 0, len(builtins))

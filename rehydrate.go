@@ -53,6 +53,12 @@ func RehydratePlan(net *Network, doc *PlanDoc) (*Plan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("scratchmem: document config: %w", err)
 	}
+	// DAG plans carry their execution order: document layer k is network
+	// layer Schedule[k]. Linear documents use the identity mapping.
+	perm, err := schedulePerm(doc, len(net.Layers))
+	if err != nil {
+		return nil, err
+	}
 	p := &Plan{
 		Model:                doc.Model,
 		Cfg:                  cfg,
@@ -61,8 +67,11 @@ func RehydratePlan(net *Network, doc *PlanDoc) (*Plan, error) {
 		Layers:               make([]core.LayerPlan, len(net.Layers)),
 		ChainableTransitions: doc.ChainableTransitions,
 	}
+	if len(doc.Schedule) > 0 {
+		p.Schedule = append([]int(nil), doc.Schedule...)
+	}
 	for i := range net.Layers {
-		l := &net.Layers[i]
+		l := &net.Layers[perm[i]]
 		ld := &doc.Layers[i]
 		if ld.Name != l.Name {
 			return nil, fmt.Errorf("scratchmem: layer %d is %q in the document but %q in network %s", i, ld.Name, l.Name, net.Name)
@@ -107,5 +116,105 @@ func RehydratePlan(net *Network, doc *PlanDoc) (*Plan, error) {
 			KeepsResident:    ld.KeepsResident,
 		}
 	}
+	tensors, err := rehydrateTensors(p, doc)
+	if err != nil {
+		return nil, err
+	}
+	p.Tensors = tensors
 	return p, nil
+}
+
+// schedulePerm validates doc.Schedule as a permutation of [0, layers) and
+// returns it, or the identity when the document has no schedule (every
+// linear plan).
+func schedulePerm(doc *PlanDoc, layers int) ([]int, error) {
+	perm := make([]int, layers)
+	if len(doc.Schedule) == 0 {
+		for i := range perm {
+			perm[i] = i
+		}
+		return perm, nil
+	}
+	if len(doc.Schedule) != layers {
+		return nil, fmt.Errorf("scratchmem: document schedule has %d entries for %d layers", len(doc.Schedule), layers)
+	}
+	seen := make([]bool, layers)
+	for k, i := range doc.Schedule {
+		if i < 0 || i >= layers || seen[i] {
+			return nil, fmt.Errorf("scratchmem: document schedule is not a permutation (entry %d = %d)", k, i)
+		}
+		seen[i] = true
+		perm[k] = i
+	}
+	return perm, nil
+}
+
+// rehydrateTensors verifies a DAG document's tensor table against the
+// rebuilt plan — the allocator invariants a healthy planner can never
+// violate — and converts it. Every range must sit inside the GLB and match
+// the tensor's size, lifetimes must nest inside the schedule, tensors whose
+// lifetimes overlap must occupy disjoint ranges, and each tensor must be
+// named after the layer at its producing step. A violation means the
+// document was corrupted or produced by a broken peer; refusing it keeps
+// cache fills from propagating an unexecutable plan.
+func rehydrateTensors(p *Plan, doc *PlanDoc) ([]core.TensorPlan, error) {
+	if len(doc.Tensors) == 0 {
+		return nil, nil
+	}
+	L := len(p.Layers)
+	out := make([]core.TensorPlan, len(doc.Tensors))
+	for i := range doc.Tensors {
+		td := &doc.Tensors[i]
+		if td.Producer < 0 || td.Producer > td.LastUse || td.LastUse >= L {
+			return nil, fmt.Errorf("scratchmem: tensor %s: lifetime [%d, %d] outside schedule of %d steps",
+				td.Name, td.Producer, td.LastUse, L)
+		}
+		prodLayer := &p.Layers[td.Producer].Layer
+		if td.Name != prodLayer.Name {
+			return nil, fmt.Errorf("scratchmem: tensor %s: producing step %d runs layer %s", td.Name, td.Producer, prodLayer.Name)
+		}
+		elems := prodLayer.OfmapElems()
+		if want := p.Cfg.Bytes(elems); td.Bytes != want {
+			return nil, fmt.Errorf("scratchmem: tensor %s: document says %d bytes, layer ofmap is %d", td.Name, td.Bytes, want)
+		}
+		switch td.Spill {
+		case "", core.SpillEvict, core.SpillRecompute:
+		default:
+			return nil, fmt.Errorf("scratchmem: tensor %s: unknown spill strategy %q", td.Name, td.Spill)
+		}
+		if td.Resident {
+			if td.Spill != "" {
+				return nil, fmt.Errorf("scratchmem: tensor %s: resident and spilled at once", td.Name)
+			}
+			if td.Base < 0 || td.Base >= td.End || td.End > p.Cfg.GLBBytes {
+				return nil, fmt.Errorf("scratchmem: tensor %s: range [%d, %d) outside GLB of %d bytes",
+					td.Name, td.Base, td.End, p.Cfg.GLBBytes)
+			}
+			if td.End-td.Base != td.Bytes {
+				return nil, fmt.Errorf("scratchmem: tensor %s: range [%d, %d) does not hold %d bytes",
+					td.Name, td.Base, td.End, td.Bytes)
+			}
+		} else if td.Base != 0 || td.End != 0 {
+			return nil, fmt.Errorf("scratchmem: tensor %s: non-resident but carries range [%d, %d)", td.Name, td.Base, td.End)
+		}
+		out[i] = core.TensorPlan{
+			Name: td.Name, Producer: td.Producer, LastUse: td.LastUse,
+			Elems: elems, Bytes: td.Bytes,
+			Resident: td.Resident, Base: td.Base, End: td.End, Spill: td.Spill,
+		}
+	}
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			a, b := &out[i], &out[j]
+			if !a.Resident || !b.Resident {
+				continue
+			}
+			if a.Producer <= b.LastUse && b.Producer <= a.LastUse &&
+				a.End > b.Base && b.End > a.Base {
+				return nil, fmt.Errorf("scratchmem: tensors %s and %s live concurrently in overlapping ranges [%d, %d) and [%d, %d)",
+					a.Name, b.Name, a.Base, a.End, b.Base, b.End)
+			}
+		}
+	}
+	return out, nil
 }

@@ -291,16 +291,19 @@ func planLadder(ctx context.Context, cfg Config, n *Network, o PlanOptions, prog
 	}
 
 	// Rung 2: shrink P4/P5 to their single-filter blocks and allow only the
-	// minimal-footprint schedules.
-	plan, err = pl.MinimalFootprintCtx(ctx, n, prog)
+	// minimal-footprint schedules, planned over the network's
+	// tensor-lifetime graph so allocator-backed residency claws back some
+	// of the traffic the smaller candidate set gives up (it degrades to the
+	// old flat minimal-tiling sweep when nothing fits on-chip).
+	plan, err = pl.LifetimeSpillCtx(ctx, n, prog)
 	if err == nil {
-		plan.MarkDegraded(core.DegradedMinimalTiling, reasons)
+		plan.MarkDegraded(core.DegradedLifetimeSpill, reasons)
 		return plan, nil
 	}
 	if !errors.Is(err, smmerr.ErrInfeasible) {
 		return nil, err
 	}
-	reasons = append(reasons, core.DegradedReason{Mode: core.DegradedMinimalTiling, Err: err.Error()})
+	reasons = append(reasons, core.DegradedReason{Mode: core.DegradedLifetimeSpill, Err: err.Error()})
 
 	// Rung 3: the baseline statically-split double-buffered plan. It never
 	// reports infeasibility, so the ladder always terminates with a plan.
