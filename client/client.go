@@ -91,6 +91,21 @@ func (e *APIError) Unwrap() error {
 	return nil
 }
 
+// PartialStreamError reports a snapshot stream that ended before the
+// server-advertised record count arrived: the connection dropped mid-body
+// but after the 200 status, so no APIError exists to classify. It unwraps
+// to io.ErrUnexpectedEOF (the historical sentinel) and is retryable.
+type PartialStreamError struct {
+	// Got and Want are received vs advertised record counts.
+	Got, Want int
+}
+
+func (e *PartialStreamError) Error() string {
+	return fmt.Sprintf("client: partial snapshot stream: got %d of %d records", e.Got, e.Want)
+}
+
+func (e *PartialStreamError) Unwrap() error { return io.ErrUnexpectedEOF }
+
 // Retryable reports whether err is worth another attempt: a transient
 // server status (429, 500, 502, 503, 504 — shed queues, open breakers,
 // recovered panics, proxies mid-restart) or a transport error. Client
@@ -171,6 +186,14 @@ func (c *Client) do(ctx context.Context, method, path string, payload any) ([]by
 // source, and test seams) can address any member of a fleet — the
 // cluster.Transport adapter depends on this.
 func (c *Client) doAt(ctx context.Context, baseURL, method, path string, payload any) ([]byte, error) {
+	return c.doChecked(ctx, baseURL, method, path, payload, nil)
+}
+
+// doChecked is doAt with a per-attempt response check: a 200 body that
+// fails check counts as that attempt's failure and goes through the same
+// classify/back-off loop as a wire error. Snapshot uses it to retry
+// truncated streams.
+func (c *Client) doChecked(ctx context.Context, baseURL, method, path string, payload any, check func(body []byte, hdr http.Header) error) ([]byte, error) {
 	var body []byte
 	if payload != nil {
 		var err error
@@ -186,7 +209,12 @@ func (c *Client) doAt(ctx context.Context, baseURL, method, path string, payload
 		retries = 0
 	}
 	for attempt := 0; ; attempt++ {
-		res, err := c.once(ctx, baseURL, method, path, body)
+		res, hdr, err := c.once(ctx, baseURL, method, path, body)
+		if err == nil && check != nil {
+			if cerr := check(res, hdr); cerr != nil {
+				res, err = nil, cerr
+			}
+		}
 		if err == nil || attempt >= retries || !Retryable(err) {
 			return res, err
 		}
@@ -202,15 +230,17 @@ func (c *Client) doAt(ctx context.Context, baseURL, method, path string, payload
 	}
 }
 
-// once performs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, baseURL, method, path string, body []byte) ([]byte, error) {
+// once performs a single HTTP exchange, returning the response headers
+// alongside the body so callers can verify server-stamped invariants (the
+// snapshot entry count).
+func (c *Client) once(ctx context.Context, baseURL, method, path string, body []byte) ([]byte, http.Header, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, baseURL+path, rd)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -223,17 +253,17 @@ func (c *Client) once(ctx context.Context, baseURL, method, path string, body []
 	if err != nil {
 		// Report context expiry as itself, not as a retryable socket error.
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if resp.StatusCode == http.StatusOK {
-		return b, nil
+		return b, resp.Header, nil
 	}
 	msg := strings.TrimSpace(string(b))
 	var envelope struct {
@@ -242,7 +272,7 @@ func (c *Client) once(ctx context.Context, baseURL, method, path string, body []
 	if json.Unmarshal(b, &envelope) == nil && envelope.Error != "" {
 		msg = envelope.Error
 	}
-	return nil, &APIError{
+	return nil, resp.Header, &APIError{
 		Status:     resp.StatusCode,
 		Message:    msg,
 		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),

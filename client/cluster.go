@@ -3,8 +3,11 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 
 	"scratchmem/internal/cluster"
@@ -38,9 +41,36 @@ func (c *Client) PeerFill(ctx context.Context, req server.PlanRequest) ([]byte, 
 
 // Snapshot fetches the server's cache snapshot stream (GET
 // /v1/cache/snapshot): newline-delimited SnapshotRecord JSON, most recently
-// used first, ready to feed server.RestoreSnapshot on another node.
+// used first, ready to feed server.RestoreSnapshot on another node. The
+// stream is verified against the server's X-SMM-Snapshot-Entries count: a
+// body truncated by a dropped connection surfaces as *PartialStreamError
+// (retried like any transient failure, since 503s and truncation both pass
+// through the same backoff loop with its Retry-After floor).
 func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
-	return c.do(ctx, http.MethodGet, "/v1/cache/snapshot", nil)
+	return c.doChecked(ctx, c.BaseURL, http.MethodGet, "/v1/cache/snapshot", nil, checkSnapshotComplete)
+}
+
+// checkSnapshotComplete compares received ndjson records against the
+// server-advertised count. No header means no claim (nothing to verify).
+func checkSnapshotComplete(body []byte, hdr http.Header) error {
+	h := hdr.Get("X-SMM-Snapshot-Entries")
+	if h == "" {
+		return nil
+	}
+	want, err := strconv.Atoi(h)
+	if err != nil || want < 0 {
+		return nil
+	}
+	got := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.TrimSpace(line) != "" {
+			got++
+		}
+	}
+	if got != want {
+		return &PartialStreamError{Got: got, Want: want}
+	}
+	return nil
 }
 
 // Version fetches the server's build information.
@@ -66,4 +96,97 @@ func (c *Client) Transport() cluster.Transport {
 	return cluster.TransportFunc(func(ctx context.Context, baseURL string, request any) ([]byte, error) {
 		return c.doAt(ctx, strings.TrimRight(baseURL, "/"), http.MethodPost, "/v1/peer/fill", request)
 	})
+}
+
+// ProbeTransport adapts the client into a cluster.ProbeFunc: one GET
+// /healthz per call, deliberately without the retry loop — the health
+// tracker is itself the retry policy (consecutive failures, probe period),
+// and retrying inside a probe would mask exactly the slowness it measures.
+func (c *Client) ProbeTransport() cluster.ProbeFunc {
+	return func(ctx context.Context, baseURL string) error {
+		_, _, err := c.once(ctx, strings.TrimRight(baseURL, "/"), http.MethodGet, "/healthz", nil)
+		return err
+	}
+}
+
+// LookupTransport adapts the client into a cluster.LookupFunc: a
+// cached-only peer fill (POST /v1/peer/fill?cached=only) that can never
+// trigger a compute on the asked member. A 404 — the member simply holds no
+// replica — maps to cluster.ErrNoReplica so the Peer backend can tell "no
+// copy" from "member broken".
+func (c *Client) LookupTransport() cluster.LookupFunc {
+	return func(ctx context.Context, baseURL string, request any) ([]byte, error) {
+		body, err := c.doAt(ctx, strings.TrimRight(baseURL, "/"), http.MethodPost, "/v1/peer/fill?cached=only", request)
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+			return nil, cluster.ErrNoReplica
+		}
+		return body, err
+	}
+}
+
+// ReplicateTransport adapts the client into a cluster.PushFunc: POST
+// /v1/peer/replicate delivering one snapshot record to a ring successor.
+func (c *Client) ReplicateTransport() cluster.PushFunc {
+	return func(ctx context.Context, baseURL string, payload any) error {
+		_, err := c.doAt(ctx, strings.TrimRight(baseURL, "/"), http.MethodPost, "/v1/peer/replicate", payload)
+		return err
+	}
+}
+
+// InvalidateTransport adapts the client into a cluster.InvalidateFunc — the
+// fan-out half of fleet-wide invalidation. Deliveries carry fanout=no so
+// the receiving member applies locally and never re-fans out.
+func (c *Client) InvalidateTransport() cluster.InvalidateFunc {
+	return func(ctx context.Context, baseURL, key string) error {
+		base := strings.TrimRight(baseURL, "/")
+		var err error
+		if key == "" {
+			_, err = c.doAt(ctx, base, http.MethodPost, "/v1/cache/purge?fanout=no", nil)
+		} else {
+			_, err = c.doAt(ctx, base, http.MethodDelete, "/v1/cache/"+url.PathEscape(key)+"?fanout=no", nil)
+		}
+		return err
+	}
+}
+
+// Invalidate removes one plan key (and its derived artifacts) fleet-wide:
+// the addressed member applies it locally and fans it out to every live
+// peer. The response reports per-member outcomes.
+func (c *Client) Invalidate(ctx context.Context, key string) (*server.InvalidateResponse, error) {
+	body, err := c.do(ctx, http.MethodDelete, "/v1/cache/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	var res server.InvalidateResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("client: invalid invalidate response: %w", err)
+	}
+	return &res, nil
+}
+
+// Purge empties the plan caches fleet-wide (POST /v1/cache/purge).
+func (c *Client) Purge(ctx context.Context) (*server.PurgeResponse, error) {
+	body, err := c.do(ctx, http.MethodPost, "/v1/cache/purge", nil)
+	if err != nil {
+		return nil, err
+	}
+	var res server.PurgeResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("client: invalid purge response: %w", err)
+	}
+	return &res, nil
+}
+
+// ClusterStatus fetches the addressed member's liveness view of the fleet.
+func (c *Client) ClusterStatus(ctx context.Context) (*server.ClusterStatus, error) {
+	body, err := c.do(ctx, http.MethodGet, "/v1/cluster/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	var res server.ClusterStatus
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("client: invalid cluster status response: %w", err)
+	}
+	return &res, nil
 }

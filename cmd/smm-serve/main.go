@@ -9,7 +9,9 @@
 //	smm-serve -log-format json -slow-request 2s -debug-addr 127.0.0.1:6060
 //	smm-serve -faults "seed=42;server.plan=error:0.1"   (chaos testing; also $SMM_FAULTS)
 //	smm-serve -peers http://n1:8080,http://n2:8080 -self http://n1:8080   (fleet member)
+//	smm-serve -probe-every 1s -replicate-queue 64  (fleet self-healing knobs)
 //	smm-serve -warm-from http://n1:8080            (boot with a peer's cache)
+//	smm-serve -warm-from http://n1:8080 -rewarm-every 30s   (keep pulling missing keys)
 //	smm-serve -version
 //
 // Endpoints:
@@ -20,7 +22,11 @@
 //	POST /v1/simulate       {..., "baseline": {"split_percent": 50}}      (SCALE-Sim baseline)
 //	POST /v1/dse            {"model": "TinyCNN", "glb_kb": 32}
 //	POST /v1/peer/fill      (cluster-internal: compute locally, never forward)
+//	POST /v1/peer/replicate (cluster-internal: store a verified successor replica)
 //	GET  /v1/cache/snapshot (ndjson plan-cache dump for -warm-from)
+//	DELETE /v1/cache/{key}  (invalidate one plan fleet-wide)
+//	POST /v1/cache/purge    (empty the plan caches fleet-wide)
+//	GET  /v1/cluster/status (this member's liveness view)
 //	GET  /v1/trace/{key}    (?format=perfetto|csv — key from X-SMM-Plan-Key)
 //	GET  /v1/spans
 //	GET  /v1/models
@@ -34,7 +40,11 @@
 // fleet-wide, and a per-peer circuit breaker plus local fallback keep a
 // dead owner from taking the fleet down with it. -self must match this
 // node's own entry in -peers; -hot-cache sizes the small local cache of
-// remotely-owned plans layered in front of the ring.
+// remotely-owned plans layered in front of the ring. The membership list
+// is static but liveness is dynamic: every member probes its peers each
+// -probe-every, skips known-dead owners, and owners push freshly computed
+// plans to their ring successor (bounded by -replicate-queue), so a miss
+// falls back owner → successor replica → local compute.
 //
 // All operational output is structured (log/slog; -log-level, -log-format):
 // an access-log record per request carrying the trace ID, warn records for
@@ -107,8 +117,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			"this node's own entry in -peers (required with -peers)")
 		hotCache = fs.Int("hot-cache", DefaultHotCacheEntries,
 			"entries in the layered hot cache of remotely-owned plans (fleet mode only)")
+		probeEvery = fs.Duration("probe-every", cluster.DefaultProbeInterval,
+			"peer health-probe period (0 disables liveness tracking; fleet mode only)")
+		replicateQueue = fs.Int("replicate-queue", cluster.DefaultReplicateQueue,
+			"pending successor-replication pushes before drop-oldest (0 disables replication; fleet mode only)")
 		warmFrom = fs.String("warm-from", "",
 			"warm the plan cache at boot from a snapshot: a peer base URL or an ndjson file")
+		rewarmEvery = fs.Duration("rewarm-every", 0,
+			"re-pull the -warm-from snapshot this often, inserting only missing keys (0 disables)")
 		version  = fs.Bool("version", false, "print build information and exit")
 		logFlags = cli.RegisterLogFlags(fs)
 	)
@@ -148,16 +164,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		SlowRequest:  *slowRequest,
 	}
 	if *peers != "" {
-		backend, err := clusterBackend(*peers, *self, *hotCache)
+		backend, fleet, err := clusterBackend(*peers, *self, *hotCache, *probeEvery, *replicateQueue)
 		if err != nil {
 			return err
 		}
 		cfg.Cluster = backend
-		logger.Info("fleet member", "self", *self, "peers", *peers, "hot_cache", *hotCache)
+		cfg.Fleet = fleet
+		logger.Info("fleet member", "self", *self, "peers", *peers, "hot_cache", *hotCache,
+			"probe_every", *probeEvery, "replicate_queue", *replicateQueue)
 	} else if *self != "" {
 		return fmt.Errorf("-self is only meaningful with -peers")
 	}
+	if *rewarmEvery > 0 && *warmFrom == "" {
+		return fmt.Errorf("-rewarm-every requires -warm-from")
+	}
 	srv := server.New(cfg)
+	if cfg.Fleet != nil {
+		cfg.Fleet.Health.Start()
+		cfg.Fleet.Repl.Start()
+		defer cfg.Fleet.Stop()
+	}
 	if *warmFrom != "" {
 		rd, err := warmSource(ctx, *warmFrom)
 		if err != nil {
@@ -169,6 +195,37 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return fmt.Errorf("warm-from: %w", err)
 		}
 		logger.Info("cache warmed", "source", *warmFrom, "added", added, "skipped", skipped)
+	}
+	if *rewarmEvery > 0 {
+		// The periodic re-warm closes the healing loop: a member that was
+		// down while the fleet kept planning pulls the missing keys back
+		// without a restart, and a member that never went down pays only a
+		// Contains probe per record.
+		go func() {
+			t := time.NewTicker(*rewarmEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+				rd, err := warmSource(ctx, *warmFrom)
+				if err != nil {
+					logger.Warn("rewarm pull failed", "source", *warmFrom, "error", err)
+					continue
+				}
+				added, skipped, err := srv.RestoreSnapshotMissing(rd)
+				rd.Close()
+				if err != nil {
+					logger.Warn("rewarm restore failed", "source", *warmFrom, "error", err)
+					continue
+				}
+				if added > 0 || skipped > 0 {
+					logger.Info("cache rewarmed", "source", *warmFrom, "added", added, "skipped", skipped)
+				}
+			}
+		}()
 	}
 	if *writeTimeout == 0 {
 		// The handlers enforce their own deadline; give writes headroom
@@ -229,26 +286,38 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return nil
 }
 
-// clusterBackend builds the server's fleet cache stack: a consistent-hash
-// ring over the static member list, peer fills through the resilient
-// client, and a small hot cache of remotely-owned plans layered in front.
-func clusterBackend(peers, self string, hotEntries int) (func(*plancache.Cache) cluster.Backend, error) {
+// clusterBackend builds the server's fleet cache stack and control plane:
+// a consistent-hash ring over the static member list, peer fills and
+// successor lookups through the resilient client, a small hot cache of
+// remotely-owned plans layered in front, plus health probing, successor
+// replication and the fan-out invalidation transport.
+func clusterBackend(peers, self string, hotEntries int, probeEvery time.Duration, replicateQueue int) (func(*plancache.Cache) cluster.Backend, *cluster.Fleet, error) {
 	var members []string
+	seen := make(map[string]bool)
 	for _, m := range strings.Split(peers, ",") {
-		if m = strings.TrimSpace(m); m != "" {
-			members = append(members, strings.TrimRight(m, "/"))
+		if m = strings.TrimSpace(m); m == "" {
+			continue
 		}
+		m = strings.TrimRight(m, "/")
+		if seen[m] {
+			// A duplicated member would silently deduplicate inside the ring
+			// and almost certainly means a typo in a deploy config: refuse
+			// rather than run with a membership the operator did not write.
+			return nil, nil, fmt.Errorf("-peers lists %q more than once", m)
+		}
+		seen[m] = true
+		members = append(members, m)
 	}
 	ring, err := cluster.NewRing(members, cluster.DefaultReplicas)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if self == "" {
-		return nil, fmt.Errorf("-self is required with -peers")
+		return nil, nil, fmt.Errorf("-self is required with -peers")
 	}
 	self = strings.TrimRight(strings.TrimSpace(self), "/")
 	if !slices.Contains(ring.Members(), self) {
-		return nil, fmt.Errorf("-self %q is not one of -peers %q", self, peers)
+		return nil, nil, fmt.Errorf("-self %q is not one of -peers %q", self, peers)
 	}
 	// Peer fills get a single retry: the Peer backend already breaks the
 	// circuit and falls back to planning locally, so a long client-side
@@ -256,10 +325,21 @@ func clusterBackend(peers, self string, hotEntries int) (func(*plancache.Cache) 
 	fill := client.New("")
 	fill.MaxRetries = 1
 	transport := fill.Transport()
+
+	fleet := &cluster.Fleet{Ring: ring, Self: self, Invalidate: fill.InvalidateTransport()}
+	if probeEvery > 0 {
+		fleet.Health = cluster.NewHealth(ring, self, fill.ProbeTransport(),
+			cluster.HealthOptions{Interval: probeEvery})
+	}
+	if replicateQueue > 0 {
+		fleet.Repl = cluster.NewReplicator(ring, self, fill.ReplicateTransport(), fleet.Health,
+			cluster.ReplicatorOptions{QueueDepth: replicateQueue})
+	}
+	popts := cluster.PeerOptions{Health: fleet.Health, Lookup: fill.LookupTransport()}
 	return func(local *plancache.Cache) cluster.Backend {
-		peer := cluster.NewPeer(cluster.NewLocal(local), ring, self, transport, cluster.PeerOptions{})
+		peer := cluster.NewPeer(cluster.NewLocal(local), ring, self, transport, popts)
 		return cluster.NewLayered(plancache.New(hotEntries), peer, peer.Remote)
-	}, nil
+	}, fleet, nil
 }
 
 // warmSource opens the -warm-from snapshot stream: a peer base URL (the

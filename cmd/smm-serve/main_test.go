@@ -356,8 +356,13 @@ func TestServeClusterFleet(t *testing.T) {
 	peers := "http://" + addrs[0] + ",http://" + addrs[1]
 	var dones []chan error
 	for _, a := range addrs {
+		// Replication off: with it on, the owner can push its replica to the
+		// other member before that member's own request arrives, making the
+		// peer-fill count depend on timing. TestServeFleetReplication covers
+		// the replication path.
 		_, _, done := startRun(t, ctx,
-			"-addr", a, "-peers", peers, "-self", "http://"+a, "-timeout", "30s")
+			"-addr", a, "-peers", peers, "-self", "http://"+a, "-timeout", "30s",
+			"-replicate-queue", "0")
 		dones = append(dones, done)
 	}
 
@@ -457,4 +462,178 @@ func TestServeWarmFromBadSource(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-warm-from", filepath.Join(t.TempDir(), "missing.ndjson")}, out); err == nil {
 		t.Error("missing snapshot file accepted")
 	}
+}
+
+// TestServeFleetFlagValidation: the self-healing flag set is checked before
+// listening — duplicate members and a dangling -rewarm-every fail fast.
+func TestServeFleetFlagValidation(t *testing.T) {
+	out := &syncBuffer{}
+	err := run(context.Background(), []string{
+		"-peers", "http://a:1,http://b:1,http://a:1", "-self", "http://a:1"}, out)
+	if err == nil || !strings.Contains(err.Error(), "more than once") {
+		t.Errorf("duplicate -peers member accepted (err=%v)", err)
+	}
+	// Trailing slashes normalise before the duplicate check, so a sneaky
+	// "same member spelled twice" is still refused.
+	err = run(context.Background(), []string{
+		"-peers", "http://a:1,http://a:1/", "-self", "http://a:1"}, out)
+	if err == nil || !strings.Contains(err.Error(), "more than once") {
+		t.Errorf("slash-disguised duplicate accepted (err=%v)", err)
+	}
+	if err := run(context.Background(), []string{"-rewarm-every", "1s"}, out); err == nil {
+		t.Error("-rewarm-every without -warm-from accepted")
+	}
+}
+
+// TestServeFleetReplication boots a two-member fleet with replication on:
+// after one plan, the owner's push lands a verified replica on the other
+// member; a fleet-wide invalidation is then visible on both, and
+// /v1/cluster/status reports a live membership view.
+func TestServeFleetReplication(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := []string{freeAddr(t), freeAddr(t)}
+	peers := "http://" + addrs[0] + ",http://" + addrs[1]
+	var dones []chan error
+	for _, a := range addrs {
+		_, _, done := startRun(t, ctx,
+			"-addr", a, "-peers", peers, "-self", "http://"+a,
+			"-timeout", "30s", "-probe-every", "50ms")
+		dones = append(dones, done)
+	}
+
+	body := `{"model": "TinyCNN", "glb_kb": 48}`
+	resp, err := http.Post("http://"+addrs[0]+"/v1/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: status %d", resp.StatusCode)
+	}
+	key := resp.Header.Get("X-SMM-Plan-Key")
+	if key == "" {
+		t.Fatal("no X-SMM-Plan-Key header")
+	}
+
+	// The owner pushes asynchronously; poll until the replica lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var received int64
+		for _, a := range addrs {
+			received += metricValue(t, getBody(t, "http://"+a+"/metrics"), `smm_replicate_total{outcome="received"}`)
+		}
+		if received == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never landed (received=%d)", received)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Status view: each member sees both, alive.
+	status := getBody(t, "http://"+addrs[0]+"/v1/cluster/status")
+	for _, a := range addrs {
+		if !strings.Contains(status, "http://"+a) {
+			t.Errorf("cluster status missing member %s:\n%s", a, status)
+		}
+	}
+	if strings.Contains(status, `"alive": false`) || strings.Contains(status, `"alive":false`) {
+		t.Errorf("cluster status reports a dead member:\n%s", status)
+	}
+
+	// Fleet-wide invalidation: one DELETE is observed on both members.
+	req, err := http.NewRequest(http.MethodDelete, "http://"+addrs[0]+"/v1/cache/"+key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("invalidate: status %d: %s", dresp.StatusCode, db)
+	}
+	if !strings.Contains(string(db), `"ok": true`) {
+		t.Errorf("fan-out outcome missing from invalidate response:\n%s", db)
+	}
+	for _, a := range addrs {
+		if n := metricValue(t, getBody(t, "http://"+a+"/metrics"), "smm_invalidate_total"); n < 1 {
+			t.Errorf("member %s never applied the invalidation", a)
+		}
+	}
+	// The invalidated key is gone fleet-wide: planning again costs a second
+	// planner run somewhere (a peer fill still reports "hit" to the asker,
+	// so the run count is the observable, not the cache header).
+	resp2, err := http.Post("http://"+addrs[1]+"/v1/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-invalidation plan: status %d", resp2.StatusCode)
+	}
+	var runs int64
+	for _, a := range addrs {
+		runs += metricValue(t, getBody(t, "http://"+a+"/metrics"), "smm_planner_latency_seconds_count")
+	}
+	if runs != 2 {
+		t.Errorf("planner ran %d times fleet-wide after invalidation, want 2", runs)
+	}
+
+	cancel()
+	for _, done := range dones {
+		waitDone(t, done)
+	}
+}
+
+// TestServeRewarm: a member with -rewarm-every pulls keys planned on its
+// peer after boot, without a restart.
+func TestServeRewarm(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	baseA, _, doneA := startRun(t, ctx, "-addr", "127.0.0.1:0", "-timeout", "30s")
+	baseB, _, doneB := startRun(t, ctx, "-addr", "127.0.0.1:0", "-timeout", "30s",
+		"-warm-from", baseA, "-rewarm-every", "25ms")
+
+	// Planned on A *after* B booted: only the rewarm loop can carry it over.
+	body := `{"model": "TinyCNN", "glb_kb": 40}`
+	resp, err := http.Post(baseA+"/v1/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed plan: status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Post(baseB+"/v1/plan", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.Header.Get("X-SMM-Cache") == "hit" {
+			if !bytes.Equal(got, want) {
+				t.Error("rewarmed document differs from the source's")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rewarm never carried the key over")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	waitDone(t, doneA)
+	waitDone(t, doneB)
 }

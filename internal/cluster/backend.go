@@ -41,6 +41,13 @@ type Backend interface {
 	Stats() plancache.Stats
 	// Snapshot returns the stored entries, most recently used first.
 	Snapshot() []plancache.Entry
+	// Remove deletes key from every layer, tombstoning in-flight
+	// computations (plancache.Remove semantics). It reports whether a
+	// stored entry was deleted from the authoritative layer.
+	Remove(key string) bool
+	// Purge empties every layer and returns how many stored entries the
+	// authoritative layer dropped.
+	Purge() int
 }
 
 // Local adapts the in-process plan cache to the Backend interface: the
@@ -64,6 +71,10 @@ func (l *Local) Do(ctx context.Context, key string, _ *FillSpec, fn Fill) (any, 
 func (l *Local) Stats() plancache.Stats { return l.c.Stats() }
 
 func (l *Local) Snapshot() []plancache.Entry { return l.c.Snapshot() }
+
+func (l *Local) Remove(key string) bool { return l.c.Remove(key) }
+
+func (l *Local) Purge() int { return l.c.Purge() }
 
 // Layered puts a small hot LRU in front of a Backend. Values filled from
 // remote owners land in the hot cache (the inner Peer does not store
@@ -102,6 +113,19 @@ func (l *Layered) Do(ctx context.Context, key string, spec *FillSpec, fn Fill) (
 }
 
 func (l *Layered) Stats() plancache.Stats { return l.inner.Stats() }
+
+// Remove deletes key from both layers; the authoritative layer's verdict is
+// the one reported (a hot-only copy going away is not "an entry removed").
+func (l *Layered) Remove(key string) bool {
+	l.hot.Remove(key)
+	return l.inner.Remove(key)
+}
+
+// Purge empties both layers, reporting the authoritative layer's count.
+func (l *Layered) Purge() int {
+	l.hot.Purge()
+	return l.inner.Purge()
+}
 
 // Snapshot merges the authoritative entries with hot-only ones (an entry
 // can sit in both layers; the authoritative copy wins).

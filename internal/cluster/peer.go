@@ -43,6 +43,12 @@ type PeerStats struct {
 	Bad int64
 	// Open counts fills skipped because the owner's breaker was open.
 	Open int64
+	// Dead counts fills skipped because health probes marked the owner
+	// dead (no round-trip attempted at all).
+	Dead int64
+	// SuccHit counts values recovered from the key's ring successor after
+	// the owner was dead or failed — the replication payoff.
+	SuccHit int64
 }
 
 // PeerOptions tunes a Peer. The zero value selects the breaker defaults.
@@ -52,6 +58,13 @@ type PeerOptions struct {
 	// threshold < 0 disables breaking).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Health, when set, lets Do skip known-dead owners without a
+	// round-trip. nil means every member is presumed alive.
+	Health *Health
+	// Lookup, when set, lets Do ask the key's ring successor for an
+	// already-cached replica (never a compute) after the owner is dead or
+	// failed. nil disables the successor fallback.
+	Lookup LookupFunc
 }
 
 // Peer routes cache misses to each key's ring owner before computing
@@ -75,6 +88,8 @@ type Peer struct {
 	errs      atomic.Int64
 	bad       atomic.Int64
 	open      atomic.Int64
+	dead      atomic.Int64
+	succHit   atomic.Int64
 }
 
 // NewPeer builds a Peer over inner. self must be a ring member and names
@@ -108,6 +123,8 @@ func (p *Peer) PeerStats() PeerStats {
 		Error:     p.errs.Load(),
 		Bad:       p.bad.Load(),
 		Open:      p.open.Load(),
+		Dead:      p.dead.Load(),
+		SuccHit:   p.succHit.Load(),
 	}
 }
 
@@ -116,6 +133,10 @@ func (p *Peer) Get(key string) (any, bool) { return p.inner.Get(key) }
 func (p *Peer) Stats() plancache.Stats { return p.inner.Stats() }
 
 func (p *Peer) Snapshot() []plancache.Entry { return p.inner.Snapshot() }
+
+func (p *Peer) Remove(key string) bool { return p.inner.Remove(key) }
+
+func (p *Peer) Purge() int { return p.inner.Purge() }
 
 // Do implements Backend. Owned keys (and keys without a FillSpec) go
 // straight to the local single-flight; for the rest the owner is asked
@@ -131,13 +152,26 @@ func (p *Peer) Do(ctx context.Context, key string, spec *FillSpec, fn Fill) (any
 		// network even when another member nominally owns them.
 		return p.inner.Do(ctx, key, nil, fn)
 	}
-	// A non-owned key may still be stored here (warm restore, an earlier
-	// ring configuration): serve it without a round-trip.
+	// A non-owned key may still be stored here (warm restore, a received
+	// replica, an earlier ring configuration): serve it without a
+	// round-trip.
 	if v, ok := p.inner.Get(key); ok {
 		return v, true, nil
 	}
-	if v, ok, err := p.fill(ctx, key, owner, spec); ok || err != nil {
-		return v, ok, err
+	if p.opts.Health.Alive(owner) {
+		if v, ok, err := p.fill(ctx, key, owner, spec); ok || err != nil {
+			return v, ok, err
+		}
+	} else {
+		// Health probes already know the owner is down: skip the
+		// round-trip (and the breaker round-trip) entirely.
+		p.dead.Add(1)
+	}
+	// The owner is dead or its fill failed; its ring successor may hold the
+	// replica the owner pushed before dying — a cached-only ask, so a miss
+	// there never costs a duplicate planner run.
+	if v, ok := p.lookupSuccessor(ctx, key, owner, spec); ok {
+		return v, true, nil
 	}
 	// The caller may have gone away while the fill failed; don't burn a
 	// planner run for a dead request.
@@ -145,6 +179,41 @@ func (p *Peer) Do(ctx context.Context, key string, spec *FillSpec, fn Fill) (any
 		return nil, false, ctx.Err()
 	}
 	return p.inner.Do(ctx, key, nil, fn)
+}
+
+// lookupSuccessor asks key's ring successor for an already-cached replica.
+// Strictly best-effort: any miss, transport failure or decode failure
+// reports ok=false and the caller computes locally. Successor lookups are
+// cached-only on the remote side, so they are deliberately outside the
+// breaker: a miss is not a member failure.
+func (p *Peer) lookupSuccessor(ctx context.Context, key, owner string, spec *FillSpec) (any, bool) {
+	if p.opts.Lookup == nil {
+		return nil, false
+	}
+	succ, ok := p.ring.Successor(key)
+	if !ok || succ == p.self || succ == owner || !p.opts.Health.Alive(succ) {
+		return nil, false
+	}
+	ctx, span := obs.StartSpan(ctx, "peer_successor_lookup")
+	span.SetAttr("key", key)
+	span.SetAttr("successor", succ)
+	defer span.End()
+	body, err := p.opts.Lookup(ctx, succ, spec.Request)
+	if err != nil {
+		span.SetAttr("outcome", "miss")
+		span.SetAttr("error", err.Error())
+		return nil, false
+	}
+	v, err := spec.Decode(body)
+	if err != nil {
+		p.bad.Add(1)
+		span.SetAttr("outcome", "bad")
+		span.SetAttr("error", err.Error())
+		return nil, false
+	}
+	p.succHit.Add(1)
+	span.SetAttr("outcome", "hit")
+	return v, true
 }
 
 // fill attempts one peer round-trip. ok reports a decoded value; a false

@@ -103,6 +103,29 @@ func (r *Ring) Owner(key string) string {
 	return r.owners[i]
 }
 
+// Successor returns the first member clockwise of key's owner that is not
+// the owner itself: the natural home for a durable replica of the owner's
+// copy, because a ring that loses the owner re-assigns the key's arc to
+// exactly this member. ok is false for single-member rings, which have
+// nobody to replicate to.
+func (r *Ring) Successor(key string) (succ string, ok bool) {
+	if len(r.members) < 2 {
+		return "", false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	owner := r.owners[i]
+	for j := 1; j < len(r.hashes); j++ {
+		if o := r.owners[(i+j)%len(r.hashes)]; o != owner {
+			return o, true
+		}
+	}
+	return "", false
+}
+
 // Members returns the (sorted, deduplicated) member set.
 func (r *Ring) Members() []string {
 	out := make([]string, len(r.members))

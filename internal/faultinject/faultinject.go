@@ -25,6 +25,8 @@
 //	dram.access       per replayed DMA event          (internal/dram)
 //	cluster.peer      before every peer cache-fill round-trip (internal/cluster)
 //	cluster.snapshot  before every cache-snapshot stream (internal/server)
+//	cluster.health    before every liveness probe     (internal/cluster)
+//	cluster.replicate before every successor replica push (internal/cluster)
 package faultinject
 
 import (

@@ -1,0 +1,199 @@
+package plancache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRemoveTombstonesInFlightCompute: removing a key while its computation
+// is in flight must not lose the race — the waiters still get the result,
+// but it is never stored, so an invalidation cannot be resurrected by a
+// computation that started before it.
+func TestRemoveTombstonesInFlightCompute(t *testing.T) {
+	c := New(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var got any
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, _, err = c.Do(context.Background(), "k", func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return "stale", nil
+		})
+	}()
+	<-started
+	if !c.Remove("k") {
+		t.Fatal("Remove found neither a stored entry nor a flight to tombstone")
+	}
+	close(release)
+	<-done
+	if err != nil || got != "stale" {
+		t.Fatalf("waiter got (%v, %v), want the computed value", got, err)
+	}
+	if c.Contains("k") {
+		t.Fatal("removed key resurrected by the in-flight computation")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Get served a removed key")
+	}
+}
+
+// TestPurgeSuppressesInFlightStores is Remove's fleet-wide sibling: Purge
+// tombstones every in-flight computation.
+func TestPurgeSuppressesInFlightStores(t *testing.T) {
+	c := New(8)
+	c.Put("stored", 1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do(context.Background(), "flying", func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return 2, nil
+		})
+	}()
+	<-started
+	if n := c.Purge(); n != 1 {
+		t.Fatalf("Purge dropped %d stored entries, want 1", n)
+	}
+	close(release)
+	<-done
+	if c.Contains("flying") {
+		t.Fatal("purged flight stored its result anyway")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries after purge, want 0", c.Len())
+	}
+}
+
+// TestRemovedFlightDoesNotPoisonLaterDo: a fresh Do after the tombstoned
+// flight completes runs a fresh computation and stores normally — the
+// tombstone applies to one flight, not to the key forever.
+func TestRemovedFlightDoesNotPoisonLaterDo(t *testing.T) {
+	c := New(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	flightDone := make(chan struct{})
+	go func() {
+		defer close(flightDone)
+		c.Do(context.Background(), "k", func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return "old", nil
+		})
+	}()
+	<-started
+	c.Remove("k")
+	close(release)
+	<-flightDone
+	v, shared, err := c.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return "new", nil
+	})
+	if err != nil || shared || v != "new" {
+		t.Fatalf("Do after tombstone = (%v, %v, %v), want a fresh compute of \"new\"", v, shared, err)
+	}
+	if !c.Contains("k") {
+		t.Fatal("fresh computation after a tombstoned flight was not stored")
+	}
+}
+
+// TestRemovePurgeUnderConcurrentDoHammer drives Remove and Purge against a
+// storm of single-flight Dos on a handful of keys. Run under -race this is
+// primarily a data-race hunt; the semantic invariant checked at the end is
+// that a final quiescent Remove leaves nothing to resurrect.
+func TestRemovePurgeUnderConcurrentDoHammer(t *testing.T) {
+	c := New(4)
+	keys := []string{"a", "b", "c", "d", "e"}
+	stopInval := make(chan struct{})
+	var wg, invalWG sync.WaitGroup
+	var computes atomic.Int64
+
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := keys[(g+i)%len(keys)]
+				v, _, err := c.Do(context.Background(), key, func(context.Context) (any, error) {
+					computes.Add(1)
+					return key + "-value", nil
+				})
+				if err != nil {
+					t.Errorf("Do(%s): %v", key, err)
+					return
+				}
+				if v != key+"-value" {
+					t.Errorf("Do(%s) = %v, a different key's value", key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	invalWG.Add(1)
+	go func() {
+		defer invalWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopInval:
+				return
+			default:
+			}
+			if i%7 == 0 {
+				c.Purge()
+			} else {
+				c.Remove(keys[i%len(keys)])
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	close(stopInval)
+	invalWG.Wait()
+
+	if computes.Load() == 0 {
+		t.Fatal("the hammer never computed anything")
+	}
+	// Quiescent now: every Remove must stick with no flight left to race.
+	for _, k := range keys {
+		c.Remove(k)
+		if c.Contains(k) {
+			t.Fatalf("key %s still stored after a quiescent Remove", k)
+		}
+	}
+	if n := c.Purge(); n != 0 {
+		t.Fatalf("Purge found %d entries after everything was removed", n)
+	}
+}
+
+// TestContainsLeavesRecencyAndCountersAlone: Contains is a pure probe — it
+// must not refresh LRU position (the rewarm loop would otherwise distort
+// eviction order) nor count as a hit or miss.
+func TestContainsLeavesRecencyAndCountersAlone(t *testing.T) {
+	c := New(2)
+	c.Put("cold", 1)
+	c.Put("warm", 2)
+	before := c.Stats()
+	if !c.Contains("cold") || c.Contains("absent") {
+		t.Fatal("Contains answered wrong")
+	}
+	if after := c.Stats(); after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("Contains moved the counters: %+v -> %+v", before, after)
+	}
+	// "cold" was probed but not touched: inserting a third entry must still
+	// evict it, not "warm".
+	c.Put("new", 3)
+	if c.Contains("cold") {
+		t.Fatal("Contains refreshed recency; cold entry survived eviction")
+	}
+	if !c.Contains("warm") {
+		t.Fatal("wrong entry evicted")
+	}
+}

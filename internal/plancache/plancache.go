@@ -105,6 +105,16 @@ func (c *Cache) Get(key string) (any, bool) {
 	return el.Value.(*entry).val, true
 }
 
+// Contains reports whether key is stored, without touching recency order or
+// the hit/miss counters — the probe rewarm uses before deciding whether a
+// snapshot record is worth inserting.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // Do returns the value for key, computing it with fn on a miss. Concurrent
 // calls with the same key run fn exactly once: the first caller becomes the
 // leader, the rest wait for its result. shared reports that the value came

@@ -139,6 +139,25 @@ func (s *Server) handlePeerFill(w http.ResponseWriter, r *http.Request) {
 	}
 	span := obs.SpanFrom(r.Context())
 	span.SetAttr("model_hash", key)
+	// ?cached=only is the successor-lookup half of the replication
+	// protocol: answer from cache or 404, never compute. A dead owner's
+	// peers use it to ask the key's ring successor for the replica the
+	// owner pushed, and a miss must stay cheap — the asker falls back to
+	// computing locally, so triggering a compute here would turn the
+	// exactly-once guarantee into at-least-twice.
+	if r.URL.Query().Get("cached") == "only" {
+		v, ok := s.cache.Get("plan:" + key)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "no cached plan for key "+key)
+			return
+		}
+		entry := v.(*planEntry)
+		cacheHeader(w, true)
+		w.Header().Set("X-SMM-Plan-Key", key)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(entry.body)
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	entry, shared, err := s.planned(ctx, key, nil, nil, net, opts)
@@ -194,24 +213,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		pe, ok := e.Val.(*planEntry)
-		if !ok || pe.net == nil || pe.plan.Degraded {
+		if !ok {
 			continue
 		}
-		canon, err := model.CanonicalJSON(pe.net)
+		rec, err := snapshotRecordFor(pe, key)
 		if err != nil {
 			continue
 		}
-		recs = append(recs, SnapshotRecord{
-			Key:     key,
-			Network: canon,
-			Options: SnapshotOptions{
-				Homogeneous:     pe.opts.Homogeneous,
-				DisablePrefetch: pe.opts.DisablePrefetch,
-				InterLayerReuse: pe.opts.InterLayerReuse,
-				Strict:          pe.opts.Strict,
-			},
-			Doc: scratchmem.PlanDocument(pe.plan),
-		})
+		recs = append(recs, *rec)
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-SMM-Snapshot-Entries", fmt.Sprint(len(recs)))
@@ -223,6 +232,35 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// snapshotRecordFor renders one cached plan entry as a self-contained,
+// restorable record — the currency of both GET /v1/cache/snapshot and the
+// successor-replication push. Degraded plans are refused: their documents
+// are explicitly not decision-reproducible, so they must be recomputed,
+// never copied.
+func snapshotRecordFor(pe *planEntry, key string) (*SnapshotRecord, error) {
+	if pe.net == nil {
+		return nil, fmt.Errorf("entry for %s has no network", key)
+	}
+	if pe.plan.Degraded {
+		return nil, fmt.Errorf("plan for %s is degraded", key)
+	}
+	canon, err := model.CanonicalJSON(pe.net)
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotRecord{
+		Key:     key,
+		Network: canon,
+		Options: SnapshotOptions{
+			Homogeneous:     pe.opts.Homogeneous,
+			DisablePrefetch: pe.opts.DisablePrefetch,
+			InterLayerReuse: pe.opts.InterLayerReuse,
+			Strict:          pe.opts.Strict,
+		},
+		Doc: scratchmem.PlanDocument(pe.plan),
+	}, nil
+}
+
 // RestoreSnapshot replays a snapshot stream into the local cache (the
 // smm-serve -warm-from boot path). Every record is verified before it is
 // trusted: the network must hash back to the record's key and the document
@@ -231,6 +269,18 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // stream most-recently-used first, so they are inserted in reverse to
 // reproduce the source's LRU order.
 func (s *Server) RestoreSnapshot(r io.Reader) (added, skipped int, err error) {
+	return s.restoreStream(r, false)
+}
+
+// RestoreSnapshotMissing is RestoreSnapshot for the periodic re-warm loop:
+// records whose key is already cached are left untouched (no LRU
+// promotion, no overwrite of a fresher local copy), so a rewarm tick
+// against an unchanged peer is free.
+func (s *Server) RestoreSnapshotMissing(r io.Reader) (added, skipped int, err error) {
+	return s.restoreStream(r, true)
+}
+
+func (s *Server) restoreStream(r io.Reader, onlyMissing bool) (added, skipped int, err error) {
 	dec := json.NewDecoder(r)
 	var recs []SnapshotRecord
 	for {
@@ -243,6 +293,9 @@ func (s *Server) RestoreSnapshot(r io.Reader) (added, skipped int, err error) {
 		recs = append(recs, rec)
 	}
 	for i := len(recs) - 1; i >= 0; i-- {
+		if onlyMissing && s.local.Contains("plan:"+recs[i].Key) {
+			continue
+		}
 		entry, key, rerr := restoreRecord(&recs[i])
 		if rerr != nil {
 			skipped++

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"scratchmem/internal/cluster"
+)
+
+// replicateFresh pushes a freshly computed plan toward its ring successor.
+// Only the key's owner replicates (non-owners hold hot copies, not the
+// authoritative one), only non-degraded plans travel, and the push is
+// asynchronous and best-effort — a lost replica costs one recompute after
+// an owner death, never a wrong answer.
+func (s *Server) replicateFresh(key string, entry *planEntry) {
+	f := s.fleet
+	if f == nil || f.Repl == nil {
+		return
+	}
+	cacheKey := "plan:" + key
+	if f.Ring.Owner(cacheKey) != f.Self {
+		return
+	}
+	rec, err := snapshotRecordFor(entry, key)
+	if err != nil {
+		return // degraded or unrenderable: recompute material, not replica material
+	}
+	f.Repl.Enqueue(cacheKey, rec)
+}
+
+// handleReplicate stores a replica pushed by a ring owner — the receiving
+// half of successor replication. The payload is a SnapshotRecord and goes
+// through exactly the warm-restore verification (key recompute +
+// rehydration against this build's estimators), so a version-skewed or
+// corrupted push is rejected, never trusted.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var rec SnapshotRecord
+	if err := decodeBody(w, r, &rec); err != nil {
+		s.met.replicaRejected()
+		s.fail(w, err)
+		return
+	}
+	entry, key, err := restoreRecord(&rec)
+	if err != nil {
+		s.met.replicaRejected()
+		s.writeError(w, http.StatusUnprocessableEntity, "replica rejected: "+err.Error())
+		return
+	}
+	s.local.Put("plan:"+key, entry)
+	s.met.replicaReceived()
+	writeJSON(w, map[string]any{"stored": true, "key": key})
+}
+
+// derivedCacheKeys lists every cache entry a plan key anchors: the plan
+// itself and the artifacts computed from it. Baseline simulations are keyed
+// per split; DSE results use an options-stripped key and are left to LRU.
+func derivedCacheKeys(key string) []string {
+	return []string{
+		"plan:" + key, "sim:" + key, "trace:" + key,
+		"base:" + key + ":25", "base:" + key + ":50", "base:" + key + ":75",
+	}
+}
+
+// removeLocal applies one invalidation to this member's caches, tombstoning
+// in-flight computations (plancache.Remove semantics), and reports how many
+// stored entries went away.
+func (s *Server) removeLocal(key string) int {
+	removed := 0
+	for _, k := range derivedCacheKeys(key) {
+		if s.cache.Remove(k) {
+			removed++
+		}
+	}
+	s.met.invalidatedLocally()
+	return removed
+}
+
+// FanoutResult is one member's outcome inside an invalidation response.
+type FanoutResult struct {
+	Member string `json:"member"`
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+}
+
+// invalidateAttempts is how many times a fan-out invalidation is tried per
+// member. Best-effort: a member that stays unreachable keeps its entry
+// until its own LRU or a later invalidation catches it.
+const invalidateAttempts = 2
+
+// fanout delivers an invalidation (key == "" means purge) to every live
+// member besides self. The receiving side is marked fanout=no, so two
+// members invalidating concurrently cannot forward in a loop.
+func (s *Server) fanout(ctx context.Context, key string) []FanoutResult {
+	f := s.fleet
+	if f == nil || f.Invalidate == nil {
+		return nil
+	}
+	members := f.LiveMembers()
+	out := make([]FanoutResult, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			var err error
+			for attempt := 0; attempt < invalidateAttempts; attempt++ {
+				if err = f.Invalidate(ctx, m, key); err == nil {
+					break
+				}
+				select {
+				case <-ctx.Done():
+					attempt = invalidateAttempts
+				case <-time.After(50 * time.Millisecond):
+				}
+			}
+			out[i] = FanoutResult{Member: m, OK: err == nil}
+			if err != nil {
+				out[i].Error = err.Error()
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	return out
+}
+
+// InvalidateResponse answers DELETE /v1/cache/{key}.
+type InvalidateResponse struct {
+	Key     string         `json:"key"`
+	Removed int            `json:"removed"`
+	Fanout  []FanoutResult `json:"fanout,omitempty"`
+}
+
+// PurgeResponse answers POST /v1/cache/purge.
+type PurgeResponse struct {
+	Purged int            `json:"purged"`
+	Fanout []FanoutResult `json:"fanout,omitempty"`
+}
+
+// handleInvalidate removes one plan key (and its derived artifacts) from
+// this member, then fans the removal out to every live member. ?fanout=no
+// marks a fan-out delivery and applies locally only.
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	resp := InvalidateResponse{Key: key, Removed: s.removeLocal(key)}
+	if r.URL.Query().Get("fanout") != "no" {
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		resp.Fanout = s.fanout(ctx, key)
+	}
+	writeJSON(w, resp)
+}
+
+// handlePurge empties this member's caches and fans the purge out to every
+// live member. ?fanout=no marks a fan-out delivery and applies locally only.
+func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
+	resp := PurgeResponse{Purged: s.cache.Purge()}
+	s.met.invalidatedLocally()
+	if r.URL.Query().Get("fanout") != "no" {
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		resp.Fanout = s.fanout(ctx, "")
+	}
+	writeJSON(w, resp)
+}
+
+// ClusterStatus answers GET /v1/cluster/status: this member's view of the
+// fleet. Standalone servers answer with themselves alone.
+type ClusterStatus struct {
+	Self        string                 `json:"self,omitempty"`
+	Members     []cluster.MemberHealth `json:"members,omitempty"`
+	Replication cluster.ReplStats      `json:"replication"`
+}
+
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	var resp ClusterStatus
+	if f := s.fleet; f != nil {
+		resp.Self = f.Self
+		// Self is trivially alive (it is answering); peers come from probes.
+		resp.Members = append(resp.Members, cluster.MemberHealth{Member: f.Self, Alive: true})
+		resp.Members = append(resp.Members, f.Health.View()...)
+		resp.Replication = f.Repl.Stats()
+	}
+	writeJSON(w, resp)
+}

@@ -295,7 +295,14 @@ func (s *Server) planned(ctx context.Context, key string, wire *PlanRequest, mem
 	if err != nil {
 		return nil, false, err
 	}
-	return v.(*planEntry), shared, nil
+	entry := v.(*planEntry)
+	if !shared {
+		// Freshly computed here: if this member owns the key, push the plan
+		// to its ring successor (async, best-effort) so an owner death does
+		// not cost the fleet a recompute.
+		s.replicateFresh(key, entry)
+	}
+	return entry, shared, nil
 }
 
 // decodePeerPlan turns a peer's /v1/peer/fill response into a planEntry:
@@ -528,8 +535,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.cache.(cluster.PeerStatser); ok {
 		ps = st.PeerStats()
 	}
+	var fv fleetView
+	if s.fleet != nil {
+		fv.repl = s.fleet.Repl.Stats()
+		fv.health = s.fleet.Health.View()
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.met.write(w, s.cache.Stats(), s.memo.Stats(), ps, s.sem.InUse(), s.sem.Cap(), s.tracer.Finished())
+	s.met.write(w, s.cache.Stats(), s.memo.Stats(), ps, fv, s.sem.InUse(), s.sem.Cap(), s.tracer.Finished())
 }
 
 // handleTrace renders the execution trace of an already-planned model:

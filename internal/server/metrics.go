@@ -87,6 +87,15 @@ type metrics struct {
 	batchCount atomic.Int64 // POST /v1/plan/batch requests
 	batchItems atomic.Int64 // plan requests carried inside batches
 
+	// Receiving-side replication counters (the sending side lives in
+	// cluster.ReplStats): replicas accepted into the local cache, and
+	// payloads rejected by rehydration verification.
+	replReceived atomic.Int64
+	replRejected atomic.Int64
+	// invalidated counts locally applied invalidations (single removes and
+	// purges alike), whether initiated here or received from a peer fan-out.
+	invalidated atomic.Int64
+
 	// Planner-deep counters, filled per freshly computed plan.
 	policySelected map[string]*atomic.Int64 // per winning policy variant, per layer
 	dramBytes      map[string]*atomic.Int64 // per datatype planned off-chip bytes
@@ -153,6 +162,15 @@ func (m *metrics) observeBatch(n int) {
 	m.batchItems.Add(int64(n))
 }
 
+// replicaReceived counts one verified replica stored from a peer push.
+func (m *metrics) replicaReceived() { m.replReceived.Add(1) }
+
+// replicaRejected counts one peer push that failed verification.
+func (m *metrics) replicaRejected() { m.replRejected.Add(1) }
+
+// invalidatedLocally counts one locally applied invalidation.
+func (m *metrics) invalidatedLocally() { m.invalidated.Add(1) }
+
 // observePlanner records one planner execution's wall time.
 func (m *metrics) observePlanner(d time.Duration) { m.planner.observe(d) }
 
@@ -192,10 +210,21 @@ func (m *metrics) planOutcome(p *scratchmem.Plan) {
 
 // peerOutcomes is the fixed outcome label set of smm_peer_fill_total,
 // matching cluster.PeerStats field for field.
-var peerOutcomes = []string{"hit", "error", "bad", "open"}
+var peerOutcomes = []string{"hit", "error", "bad", "open", "dead", "successor"}
+
+// replicateOutcomes is the fixed outcome label set of smm_replicate_total:
+// the sending side (cluster.ReplStats) plus the receiving side (metrics).
+var replicateOutcomes = []string{"sent", "error", "dropped", "skipped", "received", "rejected"}
+
+// fleetView carries the per-request fleet snapshots metrics.write renders;
+// zero values render the standalone picture (no members, all counters 0).
+type fleetView struct {
+	repl   cluster.ReplStats
+	health []cluster.MemberHealth
+}
 
 // write renders the counters as plain-text expvar/Prometheus-style lines.
-func (m *metrics) write(w io.Writer, cs plancache.Stats, ms policy.MemoStats, ps cluster.PeerStats, inflight, workers int, spans int64) {
+func (m *metrics) write(w io.Writer, cs plancache.Stats, ms policy.MemoStats, ps cluster.PeerStats, fv fleetView, inflight, workers int, spans int64) {
 	routes := make([]string, 0, len(m.requests))
 	for r := range m.requests {
 		routes = append(routes, r)
@@ -230,11 +259,29 @@ func (m *metrics) write(w io.Writer, cs plancache.Stats, ms policy.MemoStats, ps
 	for _, dt := range datatypes {
 		fmt.Fprintf(w, "smm_dram_bytes_total{datatype=%q} %d\n", dt, m.dramBytes[dt].Load())
 	}
-	peerFills := map[string]int64{"hit": ps.Hit, "error": ps.Error, "bad": ps.Bad, "open": ps.Open}
+	peerFills := map[string]int64{
+		"hit": ps.Hit, "error": ps.Error, "bad": ps.Bad, "open": ps.Open,
+		"dead": ps.Dead, "successor": ps.SuccHit,
+	}
 	for _, o := range peerOutcomes {
 		fmt.Fprintf(w, "smm_peer_fill_total{outcome=%q} %d\n", o, peerFills[o])
 	}
 	fmt.Fprintf(w, "smm_ring_owner_self_total %d\n", ps.OwnerSelf)
+	replicate := map[string]int64{
+		"sent": fv.repl.Sent, "error": fv.repl.Errors, "dropped": fv.repl.Dropped,
+		"skipped": fv.repl.Skipped, "received": m.replReceived.Load(), "rejected": m.replRejected.Load(),
+	}
+	for _, o := range replicateOutcomes {
+		fmt.Fprintf(w, "smm_replicate_total{outcome=%q} %d\n", o, replicate[o])
+	}
+	fmt.Fprintf(w, "smm_invalidate_total %d\n", m.invalidated.Load())
+	for _, mh := range fv.health {
+		alive := 0
+		if mh.Alive {
+			alive = 1
+		}
+		fmt.Fprintf(w, "smm_member_health{member=%q} %d\n", mh.Member, alive)
+	}
 	fmt.Fprintf(w, "smm_batch_size_sum %d\n", m.batchItems.Load())
 	fmt.Fprintf(w, "smm_batch_size_count %d\n", m.batchCount.Load())
 	fmt.Fprintf(w, "smm_cache_hits_total %d\n", cs.Hits)

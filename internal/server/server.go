@@ -15,7 +15,11 @@
 //	POST /v1/simulate       — time a plan end-to-end, or run the SCALE-Sim baseline
 //	POST /v1/dse            — exhaustive tile-size search (off-chip traffic optimum)
 //	POST /v1/peer/fill      — internal: compute a plan on behalf of a ring peer
+//	POST /v1/peer/replicate — internal: store a verified replica pushed by a ring owner
 //	GET  /v1/cache/snapshot — stream the cached plans for warm restore (-warm-from)
+//	DELETE /v1/cache/{key}  — invalidate one plan key, fanned out fleet-wide
+//	POST /v1/cache/purge    — empty the plan cache, fanned out fleet-wide
+//	GET  /v1/cluster/status — this member's liveness view of the fleet
 //	GET  /v1/trace/{key}    — a planned model's execution trace (Perfetto JSON or CSV)
 //	GET  /v1/spans          — recent request spans as a Perfetto timeline
 //	GET  /v1/models         — list the built-in networks
@@ -88,6 +92,11 @@ type Config struct {
 	// backend (cmd/smm-serve composes Layered over Peer over Local from the
 	// -peers flag). Nil keeps the historical single-node behaviour.
 	Cluster func(local *plancache.Cache) cluster.Backend
+	// Fleet, when non-nil, is the cluster control plane: liveness view,
+	// successor replication and the fan-out invalidation transport. Nil
+	// (standalone, or clustering without self-healing) turns every fleet
+	// behaviour into a no-op.
+	Fleet *cluster.Fleet
 }
 
 // Defaults for Config zero values.
@@ -118,7 +127,9 @@ type Server struct {
 	cache cluster.Backend
 	// local is the authoritative in-process store under cache; warm
 	// snapshot restore inserts through it directly.
-	local    *plancache.Cache
+	local *plancache.Cache
+	// fleet is the cluster control plane (Config.Fleet); nil standalone.
+	fleet    *cluster.Fleet
 	sem      *parallel.Semaphore
 	met      *metrics
 	mux      *http.ServeMux
@@ -144,8 +155,9 @@ type Server struct {
 // routes is the fixed set of request-counter labels.
 var routes = []string{
 	"/v1/plan", "/v1/plan/batch", "/v1/simulate", "/v1/dse", "/v1/trace",
-	"/v1/peer/fill", "/v1/cache/snapshot", "/v1/spans", "/v1/models",
-	"/v1/version", "/healthz", "/metrics",
+	"/v1/peer/fill", "/v1/peer/replicate", "/v1/cache/snapshot",
+	"/v1/cache/invalidate", "/v1/cache/purge", "/v1/cluster/status",
+	"/v1/spans", "/v1/models", "/v1/version", "/healthz", "/metrics",
 }
 
 // computeRoutes are the routes that run planner/simulator/DSE work; each
@@ -188,6 +200,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		cache:    backend,
 		local:    local,
+		fleet:    cfg.Fleet,
 		sem:      parallel.NewQueuedSemaphore(cfg.Workers, queue),
 		met:      newMetrics(routes),
 		breakers: make(map[string]*breaker.Breaker, len(computeRoutes)),
@@ -222,7 +235,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/plan", s.counted("/v1/plan", s.handlePlan))
 	mux.HandleFunc("POST /v1/plan/batch", s.counted("/v1/plan/batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/peer/fill", s.counted("/v1/peer/fill", s.handlePeerFill))
+	mux.HandleFunc("POST /v1/peer/replicate", s.counted("/v1/peer/replicate", s.handleReplicate))
 	mux.HandleFunc("GET /v1/cache/snapshot", s.counted("/v1/cache/snapshot", s.handleSnapshot))
+	mux.HandleFunc("DELETE /v1/cache/{key}", s.counted("/v1/cache/invalidate", s.handleInvalidate))
+	mux.HandleFunc("POST /v1/cache/purge", s.counted("/v1/cache/purge", s.handlePurge))
+	mux.HandleFunc("GET /v1/cluster/status", s.counted("/v1/cluster/status", s.handleClusterStatus))
 	mux.HandleFunc("GET /v1/version", s.counted("/v1/version", s.handleVersion))
 	mux.HandleFunc("POST /v1/simulate", s.counted("/v1/simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/dse", s.counted("/v1/dse", s.handleDSE))
