@@ -24,6 +24,7 @@ import (
 	"time"
 
 	scratchmem "scratchmem"
+	"scratchmem/internal/obs"
 	"scratchmem/internal/server"
 )
 
@@ -244,6 +245,13 @@ func (c *Client) once(ctx context.Context, baseURL, method, path string, body []
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the caller's trace context so a fleet member receiving this
+	// call parents its spans under the originating request — every transport
+	// adapter (peer fill, lookup, replicate, invalidate, snapshot, status)
+	// funnels through here, so all cross-node calls carry the header.
+	if tc := obs.TraceContextFrom(ctx); tc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, tc.String())
 	}
 	hc := c.HTTPClient
 	if hc == nil {

@@ -190,3 +190,27 @@ func (c *Client) ClusterStatus(ctx context.Context) (*server.ClusterStatus, erro
 	}
 	return &res, nil
 }
+
+// StatusTransport adapts the client into a cluster.StatusFunc: one GET
+// /v1/cluster/status against any member, through this client's retry
+// policy — the fan-out primitive behind GET /v1/cluster/overview.
+func (c *Client) StatusTransport() cluster.StatusFunc {
+	return func(ctx context.Context, baseURL string) ([]byte, error) {
+		return c.doAt(ctx, strings.TrimRight(baseURL, "/"), http.MethodGet, "/v1/cluster/status", nil)
+	}
+}
+
+// ClusterOverview fetches the merged fleet view as seen by the addressed
+// member: every member's own status (or a per-member error stub), ring
+// ownership shares, and fleet totals. smm-top polls exactly this.
+func (c *Client) ClusterOverview(ctx context.Context) (*server.OverviewResponse, error) {
+	body, err := c.do(ctx, http.MethodGet, "/v1/cluster/overview", nil)
+	if err != nil {
+		return nil, err
+	}
+	var res server.OverviewResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("client: invalid cluster overview response: %w", err)
+	}
+	return &res, nil
+}

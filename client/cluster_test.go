@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"scratchmem/internal/obs"
 	"scratchmem/internal/server"
 )
 
@@ -213,5 +214,66 @@ func TestVersionOverTheWire(t *testing.T) {
 	}
 	if v.Module != "scratchmem" || !strings.HasPrefix(v.Go, "go") {
 		t.Errorf("version = %+v", v)
+	}
+}
+
+// TestClientInjectsTraceparent: every request through the client carries
+// the caller's trace context as the X-SMM-Traceparent header — the single
+// funnel that makes fleet traces cross process boundaries.
+func TestClientInjectsTraceparent(t *testing.T) {
+	var gotHeader atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader.Store(r.Header.Get(obs.TraceparentHeader))
+		w.Write([]byte(`{"module": "scratchmem", "go": "go0"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.MaxRetries = -1
+
+	tr := obs.NewTracer(4)
+	ctx, span := obs.StartSpan(obs.WithTracer(context.Background(), tr), "request")
+	if _, err := c.Version(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := obs.TraceContext{TraceID: span.TraceID, ParentID: span.SpanID}
+	if got, _ := gotHeader.Load().(string); got != want.String() {
+		t.Errorf("traceparent header = %q, want %q", got, want.String())
+	}
+	span.End()
+
+	// Without an active span there is nothing to propagate: no header.
+	if _, err := c.Version(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := gotHeader.Load().(string); got != "" {
+		t.Errorf("traceparent header = %q on a span-less request, want absent", got)
+	}
+}
+
+// TestClusterOverviewOverTheWire: the overview document round-trips
+// through the typed client accessor, and StatusTransport pulls a member's
+// raw status document.
+func TestClusterOverviewOverTheWire(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	c := New(ts.URL)
+	c.MaxRetries = -1
+
+	ov, err := c.ClusterOverview(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A standalone server answers with its own single full-share row.
+	if len(ov.Members) != 1 || ov.Members[0].RingShare != 1 || ov.Totals.Reachable != 1 {
+		t.Errorf("standalone overview = %+v", ov)
+	}
+
+	body, err := c.StatusTransport()(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.ClusterStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("status transport body does not decode: %v: %s", err, body)
 	}
 }

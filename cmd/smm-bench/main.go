@@ -1,7 +1,8 @@
 // Command smm-bench measures the planning hot paths and emits a
-// machine-readable before/after document (BENCH_5.json by default), so the
+// machine-readable before/after document (BENCH_9.json by default), so the
 // memoization + fan-out work of PR 5 stays pinned to numbers a CI step or a
-// reviewer can diff.
+// reviewer can diff — and, with -against, acts as the CI regression gate
+// over a previously committed document.
 //
 // Document format (schema "smm-bench/v1"):
 //
@@ -27,9 +28,16 @@
 //
 // Usage:
 //
-//	smm-bench                 # ~1s per workload, writes BENCH_5.json
+//	smm-bench                 # ~1s per workload, writes BENCH_9.json
 //	smm-bench -time 5 -count 3 -o /tmp/bench.json
 //	smm-bench -quick          # single iteration per workload (CI smoke)
+//	smm-bench -against BENCH_5.json   # regression gate: non-zero exit when
+//	                                  # any shared benchmark slowed >10%
+//	                                  # (tune with -tolerance)
+//
+// The -against gate is what CI runs: it compares this invocation's
+// after_ns_per_op against the named document's, per benchmark name, so the
+// BENCH trajectory only ever moves one way.
 package main
 
 import (
@@ -39,6 +47,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	scratchmem "scratchmem"
@@ -213,13 +222,18 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("smm-bench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		outPath   = fs.String("o", "BENCH_5.json", "output path for the benchmark document")
+		outPath   = fs.String("o", "BENCH_9.json", "output path for the benchmark document")
 		benchTime = fs.Float64("time", 1.0, "minimum seconds to spend per workload")
 		count     = fs.Int("count", 1, "repetitions per workload (fastest run wins)")
 		quick     = fs.Bool("quick", false, "single iteration per workload — a CI smoke run, not a measurement")
+		against   = fs.String("against", "", "reference document: fail when any shared benchmark slowed past -tolerance")
+		tolerance = fs.Float64("tolerance", 0.10, "allowed fractional slowdown vs -against before failing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tolerance < 0 {
+		return fmt.Errorf("-tolerance must be >= 0, got %g", *tolerance)
 	}
 	minTime := time.Duration(*benchTime * float64(time.Second))
 	if *quick {
@@ -260,5 +274,49 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	if *against != "" {
+		return gate(out, &doc, *against, *tolerance)
+	}
+	return nil
+}
+
+// gate compares doc's measurements against the reference document at path:
+// any benchmark present in both whose after_ns_per_op grew past
+// (1 + tolerance)× the reference fails the gate. Benchmarks only one side
+// knows are reported and skipped — adding a workload must not break CI —
+// and the error names every regressed benchmark, not just the first.
+func gate(out io.Writer, doc *document, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-against: %w", err)
+	}
+	var ref document
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return fmt.Errorf("-against %s: %w", path, err)
+	}
+	refNs := make(map[string]int64, len(ref.Benchmarks))
+	for _, e := range ref.Benchmarks {
+		refNs[e.Name] = e.AfterNsOp
+	}
+	var regressed []string
+	for _, e := range doc.Benchmarks {
+		old, ok := refNs[e.Name]
+		if !ok || old <= 0 {
+			fmt.Fprintf(out, "gate: %-18s not in %s, skipped\n", e.Name, path)
+			continue
+		}
+		ratio := float64(e.AfterNsOp) / float64(old)
+		verdict := "ok"
+		if ratio > 1+tolerance {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s %.2fx (%d -> %d ns/op)", e.Name, ratio, old, e.AfterNsOp))
+		}
+		fmt.Fprintf(out, "gate: %-18s %12d -> %12d ns/op  %.2fx  %s\n", e.Name, old, e.AfterNsOp, ratio, verdict)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("performance gate vs %s (tolerance %.0f%%): %s",
+			path, tolerance*100, strings.Join(regressed, "; "))
+	}
+	fmt.Fprintf(out, "gate: all benchmarks within %.0f%% of %s\n", tolerance*100, path)
 	return nil
 }

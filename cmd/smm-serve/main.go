@@ -326,7 +326,12 @@ func clusterBackend(peers, self string, hotEntries int, probeEvery time.Duration
 	fill.MaxRetries = 1
 	transport := fill.Transport()
 
-	fleet := &cluster.Fleet{Ring: ring, Self: self, Invalidate: fill.InvalidateTransport()}
+	fleet := &cluster.Fleet{
+		Ring:       ring,
+		Self:       self,
+		Invalidate: fill.InvalidateTransport(),
+		Status:     fill.StatusTransport(),
+	}
 	if probeEvery > 0 {
 		fleet.Health = cluster.NewHealth(ring, self, fill.ProbeTransport(),
 			cluster.HealthOptions{Interval: probeEvery})

@@ -22,6 +22,11 @@ type LookupFunc func(ctx context.Context, baseURL string, request any) ([]byte, 
 // entirely (POST /v1/cache/purge).
 type InvalidateFunc func(ctx context.Context, baseURL, key string) error
 
+// StatusFunc fetches a member's own fleet view (GET /v1/cluster/status
+// through the client's transport) as a raw JSON body — the fan-out
+// primitive behind GET /v1/cluster/overview.
+type StatusFunc func(ctx context.Context, baseURL string) ([]byte, error)
+
 // Fleet bundles the cluster control plane — everything beyond the data-path
 // Backend composition: liveness, replication, and the transport for
 // fan-out invalidation. The server holds one (nil when standalone) and
@@ -39,6 +44,9 @@ type Fleet struct {
 	// Invalidate is the transport for fan-out invalidation; may be nil
 	// (invalidation then applies locally only).
 	Invalidate InvalidateFunc
+	// Status is the transport for the overview fan-out; may be nil (the
+	// overview then reports peers as unreachable, never errors).
+	Status StatusFunc
 }
 
 // Stop shuts down the fleet's background loops (probes, replication).

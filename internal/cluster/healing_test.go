@@ -244,7 +244,7 @@ func TestReplicatorPushesToSuccessor(t *testing.T) {
 	defer r.Stop()
 
 	key := keyOwnedBy(t, ring, memberA)
-	r.Enqueue(key, "payload")
+	r.Enqueue(context.Background(), key, "payload")
 	flushReplicator(t, r)
 	if got := rp.got(); len(got) != 1 || got[0] != memberB {
 		t.Fatalf("pushes = %v, want [%s]", got, memberB)
@@ -260,7 +260,7 @@ func TestReplicatorSkipsSelfAndSingleMember(t *testing.T) {
 	ring := twoRing(t)
 	rp := &recordingPush{}
 	r := NewReplicator(ring, memberA, rp.push, nil, ReplicatorOptions{})
-	r.Enqueue(keyOwnedBy(t, ring, memberB), "payload")
+	r.Enqueue(context.Background(), keyOwnedBy(t, ring, memberB), "payload")
 	if st := r.Stats(); st.Skipped != 1 || st.Enqueued != 0 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -270,7 +270,7 @@ func TestReplicatorSkipsSelfAndSingleMember(t *testing.T) {
 		t.Fatal(err)
 	}
 	r2 := NewReplicator(single, memberA, rp.push, nil, ReplicatorOptions{})
-	r2.Enqueue("plan:x", "payload")
+	r2.Enqueue(context.Background(), "plan:x", "payload")
 	if st := r2.Stats(); st.Skipped != 1 {
 		t.Fatalf("single-member stats = %+v", st)
 	}
@@ -288,7 +288,7 @@ func TestReplicatorSkipsDeadSuccessor(t *testing.T) {
 
 	rp := &recordingPush{}
 	r := NewReplicator(ring, memberA, rp.push, h, ReplicatorOptions{})
-	r.Enqueue(keyOwnedBy(t, ring, memberA), "payload")
+	r.Enqueue(context.Background(), keyOwnedBy(t, ring, memberA), "payload")
 	if st := r.Stats(); st.Skipped != 1 || st.Enqueued != 0 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -300,9 +300,9 @@ func TestReplicatorDropOldestBackpressure(t *testing.T) {
 	// Not started: the queue fills without draining.
 	r := NewReplicator(ring, memberA, rp.push, nil, ReplicatorOptions{QueueDepth: 2})
 	key := keyOwnedBy(t, ring, memberA)
-	r.Enqueue(key, "oldest")
-	r.Enqueue(key, "middle")
-	r.Enqueue(key, "newest")
+	r.Enqueue(context.Background(), key, "oldest")
+	r.Enqueue(context.Background(), key, "middle")
+	r.Enqueue(context.Background(), key, "newest")
 	if st := r.Stats(); st.Dropped != 1 || st.Queued != 2 || st.Enqueued != 3 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -323,7 +323,7 @@ func TestReplicatorFaultInjection(t *testing.T) {
 	r := NewReplicator(ring, memberA, rp.push, nil, ReplicatorOptions{})
 	r.Start()
 	defer r.Stop()
-	r.Enqueue(keyOwnedBy(t, ring, memberA), "payload")
+	r.Enqueue(context.Background(), keyOwnedBy(t, ring, memberA), "payload")
 	flushReplicator(t, r)
 	if st := r.Stats(); st.Errors != 1 || st.Sent != 0 {
 		t.Fatalf("stats = %+v", st)

@@ -30,25 +30,26 @@ func (f TransportFunc) Fill(ctx context.Context, baseURL string, request any) ([
 }
 
 // PeerStats counts peer-fill outcomes. Fleet tests and the /metrics
-// endpoint read these to prove a plan was computed exactly once.
+// endpoint read these to prove a plan was computed exactly once; the JSON
+// shape is the "peer" object of GET /v1/cluster/status.
 type PeerStats struct {
 	// OwnerSelf counts keys this member owned (no fill attempted).
-	OwnerSelf int64
+	OwnerSelf int64 `json:"owner_self"`
 	// Hit counts fills answered by the owner and successfully decoded.
-	Hit int64
+	Hit int64 `json:"hit"`
 	// Error counts fills that failed in transport (owner down, timeout).
-	Error int64
+	Error int64 `json:"error"`
 	// Bad counts fills whose response failed to decode or verify
 	// (version-skewed owner).
-	Bad int64
+	Bad int64 `json:"bad"`
 	// Open counts fills skipped because the owner's breaker was open.
-	Open int64
+	Open int64 `json:"open"`
 	// Dead counts fills skipped because health probes marked the owner
 	// dead (no round-trip attempted at all).
-	Dead int64
+	Dead int64 `json:"dead"`
 	// SuccHit counts values recovered from the key's ring successor after
 	// the owner was dead or failed — the replication payoff.
-	SuccHit int64
+	SuccHit int64 `json:"successor_hit"`
 }
 
 // PeerOptions tunes a Peer. The zero value selects the breaker defaults.
@@ -213,6 +214,7 @@ func (p *Peer) lookupSuccessor(ctx context.Context, key, owner string, spec *Fil
 	}
 	p.succHit.Add(1)
 	span.SetAttr("outcome", "hit")
+	span.SetAttr("bytes", len(body))
 	return v, true
 }
 
@@ -247,6 +249,7 @@ func (p *Peer) fill(ctx context.Context, key, owner string, spec *FillSpec) (val
 		return nil, false, nil
 	}
 	br.Success()
+	span.SetAttr("bytes", len(body))
 	v, derr := spec.Decode(body)
 	if derr != nil {
 		// The owner answered but with a plan this build would not have

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"scratchmem/internal/faultinject"
+	"scratchmem/internal/obs"
 )
 
 // PushFunc delivers one replication payload to a member (POST
@@ -58,10 +59,13 @@ type ReplStats struct {
 }
 
 // replItem is one pending push: the payload and the successor it goes to,
-// resolved at enqueue time so the worker never touches the ring.
+// resolved at enqueue time so the worker never touches the ring, plus the
+// enqueuing request's trace context so the asynchronous push still lands
+// in the originating trace.
 type replItem struct {
 	succ    string
 	payload any
+	tc      obs.TraceContext
 }
 
 // Replicator asynchronously pushes freshly computed plans from their ring
@@ -117,7 +121,10 @@ func NewReplicator(ring *Ring, self string, push PushFunc, health *Health, opts 
 // distinct successor (single-member ring, or the successor is this process)
 // or a known-dead successor are counted skipped. A full queue drops the
 // oldest pending push (drop-oldest: fresh plans win under backpressure).
-func (r *Replicator) Enqueue(key string, payload any) {
+// ctx is only read for its trace context — the push itself outlives the
+// caller and runs under the worker's own timeout — so the replica push
+// appears in the trace of the request that computed the plan.
+func (r *Replicator) Enqueue(ctx context.Context, key string, payload any) {
 	if r == nil {
 		return
 	}
@@ -131,7 +138,7 @@ func (r *Replicator) Enqueue(key string, payload any) {
 		r.queue = r.queue[1:]
 		r.dropped.Add(1)
 	}
-	r.queue = append(r.queue, replItem{succ: succ, payload: payload})
+	r.queue = append(r.queue, replItem{succ: succ, payload: payload, tc: obs.TraceContextFrom(ctx)})
 	r.mu.Unlock()
 	r.enqueued.Add(1)
 	select {
@@ -177,10 +184,14 @@ func (r *Replicator) next() (replItem, bool) {
 
 // send performs one push. It crosses the cluster.replicate faultinject
 // site, so the chaos suite can fail replication without network surgery.
+// The item's captured trace context rides the push context, so the
+// transport stamps the originating request's TraceparentHeader even though
+// the push runs on the worker goroutine long after the request returned.
 func (r *Replicator) send(item replItem) {
 	defer r.inflight.Store(0)
 	ctx, cancel := context.WithTimeout(context.Background(), r.opts.PushTimeout)
 	defer cancel()
+	ctx = obs.WithRemoteParent(ctx, item.tc)
 	err := faultinject.Hit("cluster.replicate")
 	if err == nil {
 		err = r.push(ctx, item.succ, item.payload)

@@ -28,6 +28,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -130,6 +131,31 @@ func (r *Ring) Successor(key string) (succ string, ok bool) {
 func (r *Ring) Members() []string {
 	out := make([]string, len(r.members))
 	copy(out, r.members)
+	return out
+}
+
+// Shares returns each member's fraction of the ring's hash space — the
+// expected share of uniformly hashed keys it owns. Shares sum to ~1 and
+// every member appears; the overview endpoint renders them so an operator
+// can see placement skew without sampling keys.
+func (r *Ring) Shares() map[string]float64 {
+	out := make(map[string]float64, len(r.members))
+	for _, m := range r.members {
+		out[m] = 0
+	}
+	n := len(r.hashes)
+	const space = float64(math.MaxUint64)
+	for i := 0; i < n; i++ {
+		// The arc (hashes[i-1], hashes[i]] belongs to owners[i]; point 0
+		// additionally owns the wraparound arc past the last point.
+		var arc float64
+		if i == 0 {
+			arc = float64(r.hashes[0]) + (space - float64(r.hashes[n-1]))
+		} else {
+			arc = float64(r.hashes[i] - r.hashes[i-1])
+		}
+		out[r.owners[i]] += arc / space
+	}
 	return out
 }
 

@@ -65,3 +65,39 @@ func TestRingRejectsBadMemberLists(t *testing.T) {
 		t.Error("empty member accepted")
 	}
 }
+
+// TestRingSharesSumToOne: the ownership shares cover every member, are all
+// positive, and partition the whole hash space.
+func TestRingSharesSumToOne(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := r.Shares()
+	if len(shares) != len(members) {
+		t.Fatalf("Shares covers %d members, want %d: %v", len(shares), len(members), shares)
+	}
+	sum := 0.0
+	for _, m := range members {
+		s, ok := shares[m]
+		if !ok || s <= 0 || s >= 1 {
+			t.Errorf("share[%s] = %f, want in (0, 1)", m, s)
+		}
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %f, want ~1", sum)
+	}
+}
+
+// TestRingSharesSingleMember: one member owns the full circle.
+func TestRingSharesSingleMember(t *testing.T) {
+	r, err := NewRing([]string{"http://solo:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Shares()["http://solo:1"]; s < 0.999 || s > 1.001 {
+		t.Errorf("solo share = %f, want ~1", s)
+	}
+}

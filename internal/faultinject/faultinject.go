@@ -27,6 +27,7 @@
 //	cluster.snapshot  before every cache-snapshot stream (internal/server)
 //	cluster.health    before every liveness probe     (internal/cluster)
 //	cluster.replicate before every successor replica push (internal/cluster)
+//	cluster.overview  before every overview status fan-out fetch (internal/server)
 package faultinject
 
 import (

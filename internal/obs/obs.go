@@ -177,7 +177,14 @@ func (t *Tracer) newTraceID() string {
 	return hex16(t.rnd ^ (t.rseq.Add(1) * 0x9e3779b97f4a7c15))
 }
 
-func (t *Tracer) newSpanID() string { return hex16(t.seq.Add(1)) }
+// newSpanID mints a span ID unique within the process and — because the
+// tracer's entropy is mixed in — unique across fleet members with
+// overwhelming probability, which cross-node trace merging depends on:
+// two processes minting bare sequence numbers would both emit span
+// "0000000000000001" and corrupt the merged parent/child tree.
+func (t *Tracer) newSpanID() string {
+	return hex16((t.rnd * 0x9e3779b97f4a7c15) ^ (t.seq.Add(1) * 0xff51afd7ed558ccd))
+}
 
 func (t *Tracer) finish(s *Span) {
 	t.finished.Add(1)
@@ -215,6 +222,7 @@ const (
 	tracerKey ctxKey = iota
 	spanKey
 	loggerKey
+	remoteKey
 )
 
 // WithTracer arms tracing on the context: subsequent StartSpan calls mint
@@ -236,7 +244,11 @@ func SpanFrom(ctx context.Context) *Span {
 }
 
 // StartSpan opens a span named name as a child of the context's active
-// span. Without a tracer on the context it returns (ctx, nil) untouched —
+// span. Without a local parent, a remote trace context extracted from a
+// peer's TraceparentHeader (WithRemoteParent) adopts the originating
+// request's trace ID and parents the new span under the remote caller's
+// span, so one request crossing N fleet members still forms one trace.
+// Without a tracer on the context it returns (ctx, nil) untouched —
 // the zero-cost disabled path. The caller must End the returned span.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	t := TracerFrom(ctx)
@@ -246,6 +258,8 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	s := &Span{Name: name, Start: time.Now(), SpanID: t.newSpanID(), tracer: t}
 	if parent := SpanFrom(ctx); parent != nil {
 		s.TraceID, s.ParentID = parent.TraceID, parent.SpanID
+	} else if remote := RemoteParentFrom(ctx); remote.Valid() {
+		s.TraceID, s.ParentID = remote.TraceID, remote.ParentID
 	} else {
 		s.TraceID = t.newTraceID()
 	}
@@ -268,6 +282,9 @@ func Detach(ctx context.Context) context.Context {
 	}
 	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok {
 		out = context.WithValue(out, loggerKey, l)
+	}
+	if tc, ok := ctx.Value(remoteKey).(TraceContext); ok {
+		out = context.WithValue(out, remoteKey, tc)
 	}
 	return out
 }

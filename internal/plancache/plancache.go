@@ -27,19 +27,19 @@ var ErrPanic = errors.New("plancache: panic computing")
 // Stats is a snapshot of the cache counters.
 type Stats struct {
 	// Hits counts lookups served from a stored entry.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Misses counts lookups that started a new computation.
-	Misses int64
+	Misses int64 `json:"misses"`
 	// Coalesced counts lookups that joined an in-flight computation
 	// instead of starting their own (single-flight deduplication).
-	Coalesced int64
+	Coalesced int64 `json:"coalesced"`
 	// Evictions counts entries dropped to stay within capacity.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// Entries is the current number of stored entries.
-	Entries int
+	Entries int `json:"entries"`
 	// Capacity is the maximum number of stored entries (0 disables
 	// storage; single-flight deduplication still applies).
-	Capacity int
+	Capacity int `json:"capacity"`
 }
 
 type entry struct {

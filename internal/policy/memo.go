@@ -145,8 +145,9 @@ func NewMemoCap(maxEntries int) *Memo {
 
 // MemoStats is a point-in-time snapshot of the table's counters.
 type MemoStats struct {
-	Hits, Misses int64
-	Entries      int
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
 }
 
 // CountHit folds one companion-cache hit into the memo's counters, so the

@@ -18,6 +18,7 @@ import (
 	scratchmem "scratchmem"
 	"scratchmem/internal/cluster"
 	"scratchmem/internal/faultinject"
+	"scratchmem/internal/obs"
 	"scratchmem/internal/plancache"
 )
 
@@ -51,6 +52,9 @@ func chaosLookup(ctx context.Context, baseURL string, request any) ([]byte, erro
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tc := obs.TraceContextFrom(ctx); tc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, tc.String())
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return nil, err
@@ -80,6 +84,9 @@ func chaosPush(ctx context.Context, baseURL string, payload any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tc := obs.TraceContextFrom(ctx); tc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, tc.String())
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
@@ -90,6 +97,31 @@ func chaosPush(ctx context.Context, baseURL string, payload any) error {
 		return fmt.Errorf("replicate: %s: %s", resp.Status, body)
 	}
 	return nil
+}
+
+// chaosStatus is the overview fan-out transport: a plain GET of the
+// member's own /v1/cluster/status document.
+func chaosStatus(ctx context.Context, baseURL string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/cluster/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	if tc := obs.TraceContextFrom(ctx); tc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, tc.String())
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster status: %s: %s", resp.Status, body)
+	}
+	return body, nil
 }
 
 func chaosInvalidate(ctx context.Context, baseURL, key string) error {
@@ -143,7 +175,7 @@ func startChaosNode(t *testing.T, ring *cluster.Ring, self string, l net.Listene
 	}
 	health := cluster.NewHealth(ring, self, chaosProbe, hopts)
 	repl := cluster.NewReplicator(ring, self, chaosPush, health, cluster.ReplicatorOptions{})
-	fleet := &cluster.Fleet{Ring: ring, Self: self, Health: health, Repl: repl, Invalidate: chaosInvalidate}
+	fleet := &cluster.Fleet{Ring: ring, Self: self, Health: health, Repl: repl, Invalidate: chaosInvalidate, Status: chaosStatus}
 	srv := New(Config{
 		Timeout: 5 * time.Second,
 		Fleet:   fleet,

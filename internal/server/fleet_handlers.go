@@ -7,14 +7,18 @@ import (
 	"time"
 
 	"scratchmem/internal/cluster"
+	"scratchmem/internal/plancache"
+	"scratchmem/internal/policy"
 )
 
 // replicateFresh pushes a freshly computed plan toward its ring successor.
 // Only the key's owner replicates (non-owners hold hot copies, not the
 // authoritative one), only non-degraded plans travel, and the push is
 // asynchronous and best-effort — a lost replica costs one recompute after
-// an owner death, never a wrong answer.
-func (s *Server) replicateFresh(key string, entry *planEntry) {
+// an owner death, never a wrong answer. ctx contributes only its trace
+// context, so the eventual push still appears in the computing request's
+// trace.
+func (s *Server) replicateFresh(ctx context.Context, key string, entry *planEntry) {
 	f := s.fleet
 	if f == nil || f.Repl == nil {
 		return
@@ -27,7 +31,7 @@ func (s *Server) replicateFresh(key string, entry *planEntry) {
 	if err != nil {
 		return // degraded or unrenderable: recompute material, not replica material
 	}
-	f.Repl.Enqueue(cacheKey, rec)
+	f.Repl.Enqueue(ctx, cacheKey, rec)
 }
 
 // handleReplicate stores a replica pushed by a ring owner — the receiving
@@ -166,15 +170,33 @@ func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
 }
 
 // ClusterStatus answers GET /v1/cluster/status: this member's view of the
-// fleet. Standalone servers answer with themselves alone.
+// fleet plus its own data-plane counters, so one status document carries
+// everything the overview fan-out merges. Standalone servers answer with
+// themselves alone.
 type ClusterStatus struct {
 	Self        string                 `json:"self,omitempty"`
 	Members     []cluster.MemberHealth `json:"members,omitempty"`
 	Replication cluster.ReplStats      `json:"replication"`
+	// Cache, Memo and Peer are this member's own data-plane counters.
+	Cache plancache.Stats   `json:"cache"`
+	Memo  policy.MemoStats  `json:"memo"`
+	Peer  cluster.PeerStats `json:"peer"`
+	// DegradedPlans counts plans this member produced via the degradation
+	// ladder.
+	DegradedPlans int64 `json:"degraded_plans"`
 }
 
-func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
-	var resp ClusterStatus
+// statusDoc assembles this member's ClusterStatus — the shared body of
+// GET /v1/cluster/status and the self row of GET /v1/cluster/overview.
+func (s *Server) statusDoc() ClusterStatus {
+	resp := ClusterStatus{
+		Cache:         s.cache.Stats(),
+		Memo:          s.memo.Stats(),
+		DegradedPlans: s.met.degradedCount(),
+	}
+	if ps, ok := s.cache.(cluster.PeerStatser); ok {
+		resp.Peer = ps.PeerStats()
+	}
 	if f := s.fleet; f != nil {
 		resp.Self = f.Self
 		// Self is trivially alive (it is answering); peers come from probes.
@@ -182,5 +204,9 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		resp.Members = append(resp.Members, f.Health.View()...)
 		resp.Replication = f.Repl.Stats()
 	}
-	writeJSON(w, resp)
+	return resp
+}
+
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.statusDoc())
 }

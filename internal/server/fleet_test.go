@@ -17,6 +17,7 @@ import (
 	scratchmem "scratchmem"
 	"scratchmem/internal/cluster"
 	"scratchmem/internal/faultinject"
+	"scratchmem/internal/obs"
 	"scratchmem/internal/plancache"
 )
 
@@ -29,7 +30,9 @@ type fleetNode struct {
 }
 
 // testFill is the test transport: a plain POST to the owner's
-// /v1/peer/fill, no retries (cmd/smm-serve wires the retrying client here).
+// /v1/peer/fill, no retries (cmd/smm-serve wires the retrying client
+// here). It stamps the traceparent header exactly like the client's
+// transport does, so cross-node trace assertions hold in-process too.
 func testFill(ctx context.Context, baseURL string, request any) ([]byte, error) {
 	b, err := json.Marshal(request)
 	if err != nil {
@@ -40,6 +43,9 @@ func testFill(ctx context.Context, baseURL string, request any) ([]byte, error) 
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tc := obs.TraceContextFrom(ctx); tc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, tc.String())
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return nil, err

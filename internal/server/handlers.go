@@ -300,7 +300,7 @@ func (s *Server) planned(ctx context.Context, key string, wire *PlanRequest, mem
 		// Freshly computed here: if this member owns the key, push the plan
 		// to its ring successor (async, best-effort) so an owner death does
 		// not cost the fleet a recompute.
-		s.replicateFresh(key, entry)
+		s.replicateFresh(ctx, key, entry)
 	}
 	return entry, shared, nil
 }
@@ -538,7 +538,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var fv fleetView
 	if s.fleet != nil {
 		fv.repl = s.fleet.Repl.Stats()
-		fv.health = s.fleet.Health.View()
+		// The serving member never probes itself, so prepend it explicitly
+		// (alive by construction — it is answering this scrape): one scrape
+		// then counts the expected fleet size, not fleet size minus one.
+		fv.health = append([]cluster.MemberHealth{{Member: s.fleet.Self, Alive: true}}, s.fleet.Health.View()...)
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.met.write(w, s.cache.Stats(), s.memo.Stats(), ps, fv, s.sem.InUse(), s.sem.Cap(), s.tracer.Finished())

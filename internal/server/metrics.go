@@ -95,6 +95,8 @@ type metrics struct {
 	// invalidated counts locally applied invalidations (single removes and
 	// purges alike), whether initiated here or received from a peer fan-out.
 	invalidated atomic.Int64
+	// overview counts GET /v1/cluster/overview requests served.
+	overview atomic.Int64
 
 	// Planner-deep counters, filled per freshly computed plan.
 	policySelected map[string]*atomic.Int64 // per winning policy variant, per layer
@@ -170,6 +172,13 @@ func (m *metrics) replicaRejected() { m.replRejected.Add(1) }
 
 // invalidatedLocally counts one locally applied invalidation.
 func (m *metrics) invalidatedLocally() { m.invalidated.Add(1) }
+
+// overviewRequest counts one merged-overview request.
+func (m *metrics) overviewRequest() { m.overview.Add(1) }
+
+// degradedCount reads the degraded-plan counter (the cluster status
+// document reports it per member).
+func (m *metrics) degradedCount() int64 { return m.degraded.Load() }
 
 // observePlanner records one planner execution's wall time.
 func (m *metrics) observePlanner(d time.Duration) { m.planner.observe(d) }
@@ -275,6 +284,7 @@ func (m *metrics) write(w io.Writer, cs plancache.Stats, ms policy.MemoStats, ps
 		fmt.Fprintf(w, "smm_replicate_total{outcome=%q} %d\n", o, replicate[o])
 	}
 	fmt.Fprintf(w, "smm_invalidate_total %d\n", m.invalidated.Load())
+	fmt.Fprintf(w, "smm_overview_requests_total %d\n", m.overview.Load())
 	for _, mh := range fv.health {
 		alive := 0
 		if mh.Alive {

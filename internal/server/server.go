@@ -20,6 +20,7 @@
 //	DELETE /v1/cache/{key}  — invalidate one plan key, fanned out fleet-wide
 //	POST /v1/cache/purge    — empty the plan cache, fanned out fleet-wide
 //	GET  /v1/cluster/status — this member's liveness view of the fleet
+//	GET  /v1/cluster/overview — merged fleet view: every member's status, fanned out and tolerant of dead peers
 //	GET  /v1/trace/{key}    — a planned model's execution trace (Perfetto JSON or CSV)
 //	GET  /v1/spans          — recent request spans as a Perfetto timeline
 //	GET  /v1/models         — list the built-in networks
@@ -157,7 +158,8 @@ var routes = []string{
 	"/v1/plan", "/v1/plan/batch", "/v1/simulate", "/v1/dse", "/v1/trace",
 	"/v1/peer/fill", "/v1/peer/replicate", "/v1/cache/snapshot",
 	"/v1/cache/invalidate", "/v1/cache/purge", "/v1/cluster/status",
-	"/v1/spans", "/v1/models", "/v1/version", "/healthz", "/metrics",
+	"/v1/cluster/overview", "/v1/spans", "/v1/models", "/v1/version",
+	"/healthz", "/metrics",
 }
 
 // computeRoutes are the routes that run planner/simulator/DSE work; each
@@ -240,6 +242,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/cache/{key}", s.counted("/v1/cache/invalidate", s.handleInvalidate))
 	mux.HandleFunc("POST /v1/cache/purge", s.counted("/v1/cache/purge", s.handlePurge))
 	mux.HandleFunc("GET /v1/cluster/status", s.counted("/v1/cluster/status", s.handleClusterStatus))
+	mux.HandleFunc("GET /v1/cluster/overview", s.counted("/v1/cluster/overview", s.handleClusterOverview))
 	mux.HandleFunc("GET /v1/version", s.counted("/v1/version", s.handleVersion))
 	mux.HandleFunc("POST /v1/simulate", s.counted("/v1/simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/dse", s.counted("/v1/dse", s.handleDSE))
@@ -276,9 +279,20 @@ func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.met.request(route)
 		start := time.Now()
-		ctx, span := obs.StartSpan(obs.WithTracer(r.Context(), s.tracer), "request")
+		rctx := obs.WithTracer(r.Context(), s.tracer)
+		// A peer's TraceparentHeader parents this request under the
+		// originating request's span, so one cross-node request forms one
+		// trace. Extraction is best-effort: a missing or malformed header
+		// simply roots a fresh per-process trace.
+		if tc := obs.ParseTraceContext(r.Header.Get(obs.TraceparentHeader)); tc.Valid() {
+			rctx = obs.WithRemoteParent(rctx, tc)
+		}
+		ctx, span := obs.StartSpan(rctx, "request")
 		span.SetAttr("route", route)
 		span.SetAttr("method", r.Method)
+		if s.fleet != nil {
+			span.SetAttr("member", s.fleet.Self)
+		}
 		logger := s.log.With("trace_id", span.Trace(), "route", route)
 		ctx = obs.WithLogger(ctx, logger)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
