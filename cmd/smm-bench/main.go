@@ -1,8 +1,9 @@
 // Command smm-bench measures the planning hot paths and emits a
-// machine-readable before/after document (BENCH_9.json by default), so the
-// memoization + fan-out work of PR 5 stays pinned to numbers a CI step or a
-// reviewer can diff — and, with -against, acts as the CI regression gate
-// over a previously committed document.
+// machine-readable before/after document (BENCH_10.json by default), so the
+// memoization + fan-out work of PR 5 and the differential planning of
+// PR 10 stay pinned to numbers a CI step or a reviewer can diff — and,
+// with -against, acts as the CI regression gate over a previously
+// committed document.
 //
 // Document format (schema "smm-bench/v1"):
 //
@@ -19,6 +20,8 @@
 //	                                          // by this invocation
 //	      "after_ns_per_op": 2262410,         // measured by this invocation
 //	      "speedup": 3.17,
+//	      "allocs_per_op": 12,                // heap allocations per op on
+//	                                          // the measured (after) path
 //	      "sequential_ns_per_op": 7011234     // optional: the memo-free
 //	                                          // reference measured live, for
 //	                                          // workloads that expose one
@@ -28,12 +31,14 @@
 //
 // Usage:
 //
-//	smm-bench                 # ~1s per workload, writes BENCH_9.json
+//	smm-bench                 # ~1s per workload, writes BENCH_10.json
 //	smm-bench -time 5 -count 3 -o /tmp/bench.json
 //	smm-bench -quick          # single iteration per workload (CI smoke)
 //	smm-bench -against BENCH_5.json   # regression gate: non-zero exit when
 //	                                  # any shared benchmark slowed >10%
 //	                                  # (tune with -tolerance)
+//	smm-bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                          # diagnose a gate failure with go tool pprof
 //
 // The -against gate is what CI runs: it compares this invocation's
 // after_ns_per_op against the named document's, per benchmark name, so the
@@ -41,12 +46,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -57,6 +64,7 @@ import (
 	"scratchmem/internal/experiments"
 	"scratchmem/internal/layer"
 	"scratchmem/internal/model"
+	"scratchmem/internal/plancache"
 	"scratchmem/internal/policy"
 )
 
@@ -81,6 +89,7 @@ type entry struct {
 	BeforeSource string  `json:"before_source"`
 	AfterNsOp    int64   `json:"after_ns_per_op"`
 	Speedup      float64 `json:"speedup"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
 	SequentialNs int64   `json:"sequential_ns_per_op,omitempty"`
 }
 
@@ -115,6 +124,32 @@ func mustPlan(_ *core.Plan, err error) {
 	}
 }
 
+// neighborsOf builds count variants of base that each differ from it in
+// exactly one layer — the shape of a design-space sweep or an NAS inner
+// loop, where consecutive planning requests are near-duplicates. Variant i
+// mutates layer i%L (bumping F, or CI for depth-wise layers whose F is
+// pinned to 1) and takes a unique name so plan keys never collide.
+func neighborsOf(base *model.Network, count int) []*model.Network {
+	L := len(base.Layers)
+	out := make([]*model.Network, 0, count)
+	for i := 0; i < count; i++ {
+		layers := append([]layer.Layer(nil), base.Layers...)
+		l := layers[i%L]
+		delta := 1 + i/L
+		if l.Kind == layer.DepthwiseConv {
+			layers[i%L] = layer.MustNew(l.Name, l.Kind, l.IH, l.IW, l.CI+delta, l.FH, l.FW, l.F, l.S, l.P)
+		} else {
+			layers[i%L] = layer.MustNew(l.Name, l.Kind, l.IH, l.IW, l.CI, l.FH, l.FW, l.F+delta, l.S, l.P)
+		}
+		n := &model.Network{Name: fmt.Sprintf("%s-n%d", base.Name, i), Layers: layers}
+		if err := n.Validate(); err != nil {
+			panic(err)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
 // workloads mirrors the headline Go benchmarks (bench_test.go) so the JSON
 // rows line up with `go test -bench` output by name.
 func workloads() []workload {
@@ -123,6 +158,8 @@ func workloads() []workload {
 		panic(err)
 	}
 	nets := model.Builtins()
+	neighbors := neighborsOf(resnet, 16)
+	batchNets := append([]*model.Network{resnet}, neighbors...)
 	dseL := layer.MustNew("c", layer.Conv, 14, 14, 256, 3, 3, 512, 1, 1)
 	estL := layer.MustNew("c", layer.Conv, 56, 56, 64, 3, 3, 128, 1, 1)
 	cfg64 := policy.Default(64)
@@ -162,6 +199,66 @@ func workloads() []workload {
 			sequential: func() { allModels(seqPlanner) },
 		},
 		{
+			// NeighborSweep isolates differential planning at the core
+			// seam: plan ResNet18 once, then splice each of 16 one-layer
+			// variants against that checkpoint with a memo-free
+			// single-worker planner, versus planning all 17 from scratch
+			// on the same reference planner.
+			name: "NeighborSweep",
+			run: func() {
+				pl := seqPlanner(64, core.MinAccesses)
+				_, ck, _, err := pl.HeterogeneousDiffCtx(context.Background(), resnet, nil)
+				if err != nil {
+					panic(err)
+				}
+				for _, nn := range neighbors {
+					if _, _, _, err := pl.HeterogeneousDiffCtx(context.Background(), nn, ck); err != nil {
+						panic(err)
+					}
+				}
+			},
+			sequential: func() {
+				pl := seqPlanner(64, core.MinAccesses)
+				mustPlan(pl.Heterogeneous(resnet))
+				for _, nn := range neighbors {
+					mustPlan(pl.Heterogeneous(nn))
+				}
+			},
+		},
+		{
+			// BatchNeighbors is the same neighbor set through the public
+			// facade, wired the way /v1/plan/batch wires it: one shared
+			// estimate memo plus a batch-local fingerprint index feeding a
+			// differ, versus independent PlanModel calls.
+			name: "BatchNeighbors",
+			run: func() {
+				memo := policy.NewMemoCap(4096)
+				fp := plancache.NewFingerprints(len(batchNets))
+				opts := scratchmem.PlanOptions{GLBKiloBytes: 64}
+				for _, nn := range batchNets {
+					d := &core.Differ{Lookup: func(chain []policy.LayerKey) *core.Checkpoint {
+						ck, _ := fp.Best("bench", chain).(*core.Checkpoint)
+						return ck
+					}}
+					ctx := policy.WithMemo(context.Background(), memo)
+					ctx = core.WithDiffer(ctx, d)
+					if _, err := scratchmem.PlanModelCtx(ctx, nn, opts, nil); err != nil {
+						panic(err)
+					}
+					if d.Checkpoint != nil {
+						fp.Insert(nn.Name, "bench", d.Checkpoint.Chain(), d.Checkpoint)
+					}
+				}
+			},
+			sequential: func() {
+				for _, nn := range batchNets {
+					if _, err := scratchmem.PlanModel(nn, scratchmem.PlanOptions{GLBKiloBytes: 64}); err != nil {
+						panic(err)
+					}
+				}
+			},
+		},
+		{
 			name: "Fig5_Accesses",
 			run:  func() { experiments.Fig5(experiments.DefaultSetup()) },
 		},
@@ -181,14 +278,17 @@ func workloads() []workload {
 }
 
 // measure times f like a testing.B loop: warm once, then grow the iteration
-// count until one timed run lasts at least minTime, and report ns/op of the
-// final run. Repeated count times, keeping the fastest (least-noisy) run.
-func measure(f func(), minTime time.Duration, count int) int64 {
+// count until one timed run lasts at least minTime, and report ns/op plus
+// heap allocations/op (runtime mallocs delta) of the final run. Repeated
+// count times, keeping the fastest (least-noisy) run.
+func measure(f func(), minTime time.Duration, count int) (nsPerOp, allocsPerOp int64) {
 	f() // warm caches, page in code
-	best := int64(0)
+	var ms runtime.MemStats
 	for c := 0; c < count; c++ {
 		n := 1
 		for {
+			runtime.ReadMemStats(&ms)
+			mallocs := ms.Mallocs
 			start := time.Now()
 			for i := 0; i < n; i++ {
 				f()
@@ -196,8 +296,10 @@ func measure(f func(), minTime time.Duration, count int) int64 {
 			elapsed := time.Since(start)
 			if elapsed >= minTime || n >= 1<<20 {
 				ns := elapsed.Nanoseconds() / int64(n)
-				if best == 0 || ns < best {
-					best = ns
+				if nsPerOp == 0 || ns < nsPerOp {
+					runtime.ReadMemStats(&ms)
+					nsPerOp = ns
+					allocsPerOp = int64(ms.Mallocs-mallocs) / int64(n)
 				}
 				break
 			}
@@ -210,7 +312,7 @@ func measure(f func(), minTime time.Duration, count int) int64 {
 			}
 		}
 	}
-	return best
+	return nsPerOp, allocsPerOp
 }
 
 func main() {
@@ -222,12 +324,14 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("smm-bench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		outPath   = fs.String("o", "BENCH_9.json", "output path for the benchmark document")
-		benchTime = fs.Float64("time", 1.0, "minimum seconds to spend per workload")
-		count     = fs.Int("count", 1, "repetitions per workload (fastest run wins)")
-		quick     = fs.Bool("quick", false, "single iteration per workload — a CI smoke run, not a measurement")
-		against   = fs.String("against", "", "reference document: fail when any shared benchmark slowed past -tolerance")
-		tolerance = fs.Float64("tolerance", 0.10, "allowed fractional slowdown vs -against before failing")
+		outPath    = fs.String("o", "BENCH_10.json", "output path for the benchmark document")
+		benchTime  = fs.Float64("time", 1.0, "minimum seconds to spend per workload")
+		count      = fs.Int("count", 1, "repetitions per workload (fastest run wins)")
+		quick      = fs.Bool("quick", false, "single iteration per workload — a CI smoke run, not a measurement")
+		against    = fs.String("against", "", "reference document: fail when any shared benchmark slowed past -tolerance")
+		tolerance  = fs.Float64("tolerance", 0.10, "allowed fractional slowdown vs -against before failing")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the measured workloads to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile taken after the workloads to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -243,12 +347,24 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-count must be >= 1, got %d", *count)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	doc := document{Schema: "smm-bench/v1", GoMaxProcs: runtime.GOMAXPROCS(0)}
 	for _, w := range workloads() {
-		after := measure(w.run, minTime, *count)
-		e := entry{Name: w.name, AfterNsOp: after}
+		after, allocs := measure(w.run, minTime, *count)
+		e := entry{Name: w.name, AfterNsOp: after, AllocsPerOp: allocs}
 		if w.sequential != nil {
-			e.SequentialNs = measure(w.sequential, minTime, *count)
+			e.SequentialNs, _ = measure(w.sequential, minTime, *count)
 		}
 		if seed, ok := seedNsPerOp[w.name]; ok {
 			e.BeforeNsOp, e.BeforeSource = seed, "seed"
@@ -274,6 +390,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
 	if *against != "" {
 		return gate(out, &doc, *against, *tolerance)
 	}

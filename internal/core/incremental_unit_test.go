@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"scratchmem/internal/layer"
+	"scratchmem/internal/model"
+	"scratchmem/internal/policy"
+)
+
+func incrTestNet(t *testing.T) *model.Network {
+	t.Helper()
+	n, err := model.Builtin("ResNet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCheckpointKnobCompatibility pins the reuse precondition: a checkpoint
+// captured under different planner knobs — config, objective, prefetch,
+// inter-layer mode — is never spliced from; the run falls back to a full
+// plan (still returning a usable fresh checkpoint).
+func TestCheckpointKnobCompatibility(t *testing.T) {
+	n := incrTestNet(t)
+	ctx := context.Background()
+	base := NewPlanner(64, MinAccesses)
+	_, ck, _, err := base.HeterogeneousDiffCtx(ctx, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		mut  func(pl *Planner)
+	}{
+		{"glb-size", func(pl *Planner) { pl.Cfg = policy.Default(128) }},
+		{"objective", func(pl *Planner) { pl.Objective = MinLatency }},
+		{"prefetch", func(pl *Planner) { pl.DisablePrefetch = true }},
+		{"inter-layer", func(pl *Planner) { pl.InterLayer = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pl := NewPlanner(64, MinAccesses)
+			tc.mut(pl)
+			_, nck, stats, err := pl.HeterogeneousDiffCtx(ctx, n, ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Outcome != OutcomeFull || stats.LayersReused != 0 {
+				t.Fatalf("incompatible checkpoint was spliced: %+v", stats)
+			}
+			if nck == nil {
+				t.Fatal("full fallback returned no checkpoint")
+			}
+		})
+	}
+
+	// The same knobs splice.
+	pl := NewPlanner(64, MinAccesses)
+	_, _, stats, err := pl.HeterogeneousDiffCtx(ctx, n, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Outcome != OutcomeSpliced || stats.LayersReused != len(n.Layers) {
+		t.Fatalf("identical request did not replay the checkpoint: %+v", stats)
+	}
+}
+
+// TestOverlapClamp pins the prefix/suffix disjointness invariant: a matched
+// layer is consumed by at most one span, with the prefix winning ties.
+func TestOverlapClamp(t *testing.T) {
+	mk := func(fs ...int) []policy.LayerKey {
+		ls := make([]layer.Layer, len(fs))
+		for i, f := range fs {
+			ls[i] = layer.MustNew("l", layer.Conv, 28, 28, 8, 3, 3, f, 1, 1)
+		}
+		return policy.ChainOf(ls)
+	}
+	for _, tc := range []struct {
+		name string
+		a, b []policy.LayerKey
+		p, s int
+	}{
+		{"identical", mk(1, 2, 3), mk(1, 2, 3), 3, 0},
+		{"disjoint", mk(1, 2, 3), mk(4, 5, 6), 0, 0},
+		{"prefix-only", mk(1, 2, 9), mk(1, 2, 3), 2, 0},
+		{"suffix-only", mk(9, 2, 3), mk(1, 2, 3), 0, 2},
+		{"middle-edit", mk(1, 9, 3), mk(1, 2, 3), 1, 1},
+		{"insert", mk(1, 9, 2, 3), mk(1, 2, 3), 1, 2},
+		{"delete", mk(1, 3), mk(1, 2, 3), 1, 1},
+		{"repeat-overrun", mk(7, 7, 7), mk(7, 7, 7, 7), 3, 0},
+	} {
+		p, s := overlap(tc.a, tc.b)
+		if p != tc.p || s != tc.s {
+			t.Errorf("%s: overlap = (%d, %d), want (%d, %d)", tc.name, p, s, tc.p, tc.s)
+		}
+		if n := min(len(tc.a), len(tc.b)); p+s > n {
+			t.Errorf("%s: spans overlap: p=%d s=%d over %d shared layers", tc.name, p, s, n)
+		}
+	}
+}
+
+// TestUniformShift enumerates the convergence predicate's edge cases.
+func TestUniformShift(t *testing.T) {
+	cell := func(prim, sec int64, ok bool) dpCell { return dpCell{prim: prim, sec: sec, ok: ok} }
+	for _, tc := range []struct {
+		name string
+		a, b [2]dpCell
+		want bool
+	}{
+		{"both-ok-same-shift", [2]dpCell{cell(10, 1, true), cell(20, 2, true)}, [2]dpCell{cell(5, 0, true), cell(15, 1, true)}, true},
+		{"prim-shift-differs", [2]dpCell{cell(10, 1, true), cell(20, 2, true)}, [2]dpCell{cell(5, 0, true), cell(16, 1, true)}, false},
+		{"sec-shift-differs", [2]dpCell{cell(10, 1, true), cell(20, 2, true)}, [2]dpCell{cell(5, 0, true), cell(15, 3, true)}, false},
+		{"reachability-differs", [2]dpCell{cell(10, 1, true), cell(20, 2, true)}, [2]dpCell{cell(5, 0, true), cell(15, 1, false)}, false},
+		{"single-live", [2]dpCell{cell(10, 1, true), cell(0, 0, false)}, [2]dpCell{cell(99, 9, true), cell(0, 0, false)}, true},
+		{"dead-row", [2]dpCell{cell(0, 0, false), cell(0, 0, false)}, [2]dpCell{cell(0, 0, false), cell(0, 0, false)}, false},
+	} {
+		if got := uniformShift(&tc.a, &tc.b); got != tc.want {
+			t.Errorf("%s: uniformShift = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestGreedyInterLayerBypassesDiff pins the documented fallback: greedy
+// inter-layer mode has history-dependent decisions, so HeterogeneousDiffCtx
+// plans fully and captures no checkpoint.
+func TestGreedyInterLayerBypassesDiff(t *testing.T) {
+	n := incrTestNet(t)
+	pl := NewPlanner(64, MinAccesses)
+	pl.InterLayer = true
+	pl.InterLayerGreedy = true
+	plan, ck, stats, err := pl.HeterogeneousDiffCtx(context.Background(), n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || ck != nil || stats.Outcome != OutcomeFull {
+		t.Fatalf("greedy mode: plan=%v ck=%v stats=%+v", plan != nil, ck, stats)
+	}
+}

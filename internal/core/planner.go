@@ -258,93 +258,157 @@ func (pl *Planner) independentLayers(ctx context.Context, n *model.Network, prog
 	return out, nil
 }
 
-// interLayerDP chooses per-layer policies and inter-layer retention jointly:
-// state s indicates whether layer i's ifmap is resident in the GLB. The
-// transition cost is the layer's objective key; retention (KeepOfmap) is
-// only permitted on transitions whose shapes chain.
-func (pl *Planner) interLayerDP(ctx context.Context, n *model.Network, prog progress.Func) ([]LayerPlan, error) {
-	const inf = int64(1) << 62
-	type cell struct {
-		prim, sec int64
-		est       policy.Result
-		keep      bool
-		prev      int // predecessor state
-		ok        bool
-	}
-	L := len(n.Layers)
-	// dp[i][s]: best cumulative cost entering layer i with resident state s.
-	dp := make([][2]cell, L+1)
-	dp[0][0] = cell{ok: true}
-	dp[0][1] = cell{prim: inf, sec: inf}
+// dpInf marks an unreachable DP state's cost.
+const dpInf = int64(1) << 62
 
-	for i := 0; i < L; i++ {
-		if err := layerGate(ctx); err != nil {
-			return nil, smmerr.Layer(i, n.Layers[i].Name, err)
+// dpCell is one state of the inter-layer DP table: the best cumulative
+// (prim, sec) objective cost entering a layer with the given resident state,
+// plus the decision (estimate, keep, predecessor state) that achieved it.
+type dpCell struct {
+	prim, sec int64
+	est       policy.Result
+	keep      bool
+	prev      int // predecessor state
+	ok        bool
+}
+
+// dpStep computes dp[i+1] from dp[i]: the transition over layer i, trying
+// KeepOfmap only when the shapes chain. It is shared verbatim by the
+// from-scratch DP and the incremental resume path, so both make identical
+// decisions by construction.
+func (pl *Planner) dpStep(n *model.Network, i int, cur *[2]dpCell) [2]dpCell {
+	L := len(n.Layers)
+	next := [2]dpCell{{prim: dpInf, sec: dpInf}, {prim: dpInf, sec: dpInf}}
+	canKeep := i+1 < L && chainable(&n.Layers[i], &n.Layers[i+1])
+	for s := 0; s < 2; s++ {
+		if !cur[s].ok {
+			continue
 		}
-		next := [2]cell{{prim: inf, sec: inf}, {prim: inf, sec: inf}}
-		canKeep := i+1 < L && chainable(&n.Layers[i], &n.Layers[i+1])
-		for s := 0; s < 2; s++ {
-			if !dp[i][s].ok {
+		keeps := prefetchAll[:1] // {false}
+		if canKeep {
+			keeps = prefetchAll[:] // {false, true}
+		}
+		for _, keep := range keeps {
+			e := pl.bestForLayer(n, i, s == 1, keep)
+			if !e.Feasible {
 				continue
 			}
-			keeps := prefetchAll[:1] // {false}
-			if canKeep {
-				keeps = prefetchAll[:] // {false, true}
+			p, sc := objectiveKey(pl.Objective, &e)
+			cand := dpCell{
+				prim: cur[s].prim + p, sec: cur[s].sec + sc,
+				est: e, keep: keep, prev: s, ok: true,
 			}
-			for _, keep := range keeps {
-				e := pl.bestForLayer(n, i, s == 1, keep)
-				if !e.Feasible {
-					continue
-				}
-				p, sc := objectiveKey(pl.Objective, &e)
-				cand := cell{
-					prim: dp[i][s].prim + p, sec: dp[i][s].sec + sc,
-					est: e, keep: keep, prev: s, ok: true,
-				}
-				ns := 0
-				if keep {
-					ns = 1
-				}
-				cur := &next[ns]
-				if !cur.ok || cand.prim < cur.prim || (cand.prim == cur.prim && cand.sec < cur.sec) {
-					*cur = cand
-				}
+			ns := 0
+			if keep {
+				ns = 1
+			}
+			c := &next[ns]
+			if !c.ok || cand.prim < c.prim || (cand.prim == c.prim && cand.sec < c.sec) {
+				*c = cand
 			}
 		}
-		dp[i+1] = next
-		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: L, Name: n.Layers[i].Name})
 	}
+	return next
+}
 
-	// Pick the best terminal state and walk back.
+// dpPickEnd selects the terminal DP state (the usual prim-then-sec order)
+// and reports whether any terminal state is reachable.
+func dpPickEnd(last *[2]dpCell) (int, bool) {
 	end := 0
-	if dp[L][1].ok && (!dp[L][0].ok || dp[L][1].prim < dp[L][0].prim ||
-		(dp[L][1].prim == dp[L][0].prim && dp[L][1].sec < dp[L][0].sec)) {
+	if last[1].ok && (!last[0].ok || last[1].prim < last[0].prim ||
+		(last[1].prim == last[0].prim && last[1].sec < last[0].sec)) {
 		end = 1
 	}
-	if !dp[L][end].ok {
-		// Find the first layer that cannot be scheduled to report precisely.
-		for i := range n.Layers {
-			e := pl.bestForLayer(n, i, false, false)
-			if !e.Feasible {
-				return nil, smmerr.Layer(i, n.Layers[i].Name,
-					&smmerr.InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes})
-			}
-		}
-		return nil, fmt.Errorf("core: %s: no feasible inter-layer plan: %w", n.Name, smmerr.ErrInfeasible)
-	}
-	out := make([]LayerPlan, L)
-	s := end
-	for i := L - 1; i >= 0; i-- {
-		c := dp[i+1][s]
+	return end, last[end].ok
+}
+
+// dpWalkBack materialises out[0..hi-1] by walking the predecessor links
+// backwards from position hi entered in the given state. The estimate's
+// layer name is (re)patched from n — resumed tables may carry cells
+// computed for an identically-shaped layer under a different name.
+func dpWalkBack(n *model.Network, dp [][2]dpCell, out []LayerPlan, hi, state int) {
+	s := state
+	for i := hi - 1; i >= 0; i-- {
+		c := &dp[i+1][s]
 		out[i] = LayerPlan{
 			Layer:            n.Layers[i],
 			Est:              c.est,
 			ConsumesResident: c.prev == 1,
 			KeepsResident:    c.keep,
 		}
+		out[i].Est.Layer = n.Layers[i].Name
 		s = c.prev
 	}
+}
+
+// dpInfeasible reports the no-feasible-plan failure precisely: the first
+// layer that cannot be scheduled at all, or the generic inter-layer error
+// when every layer fits in isolation.
+func (pl *Planner) dpInfeasible(n *model.Network) error {
+	for i := range n.Layers {
+		e := pl.bestForLayer(n, i, false, false)
+		if !e.Feasible {
+			return smmerr.Layer(i, n.Layers[i].Name,
+				&smmerr.InfeasibleError{Model: n.Name, Layer: n.Layers[i].Name, Need: e.MemoryBytes, Have: pl.Cfg.GLBBytes})
+		}
+	}
+	return fmt.Errorf("core: %s: no feasible inter-layer plan: %w", n.Name, smmerr.ErrInfeasible)
+}
+
+// dpFinish picks the terminal state of a complete table and walks the
+// decisions back into layer plans.
+func (pl *Planner) dpFinish(n *model.Network, dp [][2]dpCell) ([]LayerPlan, error) {
+	L := len(n.Layers)
+	end, ok := dpPickEnd(&dp[L])
+	if !ok {
+		return nil, pl.dpInfeasible(n)
+	}
+	out := make([]LayerPlan, L)
+	dpWalkBack(n, dp, out, L, end)
 	return out, nil
+}
+
+// interLayerDP chooses per-layer policies and inter-layer retention jointly:
+// state s indicates whether layer i's ifmap is resident in the GLB. The
+// transition cost is the layer's objective key; retention (KeepOfmap) is
+// only permitted on transitions whose shapes chain.
+func (pl *Planner) interLayerDP(ctx context.Context, n *model.Network, prog progress.Func) ([]LayerPlan, error) {
+	out, _, err := pl.interLayerDPKeep(ctx, n, prog, false)
+	return out, err
+}
+
+// interLayerDPKeep is interLayerDP optionally returning the DP table for
+// checkpoint capture. When keepDP is false the table comes from (and
+// returns to) a pool; when true it is freshly allocated and handed to the
+// caller, which owns it from then on.
+func (pl *Planner) interLayerDPKeep(ctx context.Context, n *model.Network, prog progress.Func, keepDP bool) ([]LayerPlan, [][2]dpCell, error) {
+	L := len(n.Layers)
+	// dp[i][s]: best cumulative cost entering layer i with resident state s.
+	var dp [][2]dpCell
+	if keepDP {
+		dp = make([][2]dpCell, L+1)
+	} else {
+		dp = dpTableGet(L + 1)
+		defer dpTablePut(dp)
+	}
+	dp[0][0] = dpCell{ok: true}
+	dp[0][1] = dpCell{prim: dpInf, sec: dpInf}
+
+	for i := 0; i < L; i++ {
+		if err := layerGate(ctx); err != nil {
+			return nil, nil, smmerr.Layer(i, n.Layers[i].Name, err)
+		}
+		dp[i+1] = pl.dpStep(n, i, &dp[i])
+		prog.Emit(progress.Event{Phase: "plan", Index: i, Total: L, Name: n.Layers[i].Name})
+	}
+	out, err := pl.dpFinish(n, dp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if keepDP {
+		return out, dp, nil
+	}
+	return out, nil, nil
 }
 
 // Homogeneous produces a plan that applies one (policy, ±prefetch) variant
@@ -574,20 +638,25 @@ func homVariants(prefetch []bool) []homVariant {
 func (pl *Planner) bestHomogeneousFast(ctx context.Context, n *model.Network) (*Plan, error) {
 	variants := homVariants(pl.prefetchChoices())
 	L := len(n.Layers)
-	shapeIdx := make([]int, L)    // layer -> dense shape index
-	repLayer := make([]int, 0, 8) // shape index -> representative layer
-	idxOf := make(map[policy.LayerKey]int, L)
+	hs := homScratchGet(L)
+	defer homScratchPut(hs) // ForEachCtx joins its workers before returning
+	shapeIdx := hs.shapeIdx // layer -> dense shape index
+	idxOf := hs.idxOf
 	for i := range n.Layers {
 		k := policy.KeyOf(&n.Layers[i])
 		j, ok := idxOf[k]
 		if !ok {
-			j = len(repLayer)
+			j = len(hs.repLayer)
 			idxOf[k] = j
-			repLayer = append(repLayer, i)
+			hs.repLayer = append(hs.repLayer, i)
 		}
 		shapeIdx[i] = j
 	}
-	contribs := make([]homContribs, len(repLayer))
+	repLayer := hs.repLayer // shape index -> representative layer
+	if cap(hs.contribs) < len(repLayer) {
+		hs.contribs = make([]homContribs, len(repLayer))
+	}
+	contribs := hs.contribs[:len(repLayer)]
 	err := parallel.ForEachCtx(ctx, len(repLayer), pl.Workers, func(ctx context.Context, si int) error {
 		li := repLayer[si]
 		if err := layerGate(ctx); err != nil {

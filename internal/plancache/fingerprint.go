@@ -1,0 +1,165 @@
+// Fingerprint index for differential planning: alongside the exact-match
+// SHA-256 plan cache, the server indexes each cached plan's shape-signature
+// chain so a *near*-identical request (a DSE neighbor, one mutated layer in
+// a batch) can locate the best-overlapping prior plan and resume from its
+// checkpoint. The index is deliberately advisory — a hit only seeds an
+// exact recomputation of the changed layers — but it is still tied to the
+// plan cache's lifecycle: a key removed, purged or evicted from the cache
+// must never be spliced from again.
+package plancache
+
+import (
+	"container/list"
+	"sync"
+
+	"scratchmem/internal/policy"
+)
+
+// DefaultFingerprintEntries bounds a server's fingerprint index. Each entry
+// retains one checkpoint (per-layer decisions plus, in inter-layer mode,
+// the DP table) — a few KB per typical network.
+const DefaultFingerprintEntries = 512
+
+// fpScanLimit bounds how many same-group candidates one lookup inspects,
+// most-recent first, keeping lookup cost flat however large the index is.
+const fpScanLimit = 32
+
+type fpEntry struct {
+	key   string // owning plan-cache key
+	group string // config/options digest: only identical knobs may match
+	chain []policy.LayerKey
+	ck    any // *core.Checkpoint, opaque here to avoid an import cycle
+}
+
+// Fingerprints is a bounded, mutex-guarded LRU of shape-chain fingerprints.
+// The zero value is not usable; a nil *Fingerprints is (every method
+// no-ops), so callers can thread an optional index without nil checks.
+type Fingerprints struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // of *fpEntry, front = most recently used
+	byKey map[string]*list.Element
+
+	lookups, matches int64
+}
+
+// NewFingerprints returns an index holding at most capacity entries
+// (DefaultFingerprintEntries when capacity <= 0).
+func NewFingerprints(capacity int) *Fingerprints {
+	if capacity <= 0 {
+		capacity = DefaultFingerprintEntries
+	}
+	return &Fingerprints{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Insert indexes key's plan under its chain, replacing any existing entry
+// for the same key and evicting the oldest entries past capacity.
+func (f *Fingerprints) Insert(key, group string, chain []policy.LayerKey, ck any) {
+	if f == nil || ck == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if el, ok := f.byKey[key]; ok {
+		e := el.Value.(*fpEntry)
+		e.group, e.chain, e.ck = group, chain, ck
+		f.ll.MoveToFront(el)
+		return
+	}
+	f.byKey[key] = f.ll.PushFront(&fpEntry{key: key, group: group, chain: chain, ck: ck})
+	for f.ll.Len() > f.cap {
+		cold := f.ll.Back()
+		f.ll.Remove(cold)
+		delete(f.byKey, cold.Value.(*fpEntry).key)
+	}
+}
+
+// Best returns the checkpoint of the same-group entry with the largest
+// prefix+suffix shape overlap against chain (ties to the most recently
+// used), or nil when no entry overlaps at all. A hit refreshes the entry's
+// recency.
+func (f *Fingerprints) Best(group string, chain []policy.LayerKey) any {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lookups++
+	scanned, bestScore := 0, 0
+	var best *list.Element
+	for el := f.ll.Front(); el != nil && scanned < fpScanLimit; el = el.Next() {
+		e := el.Value.(*fpEntry)
+		if e.group != group {
+			continue
+		}
+		scanned++
+		p := policy.CommonPrefix(chain, e.chain)
+		s := policy.CommonSuffix(chain, e.chain)
+		if n := min(len(chain), len(e.chain)); p+s > n {
+			s = n - p
+		}
+		if p+s > bestScore {
+			bestScore, best = p+s, el
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	f.matches++
+	f.ll.MoveToFront(best)
+	return best.Value.(*fpEntry).ck
+}
+
+// Invalidate drops the entry indexed under key, reporting whether one
+// existed.
+func (f *Fingerprints) Invalidate(key string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	el, ok := f.byKey[key]
+	if !ok {
+		return false
+	}
+	f.ll.Remove(el)
+	delete(f.byKey, key)
+	return true
+}
+
+// Clear drops every entry.
+func (f *Fingerprints) Clear() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ll.Init()
+	clear(f.byKey)
+}
+
+// Len returns the number of indexed fingerprints.
+func (f *Fingerprints) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ll.Len()
+}
+
+// FingerprintStats is a point-in-time snapshot of index effectiveness.
+type FingerprintStats struct {
+	Entries          int
+	Lookups, Matches int64
+}
+
+// Stats snapshots the index counters.
+func (f *Fingerprints) Stats() FingerprintStats {
+	if f == nil {
+		return FingerprintStats{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FingerprintStats{Entries: f.ll.Len(), Lookups: f.lookups, Matches: f.matches}
+}

@@ -1,0 +1,143 @@
+package plancache
+
+import (
+	"fmt"
+	"testing"
+
+	"scratchmem/internal/layer"
+	"scratchmem/internal/policy"
+)
+
+// chainN builds an n-layer shape chain in which every layer's filter count
+// depends on tag, so chains with different tags are fully disjoint — no
+// shared prefix or suffix anywhere.
+func chainN(tag, n int) []policy.LayerKey {
+	layers := make([]layer.Layer, n)
+	for i := 0; i < n; i++ {
+		layers[i] = layer.MustNew(fmt.Sprintf("l%d", i), layer.Conv, 28, 28, 8, 3, 3, 8+i+100*tag, 1, 1)
+	}
+	return policy.ChainOf(layers)
+}
+
+func TestFingerprintsBestPrefersLargestOverlap(t *testing.T) {
+	fp := NewFingerprints(16)
+	near := chainN(1, 10)
+	far := chainN(2, 10)
+	fp.Insert("k-far", "g", far, "far")
+	fp.Insert("k-near", "g", near, "near")
+
+	// A one-layer mutation of near overlaps near in 9 layers, far in ~0.
+	probe := append([]policy.LayerKey(nil), near...)
+	probe[5] = chainN(3, 10)[0]
+	if got := fp.Best("g", probe); got != "near" {
+		t.Fatalf("Best picked %v, want the 9-layer-overlap entry", got)
+	}
+	if got := fp.Best("other-group", probe); got != nil {
+		t.Fatalf("Best matched across groups: %v", got)
+	}
+	st := fp.Stats()
+	if st.Lookups != 2 || st.Matches != 1 {
+		t.Fatalf("stats = %+v, want 2 lookups / 1 match", st)
+	}
+}
+
+func TestFingerprintsNoOverlapNoMatch(t *testing.T) {
+	fp := NewFingerprints(16)
+	fp.Insert("k", "g", chainN(1, 10), "ck")
+	if got := fp.Best("g", chainN(9, 10)); got != nil {
+		t.Fatalf("disjoint chains matched: %v", got)
+	}
+}
+
+func TestFingerprintsInvalidateAndClear(t *testing.T) {
+	fp := NewFingerprints(16)
+	c := chainN(1, 5)
+	fp.Insert("k", "g", c, "ck")
+	if !fp.Invalidate("k") {
+		t.Fatal("Invalidate missed a present key")
+	}
+	if fp.Invalidate("k") {
+		t.Fatal("Invalidate reported a second removal")
+	}
+	if got := fp.Best("g", c); got != nil {
+		t.Fatalf("invalidated entry still matched: %v", got)
+	}
+	fp.Insert("k2", "g", c, "ck2")
+	fp.Clear()
+	if fp.Len() != 0 {
+		t.Fatalf("Clear left %d entries", fp.Len())
+	}
+}
+
+func TestFingerprintsReplaceByKeyAndEvict(t *testing.T) {
+	fp := NewFingerprints(2)
+	a, b, c := chainN(1, 5), chainN(2, 5), chainN(3, 5)
+	fp.Insert("k1", "g", a, "v1")
+	fp.Insert("k1", "g", b, "v1b") // replace, not a second entry
+	if fp.Len() != 1 {
+		t.Fatalf("replace grew the index to %d", fp.Len())
+	}
+	if got := fp.Best("g", b); got != "v1b" {
+		t.Fatalf("replaced entry not served: %v", got)
+	}
+	fp.Insert("k2", "g", a, "v2")
+	fp.Insert("k3", "g", c, "v3") // capacity 2: evicts the coldest (k1)
+	if fp.Len() != 2 {
+		t.Fatalf("eviction left %d entries", fp.Len())
+	}
+	if got := fp.Best("g", b); got != nil {
+		t.Fatalf("evicted entry still served: %v", got)
+	}
+}
+
+func TestFingerprintsNilSafety(t *testing.T) {
+	var fp *Fingerprints
+	fp.Insert("k", "g", chainN(1, 3), "v")
+	if fp.Best("g", chainN(1, 3)) != nil || fp.Invalidate("k") || fp.Len() != 0 {
+		t.Fatal("nil Fingerprints must be inert")
+	}
+	fp.Clear()
+	_ = fp.Stats()
+}
+
+func TestCacheFingerprintLifecycle(t *testing.T) {
+	c := New(2)
+	fp := NewFingerprints(16)
+	c.AttachFingerprints(fp)
+	chain := chainN(1, 5)
+
+	// InsertFingerprint without a stored entry is a no-op: the Remove race
+	// must never leave a fingerprint for a plan the cache cannot serve.
+	c.InsertFingerprint("ghost", "g", chain, "ck")
+	if fp.Len() != 0 {
+		t.Fatal("fingerprint indexed for a key the cache does not hold")
+	}
+
+	c.Put("k1", "plan1")
+	c.InsertFingerprint("k1", "g", chain, "ck1")
+	if fp.Len() != 1 {
+		t.Fatal("stored key's fingerprint not indexed")
+	}
+
+	// Remove invalidates in lockstep.
+	c.Remove("k1")
+	if fp.Len() != 0 {
+		t.Fatal("Remove left the fingerprint behind")
+	}
+
+	// LRU eviction invalidates in lockstep.
+	c.Put("k1", "p1")
+	c.InsertFingerprint("k1", "g", chain, "ck1")
+	c.Put("k2", "p2")
+	c.Put("k3", "p3") // capacity 2: evicts k1
+	if got := fp.Best("g", chain); got != nil {
+		t.Fatalf("evicted plan still spliceable: %v", got)
+	}
+
+	// Purge clears the whole index.
+	c.InsertFingerprint("k3", "g", chain, "ck3")
+	c.Purge()
+	if fp.Len() != 0 {
+		t.Fatal("Purge left fingerprints behind")
+	}
+}

@@ -17,6 +17,12 @@ type shapeOf struct {
 	ofmapAll  int64
 	macs      int64 // layer.MACs(), hoisted out of the candidate sweep
 	depthwise bool
+	// One-pass predicates of ifmapLoads, hoisted out of the per-candidate
+	// block-size arithmetic: true when the policy's sliding window spans
+	// the whole ifmap (or the layer is depth-wise), so the ifmap crosses
+	// the chip boundary once regardless of the filter-block size.
+	p4OnePass bool
+	p5OnePass bool
 }
 
 func newShape(l *layer.Layer, padded bool) shapeOf {
@@ -35,6 +41,8 @@ func newShape(l *layer.Layer, padded bool) shapeOf {
 	s.filterAll = l.FilterElems()
 	s.ofmapAll = l.OfmapElems()
 	s.macs = l.MACs()
+	s.p4OnePass = s.depthwise || s.fh >= s.ihe
+	s.p5OnePass = s.depthwise || (s.fh >= s.ihe && s.ci == 1)
 	return s
 }
 
@@ -95,12 +103,12 @@ func tilesFor(id ID, s *shapeOf, n int64) Tiles {
 func ifmapLoads(id ID, s *shapeOf, n int64) int64 {
 	switch id {
 	case P4PartialIfmap:
-		if s.depthwise || s.fh >= s.ihe {
+		if s.p4OnePass {
 			return 1
 		}
 		return ceilDiv(s.f, n)
 	case P5PartialPerChannel:
-		if s.depthwise || (s.fh >= s.ihe && s.ci == 1) {
+		if s.p5OnePass {
 			return 1
 		}
 		return ceilDiv(s.f, n)
@@ -265,22 +273,96 @@ func EstimateFast(l *layer.Layer, id ID, o Options, cfg Config) Result {
 	return sh.EstimateFast(id, o, cfg)
 }
 
+// tileCoef is one policy's tile sizes decomposed affinely in the filter-
+// block size n: tiles(n) = base + (n−1)·perN, exact over the whole valid
+// range (the P4/P5 tiles are linear in n; every other policy — and
+// depth-wise P4/P5 — is constant, perN = 0). The coefficients are
+// tilesFor's own values at n=1 and n=2, so the decomposition reproduces
+// tilesFor bit-for-bit.
+type tileCoef struct {
+	base, perN Tiles
+}
+
 // Shape is the precomputed geometry of one layer under one padding rule.
 // A candidate sweep evaluates up to sixteen (policy, ±prefetch) variants of
-// the same layer; computing the derived extents once and reusing them
-// across the sweep removes the dominant per-candidate cost.
+// the same layer; computing the derived extents — and each policy's affine
+// tile coefficients — once and reusing them across the sweep removes the
+// dominant per-candidate cost.
 type Shape struct {
 	l *layer.Layer
 	s shapeOf
 	// padded records the rule the shape was derived under; estimates must
 	// be asked with a Config whose IncludePadding matches.
 	padded bool
+	coef   [numPolicies]tileCoef
 }
 
 // NewShape precomputes l's geometry. The padded flag must equal the
 // IncludePadding of every Config later passed to this shape's estimators.
 func NewShape(l *layer.Layer, padded bool) Shape {
-	return Shape{l: l, s: newShape(l, padded), padded: padded}
+	sh := Shape{l: l, s: newShape(l, padded), padded: padded}
+	sh.initCoef()
+	return sh
+}
+
+func (sh *Shape) initCoef() {
+	for _, id := range allIDs {
+		t1 := tilesFor(id, &sh.s, 1)
+		t2 := tilesFor(id, &sh.s, 2)
+		sh.coef[id] = tileCoef{base: t1, perN: Tiles{
+			Ifmap:  t2.Ifmap - t1.Ifmap,
+			Filter: t2.Filter - t1.Filter,
+			Ofmap:  t2.Ofmap - t1.Ofmap,
+		}}
+	}
+}
+
+// tiles is tilesFor against the precomputed coefficients. n <= 1 covers
+// both n=1 and the no-block-size n=0 (tilesFor ignores n there, and base
+// is its constant value).
+func (sh *Shape) tiles(id ID, n int64) Tiles {
+	c := &sh.coef[id]
+	if n <= 1 {
+		return c.base
+	}
+	k := n - 1
+	return Tiles{
+		Ifmap:  c.base.Ifmap + k*c.perN.Ifmap,
+		Filter: c.base.Filter + k*c.perN.Filter,
+		Ofmap:  c.base.Ofmap + k*c.perN.Ofmap,
+	}
+}
+
+// bestBlockSize is the package-level bestBlockSize against the precomputed
+// coefficients: same closed-form affine solve, with the two probe tile
+// computations reduced to table reads.
+func (sh *Shape) bestBlockSize(id ID, o Options, cfg Config) int64 {
+	if id != P4PartialIfmap && id != P5PartialPerChannel {
+		return 0
+	}
+	s := &sh.s
+	if s.depthwise {
+		return 1
+	}
+	maxN := s.f - 1
+	if maxN < 1 {
+		maxN = 1
+	}
+	cap := cfg.CapacityElems()
+	m1, _ := memoryElems(sh.tiles(id, 1), s, o)
+	m2, _ := memoryElems(sh.tiles(id, 2), s, o)
+	perN := m2 - m1
+	if perN <= 0 {
+		return maxN
+	}
+	if m1 > cap {
+		return 1 // infeasible even at n=1; report that honestly
+	}
+	n := 1 + (cap-m1)/perN
+	if n > maxN {
+		n = maxN
+	}
+	return n
 }
 
 // EstimateFast is EstimateFast against the precomputed geometry.
@@ -299,8 +381,8 @@ func (sh *Shape) EstimateFast(id ID, o Options, cfg Config) Result {
 // the Into form a zeroed Result, preserving its zero-fields guarantee).
 func (sh *Shape) EstimateFastInto(e *Result, id ID, o Options, cfg Config) {
 	s := &sh.s
-	n := bestBlockSize(id, s, o, cfg)
-	t := tilesFor(id, s, n)
+	n := sh.bestBlockSize(id, o, cfg)
+	t := sh.tiles(id, n)
 	memElems, extra := memoryElems(t, s, o)
 	e.Policy, e.Opts, e.Layer, e.N = id, o, sh.l.Name, int(n)
 	e.Tiles, e.DoubleBuffered = t, extra

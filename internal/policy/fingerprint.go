@@ -1,0 +1,39 @@
+// Network fingerprints for differential planning: a network's fingerprint
+// is its per-layer shape-signature chain ([]LayerKey). Two requests whose
+// chains share a prefix/suffix under identical planner knobs can share the
+// unchanged layers' planning work (internal/core's checkpoint resume).
+package policy
+
+import "scratchmem/internal/layer"
+
+// ChainOf returns the per-layer shape-signature chain of layers. Names are
+// deliberately absent from LayerKey — the estimators never read them — so
+// renamed copies of a network fingerprint identically.
+func ChainOf(layers []layer.Layer) []LayerKey {
+	out := make([]LayerKey, len(layers))
+	for i := range layers {
+		out[i] = KeyOf(&layers[i])
+	}
+	return out
+}
+
+// CommonPrefix returns the number of leading positions where a and b carry
+// the same shape key.
+func CommonPrefix(a, b []LayerKey) int {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// CommonSuffix is CommonPrefix measured from the tail ends.
+func CommonSuffix(a, b []LayerKey) int {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[len(a)-1-i] == b[len(b)-1-i] {
+		i++
+	}
+	return i
+}

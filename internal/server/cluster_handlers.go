@@ -16,6 +16,7 @@ import (
 	"scratchmem/internal/model"
 	"scratchmem/internal/obs"
 	"scratchmem/internal/parallel"
+	"scratchmem/internal/plancache"
 	"scratchmem/internal/policy"
 )
 
@@ -76,6 +77,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	memo := policy.NewMemoCap(DefaultMemoEntries)
+	// One shared fingerprint index per batch: batch items are typically
+	// dense neighbor sets (DSE sweeps, one-layer mutations), so checkpoints
+	// captured by early items splice later ones even before anything lands
+	// in the server-wide index.
+	batchFP := plancache.NewFingerprints(maxBatchItems)
 	results := make([]BatchItem, len(req.Requests))
 	// Fan out across the CPUs; the worker semaphore inside planned still
 	// bounds how many planner executions actually run at once, so a big
@@ -94,7 +100,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[i] = BatchItem{Status: code, Error: msg}
 			return nil
 		}
-		entry, shared, err := s.planned(ctx, key, pr, memo, net, opts)
+		entry, shared, err := s.planned(ctx, key, pr, memo, batchFP, net, opts)
 		if err != nil {
 			code, msg := statusOf(err)
 			results[i] = BatchItem{Status: code, PlanKey: key, Error: msg}
@@ -160,7 +166,7 @@ func (s *Server) handlePeerFill(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	entry, shared, err := s.planned(ctx, key, nil, nil, net, opts)
+	entry, shared, err := s.planned(ctx, key, nil, nil, nil, net, opts)
 	if err != nil {
 		s.fail(w, err)
 		return

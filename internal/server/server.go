@@ -143,6 +143,12 @@ type Server struct {
 	// options, same network) — cost one estimation. Capped so a hostile
 	// stream of novel shapes cannot grow it without bound.
 	memo *policy.Memo
+	// fp indexes locally cached plans by shape-signature chain for
+	// differential planning: a near-identical request resumes from the
+	// best-overlapping cached plan's checkpoint instead of re-planning
+	// every layer. Attached to local, so cache Remove/Purge/eviction
+	// invalidate fingerprints in lockstep.
+	fp *plancache.Fingerprints
 
 	// planFn runs the planner; a test seam (defaults to
 	// scratchmem.PlanModelCtx). The context is the flight's, not any single
@@ -194,6 +200,8 @@ func New(cfg Config) *Server {
 	}
 	memo := policy.NewMemoCap(DefaultMemoEntries)
 	local := plancache.New(entries)
+	fp := plancache.NewFingerprints(0)
+	local.AttachFingerprints(fp)
 	var backend cluster.Backend = cluster.NewLocal(local)
 	if cfg.Cluster != nil {
 		backend = cfg.Cluster(local)
@@ -209,6 +217,7 @@ func New(cfg Config) *Server {
 		log:      logger,
 		tracer:   tracer,
 		memo:     memo,
+		fp:       fp,
 		planFn: func(ctx context.Context, n *scratchmem.Network, o scratchmem.PlanOptions) (*scratchmem.Plan, error) {
 			if err := faultinject.Hit("server.plan"); err != nil {
 				return nil, err
